@@ -1,0 +1,310 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (one benchmark per figure; the paper has no numbered tables), plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark executes the same experiment as `go run
+// ./cmd/figures -fig N` and reports the series through -v output on the
+// first iteration; the benchmark timing itself measures the harness cost
+// of the full experiment.
+package charmgo
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/figures"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
+	"charmgo/internal/apps/stencil"
+)
+
+// benchFig runs one figure experiment per benchmark iteration, printing
+// the regenerated series once.
+func benchFig(b *testing.B, id string) {
+	f, ok := figures.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		var out io.Writer = io.Discard
+		if i == 0 {
+			// The first iteration prints the regenerated series, so a
+			// plain `go test -bench=.` run is self-documenting.
+			fmt.Fprintf(os.Stdout, "\n== Figure %s: %s ==\n", f.ID, f.Title)
+			out = os.Stdout
+		}
+		if err := f.Run(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04Thermal(b *testing.B)          { benchFig(b, "4") }
+func BenchmarkFig05ShrinkExpand(b *testing.B)     { benchFig(b, "5") }
+func BenchmarkFig06ControlPoint(b *testing.B)     { benchFig(b, "6") }
+func BenchmarkFig07Interop(b *testing.B)          { benchFig(b, "7") }
+func BenchmarkFig08AMRScaling(b *testing.B)       { benchFig(b, "8L") }
+func BenchmarkFig08AMRCheckpoint(b *testing.B)    { benchFig(b, "8R") }
+func BenchmarkFig09LeanMDScaling(b *testing.B)    { benchFig(b, "9") }
+func BenchmarkFig10LeanMDCheckpoint(b *testing.B) { benchFig(b, "10") }
+func BenchmarkFig11NAMDScaling(b *testing.B)      { benchFig(b, "11") }
+func BenchmarkFig12BarnesHut(b *testing.B)        { benchFig(b, "12") }
+func BenchmarkFig13ChaNGaPhases(b *testing.B)     { benchFig(b, "13") }
+func BenchmarkFig14Lulesh(b *testing.B)           { benchFig(b, "14") }
+func BenchmarkFig15aPholdLPs(b *testing.B)        { benchFig(b, "15a") }
+func BenchmarkFig15bPholdTram(b *testing.B)       { benchFig(b, "15b") }
+func BenchmarkFig16CloudStencil(b *testing.B)     { benchFig(b, "16") }
+func BenchmarkFig17CloudLeanMD(b *testing.B)      { benchFig(b, "17") }
+
+// ---- Ablations (design-choice benchmarks from DESIGN.md §4) ----
+
+// BenchmarkAblationOverdecomp sweeps chares per PE on the cloud stencil,
+// quantifying the latency-hiding benefit of over-decomposition alone.
+func BenchmarkAblationOverdecomp(b *testing.B) {
+	for _, chares := range []int{6, 12, 24, 48} {
+		perPE := chares * chares / 32
+		b.Run(fmt.Sprintf("chares_per_pe_%d", perPE), func(b *testing.B) {
+			var virt float64
+			for i := 0; i < b.N; i++ {
+				rt := charm.New(machine.New(machine.Cloud(32)))
+				res, err := stencil.Run(rt, stencil.Config{
+					GridN: 576, Chares: chares, Iters: 10, PerPointWork: 60e-9,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				virt = float64(res.Elapsed)
+			}
+			b.ReportMetric(virt*1e3, "virtual_ms")
+		})
+	}
+}
+
+// BenchmarkAblationLBStrategies compares every strategy on the same
+// imbalanced LeanMD run, isolating the strategy choice.
+func BenchmarkAblationLBStrategies(b *testing.B) {
+	strategies := []struct {
+		name string
+		s    charm.Strategy
+	}{
+		{"NoLB", nil},
+		{"Greedy", lb.Greedy{}},
+		{"Refine", lb.Refine{}},
+		{"Hybrid", lb.Hybrid{}},
+		{"Distributed", lb.Distributed{Seed: 3}},
+	}
+	for _, st := range strategies {
+		b.Run(st.name, func(b *testing.B) {
+			var virt float64
+			for i := 0; i < b.N; i++ {
+				rt := charm.New(machine.New(machine.Vesta(128)))
+				cfg := leanmd.Config{
+					CellsX: 6, CellsY: 6, CellsZ: 6, AtomsPerCell: 27,
+					Gaussian: 6, Steps: 10, Seed: 5, MigratePeriod: 100,
+					PerInteractionWork: 300e-9,
+				}
+				if st.s != nil {
+					rt.SetBalancer(st.s)
+					cfg.LBPeriod = 5
+				}
+				res, err := leanmd.Run(rt, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virt = float64(res.Elapsed)
+			}
+			b.ReportMetric(virt*1e3, "virtual_ms")
+		})
+	}
+}
+
+// BenchmarkAblationLocationCache measures the location-manager design:
+// cold caches force home-PE forwarding; warm caches deliver direct.
+func BenchmarkAblationLocationCache(b *testing.B) {
+	b.Run("after_migration_forwarded", func(b *testing.B) {
+		var forwarded uint64
+		for i := 0; i < b.N; i++ {
+			rt, arr := benchCacheSetup()
+			// Scatter all elements, then send one round from stale caches.
+			objs, pes := rt.LBView()
+			migs := lb.Rotate{}.Balance(objs, pes)
+			for _, m := range migs {
+				arr.Replace(m.Idx, arr.Get(m.Idx), m.ToPE)
+			}
+			rt.Boot(func(ctx *charm.Ctx) {
+				for k := 0; k < 64; k++ {
+					ctx.Send(arr, charm.Idx1(k), 0, nil)
+				}
+			})
+			rt.Run()
+			forwarded = rt.Stats.MsgsForwarded
+		}
+		b.ReportMetric(float64(forwarded), "forwards")
+	})
+	b.Run("warm_cache_direct", func(b *testing.B) {
+		var forwarded uint64
+		for i := 0; i < b.N; i++ {
+			rt, arr := benchCacheSetup()
+			rt.Boot(func(ctx *charm.Ctx) {
+				for k := 0; k < 64; k++ {
+					ctx.Send(arr, charm.Idx1(k), 0, nil)
+				}
+			})
+			rt.Run()
+			forwarded = rt.Stats.MsgsForwarded
+		}
+		b.ReportMetric(float64(forwarded), "forwards")
+	})
+}
+
+type benchBlob struct{ N int64 }
+
+func (x *benchBlob) Pup(p *pup.Pup) { p.Int64(&x.N) }
+
+func benchCacheSetup() (*charm.Runtime, *charm.Array) {
+	rt := charm.New(machine.New(machine.Testbed(16)))
+	arr := rt.DeclareArray("b", func() charm.Chare { return &benchBlob{} },
+		[]charm.Handler{func(obj charm.Chare, ctx *charm.Ctx, msg any) {}},
+		charm.ArrayOpts{Migratable: true})
+	for i := 0; i < 64; i++ {
+		arr.Insert(charm.Idx1(i), &benchBlob{})
+	}
+	return rt, arr
+}
+
+// BenchmarkRuntimeMessageThroughput measures raw simulated messages per
+// wall second — the engine's own overhead (not virtual time).
+func BenchmarkRuntimeMessageThroughput(b *testing.B) {
+	rt := charm.New(machine.New(machine.Testbed(64)))
+	var arr *charm.Array
+	count := 0
+	handlers := []charm.Handler{func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+		n := msg.(int)
+		count++
+		if n > 0 {
+			ctx.Send(arr, charm.Idx1((ctx.Index().I()+1)%256), 0, n-1)
+		}
+	}}
+	arr = rt.DeclareArray("m", func() charm.Chare { return &benchBlob{} }, handlers, charm.ArrayOpts{})
+	for i := 0; i < 256; i++ {
+		arr.Insert(charm.Idx1(i), &benchBlob{})
+	}
+	b.ResetTimer()
+	for i := 0; i < 256; i++ {
+		arr.Send(charm.Idx1(i), 0, b.N/256)
+	}
+	rt.Run()
+	b.ReportMetric(float64(count)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkAblationNICContention enables the NIC egress-serialization
+// model and measures PHOLD with and without TRAM: aggregation reclaims
+// the per-packet wire overhead that fine-grained events waste, so its
+// advantage widens under contention.
+func BenchmarkAblationNICContention(b *testing.B) {
+	run := func(nic bool, useTram bool) float64 {
+		cfg := machine.Stampede(32)
+		if nic {
+			cfg.NICBandwidth = 0.15e9
+			cfg.PacketOverheadBytes = 128
+		}
+		rt := charm.New(machine.New(cfg))
+		res, err := pdes.Run(rt, pdes.Config{
+			LPs: 32 * 64, EventsPerLP: 24,
+			TargetEvents: 32 * 64 * 24 * 2, UseTram: useTram, Seed: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.EventRate
+	}
+	for _, nic := range []bool{false, true} {
+		name := "infinite_wire"
+		if nic {
+			name = "nic_serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			var direct, tram float64
+			for i := 0; i < b.N; i++ {
+				direct = run(nic, false)
+				tram = run(nic, true)
+			}
+			b.ReportMetric(direct, "direct_ev_per_s")
+			b.ReportMetric(tram, "tram_ev_per_s")
+			b.ReportMetric(tram/direct, "tram_speedup")
+		})
+	}
+}
+
+// BenchmarkAblationMulticast compares LeanMD's cell→computes position
+// traffic as individual sends vs one section multicast per cell (the
+// CkMulticast pattern): fewer wire messages, less sender overhead.
+func BenchmarkAblationMulticast(b *testing.B) {
+	run := func(mcast bool) (float64, uint64) {
+		rt := charm.New(machine.New(machine.Vesta(64)))
+		res, err := leanmd.Run(rt, leanmd.Config{
+			CellsX: 5, CellsY: 5, CellsZ: 5, AtomsPerCell: 27,
+			Steps: 8, Seed: 4, MigratePeriod: 100, UseMulticast: mcast,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.Elapsed), rt.Stats.MsgsSent
+	}
+	for _, mcast := range []bool{false, true} {
+		name := "individual_sends"
+		if mcast {
+			name = "section_multicast"
+		}
+		b.Run(name, func(b *testing.B) {
+			var virt float64
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				virt, msgs = run(mcast)
+			}
+			b.ReportMetric(virt*1e3, "virtual_ms")
+			b.ReportMetric(float64(msgs), "wire_msgs")
+		})
+	}
+}
+
+// BenchmarkAblationTopoMapping compares hash placement against the
+// topology-aware mapper on a multi-node BG/Q model: neighbour traffic
+// stays within few torus hops.
+func BenchmarkAblationTopoMapping(b *testing.B) {
+	run := func(topo bool) float64 {
+		rt := charm.New(machine.New(machine.Vesta(128)))
+		res, err := leanmd.Run(rt, leanmd.Config{
+			CellsX: 6, CellsY: 6, CellsZ: 6, AtomsPerCell: 27,
+			Steps: 8, Seed: 6, MigratePeriod: 100, TopoAware: topo,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	for _, topo := range []bool{false, true} {
+		name := "hash_map"
+		if topo {
+			name = "topo_map"
+		}
+		b.Run(name, func(b *testing.B) {
+			var virt float64
+			for i := 0; i < b.N; i++ {
+				virt = run(topo)
+			}
+			b.ReportMetric(virt*1e3, "virtual_ms")
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package charmgo
+
+import (
+	"testing"
+
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+)
+
+// facadeChare exercises the public API surface end to end.
+type facadeChare struct{ N int64 }
+
+func (f *facadeChare) Pup(p *pup.Pup) { p.Int64(&f.N) }
+
+func TestPublicFacade(t *testing.T) {
+	rt := NewRuntime(NewMachine(machine.Stampede(16)))
+	var arr *Array
+	var reduced int64
+	handlers := []Handler{
+		0: func(obj Chare, ctx *Ctx, msg any) {
+			c := obj.(*facadeChare)
+			c.N++
+			ctx.Charge(1e-6)
+			ctx.Contribute(c.N, SumI64, CallbackFunc(0, func(ctx *Ctx, r any) {
+				reduced = r.(int64)
+			}))
+		},
+	}
+	arr = rt.DeclareArray("facade", func() Chare { return &facadeChare{} },
+		handlers, ArrayOpts{Migratable: true})
+	const n = 12
+	for i := 0; i < n; i++ {
+		arr.Insert(Idx1(i), &facadeChare{})
+	}
+	arr.Broadcast(0, nil)
+	end := rt.Run()
+	if end <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if reduced != n {
+		t.Fatalf("reduction through facade = %d, want %d", reduced, n)
+	}
+
+	// Index constructors re-exported correctly.
+	if Idx3(1, 2, 3).K() != 3 {
+		t.Fatal("Idx3 broken through facade")
+	}
+	if BitVecFromCoords(1, 0, 1, 1) != BitVec(0b101, 1) {
+		t.Fatal("bitvector constructors disagree")
+	}
+
+	// Reducers exposed.
+	if MaxF64.Merge(1.0, 2.0).(float64) != 2.0 || MinI64.Merge(int64(3), int64(1)).(int64) != 1 {
+		t.Fatal("reducers broken through facade")
+	}
+	if AndB.Merge(true, false).(bool) || !OrB.Merge(true, false).(bool) {
+		t.Fatal("boolean reducers broken")
+	}
+	v := SumVecF64.Merge([]float64{1, 2}, []float64{3, 4}).([]float64)
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatal("vector reducer broken")
+	}
+}

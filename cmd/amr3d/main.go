@@ -1,0 +1,84 @@
+// Command amr3d runs the AMR3D adaptive-mesh advection mini-app: an
+// oct-tree of blocks refining around a moving pulse, with optional
+// distributed load balancing and checkpointing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+
+	"charmgo/internal/apps/amr"
+)
+
+func main() {
+	pes := flag.Int("pes", 64, "processing elements")
+	minD := flag.Int("min-depth", 2, "minimum oct-tree depth")
+	maxD := flag.Int("max-depth", 5, "maximum oct-tree depth")
+	startD := flag.Int("start-depth", 3, "initial uniform depth")
+	blockSize := flag.Int("block", 8, "cells per block edge")
+	steps := flag.Int("steps", 24, "advection steps")
+	remesh := flag.Int("remesh", 4, "remesh period (0 = static mesh)")
+	balance := flag.Bool("lb", true, "distributed load balancing after each remesh")
+	ckptPath := flag.String("ckpt", "", "write a disk checkpoint here at the end")
+	restart := flag.String("restart", "", "+restart: resume from this checkpoint file")
+	flag.Parse()
+
+	rt := charm.New(machine.New(machine.Vesta(*pes)))
+	if *balance {
+		rt.SetBalancer(lb.Distributed{Seed: 2})
+	}
+	cfg := amr.Config{
+		MinDepth: *minD, MaxDepth: *maxD, StartDepth: *startD,
+		BlockSize: *blockSize, Steps: *steps, RemeshPeriod: *remesh,
+		Rebalance: *balance,
+	}
+	var app *amr.App
+	var err error
+	if *restart != "" {
+		snap, lerr := ckpt.Load(*restart)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, lerr)
+			os.Exit(1)
+		}
+		app, err = amr.RestoreInto(rt, cfg, snap)
+		if err == nil {
+			fmt.Printf("restarted %d blocks from %s (originally %d PEs) on %d PEs\n",
+				app.Blocks().Len(), *restart, snap.NumPEs, rt.NumPEs())
+		}
+	} else {
+		app, err = amr.New(rt, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := app.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ts := res.StepTimes()
+	for i := range ts {
+		fmt.Printf("step %3d  %.5f s  blocks %5d  mass %.6f\n", i, ts[i], res.Blocks[i], res.Mass[i])
+	}
+	fmt.Printf("remeshes: %d; migrations: %d; total virtual time %.4f s\n",
+		res.Remeshes, rt.Stats.Migrations, float64(res.Elapsed))
+
+	if *ckptPath != "" {
+		snap := ckpt.Capture(rt)
+		if err := snap.Save(*ckptPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tm := ckpt.DefaultModel(rt.NumPEs())
+		fmt.Printf("checkpoint: %d bytes to %s (modeled %.1f ms on %d PEs)\n",
+			snap.TotalBytes(), *ckptPath,
+			float64(ckpt.DiskCheckpointTime(snap, rt.NumPEs(), tm))*1e3, rt.NumPEs())
+	}
+}

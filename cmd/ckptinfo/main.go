@@ -1,0 +1,71 @@
+// Command ckptinfo inspects a checkpoint file written by the disk
+// checkpoint layer (Snapshot.Save / cmd/amr3d -ckpt / ccsjob's ckpt
+// handler): the job-level metadata, per-array element counts and sizes,
+// and optionally the per-PE data distribution at capture time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"charmgo/internal/ckpt"
+)
+
+func main() {
+	perPE := flag.Bool("pe", false, "show the per-PE byte distribution")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ckptinfo [-pe] <checkpoint-file>")
+		os.Exit(2)
+	}
+	snap, err := ckpt.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("checkpoint of a %d-PE run taken at t=%.4fs (virtual)\n", snap.NumPEs, snap.TakenAt)
+	fmt.Printf("total payload: %d bytes across %d arrays\n\n", snap.TotalBytes(), len(snap.Arrays))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "array\telements\tbytes\tavg_bytes/elem")
+	for _, a := range snap.Arrays {
+		var bytes int
+		for _, e := range a.Elems {
+			bytes += len(e.Data)
+		}
+		avg := 0
+		if len(a.Elems) > 0 {
+			avg = bytes / len(a.Elems)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", a.Name, len(a.Elems), bytes, avg)
+	}
+	tw.Flush()
+
+	if *perPE {
+		counts := make(map[int]int)
+		bytes := make(map[int]int)
+		maxPE := 0
+		for _, a := range snap.Arrays {
+			for _, e := range a.Elems {
+				counts[e.PE]++
+				bytes[e.PE] += len(e.Data)
+				if e.PE > maxPE {
+					maxPE = e.PE
+				}
+			}
+		}
+		fmt.Println()
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "PE\telements\tbytes")
+		for pe := 0; pe <= maxPE; pe++ {
+			if counts[pe] == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\n", pe, counts[pe], bytes[pe])
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,54 @@
+// Command figures regenerates the data series behind every figure in the
+// paper's evaluation section (Figs 4–17) on the virtual machine.
+//
+// Usage:
+//
+//	figures            # run every figure
+//	figures -fig 9     # run one figure
+//	figures -list      # list figure ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"charmgo/internal/figures"
+)
+
+func main() {
+	figID := flag.String("fig", "", "run only the figure with this id (e.g. 9, 8L, 15b)")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures.All() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	run := func(f figures.Fig) {
+		fmt.Printf("== Figure %s: %s ==\n", f.ID, f.Title)
+		start := time.Now()
+		if err := f.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- figure %s done in %.1fs (wall)\n\n", f.ID, time.Since(start).Seconds())
+	}
+
+	if *figID != "" {
+		f, ok := figures.ByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *figID)
+			os.Exit(2)
+		}
+		run(f)
+		return
+	}
+	for _, f := range figures.All() {
+		run(f)
+	}
+}

@@ -1,0 +1,49 @@
+// Command pdes runs the PHOLD benchmark under the YAWNS conservative
+// protocol, reporting committed events, window counts, and event rate,
+// optionally through TRAM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+
+	"charmgo/internal/apps/pdes"
+)
+
+func main() {
+	pes := flag.Int("pes", 32, "processing elements")
+	lpsPerPE := flag.Int("lps", 64, "logical processes per PE")
+	events := flag.Int("events", 16, "initial events per LP")
+	target := flag.Int("target", 0, "events to commit (default 4x the population)")
+	tram := flag.Bool("tram", false, "aggregate events with TRAM")
+	flag.Parse()
+
+	rt := charm.New(machine.New(machine.Stampede(*pes)))
+	app, err := pdes.New(rt, pdes.Config{
+		LPs: *pes * *lpsPerPE, EventsPerLP: *events,
+		TargetEvents: *target, UseTram: *tram, Seed: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := app.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("LPs: %d   initial events/LP: %d   TRAM: %v\n", *pes**lpsPerPE, *events, *tram)
+	fmt.Printf("committed events: %d over %d YAWNS windows\n", res.Committed, res.Windows)
+	fmt.Printf("virtual time: %.4f s   event rate: %.0f events/s   max VT: %.1f\n",
+		float64(res.Elapsed), res.EventRate, res.MaxVT)
+	if *tram {
+		st := app.TramStats()
+		fmt.Printf("TRAM: %d items in %d messages (%.1f items/msg), %d timed flushes\n",
+			st.ItemsSubmitted, st.MsgsSent,
+			float64(st.ItemsSubmitted)/float64(st.MsgsSent), st.TimedFlushes)
+	}
+}

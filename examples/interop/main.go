@@ -1,0 +1,45 @@
+// Interoperation example (§III-G): an MPI application whose global sort is
+// its scaling bottleneck offloads that one phase to a Charm-side sorting
+// library module — the CHARM cosmology study. The same step runs with the
+// MPI multiway merge sort and with the library called across the
+// interoperation interface, on the same machine.
+package main
+
+import (
+	"fmt"
+
+	"charmgo"
+	"charmgo/internal/machine"
+
+	"charmgo/internal/apps/sorting"
+)
+
+func run(algo sorting.Algo, pes int) *sorting.Result {
+	rt := charmgo.NewRuntime(charmgo.NewMachine(machine.Testbed(pes)))
+	res, err := sorting.Run(rt, sorting.Config{
+		Ranks:         pes,
+		KeysPerRank:   1 << 18 / pes, // strong scaling: 256k particles total
+		Algo:          algo,
+		ComputePerKey: 2e-6,
+		Seed:          7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("per-step time: useful computation vs the sorting phase")
+	fmt.Println("PEs   useful(s)  MPI-merge(s)  interop-HistSort(s)  merge%  interop%")
+	for _, pes := range []int{8, 32, 128} {
+		ms := run(sorting.MergeTree, pes)
+		cs := run(sorting.HistSortCharm, pes)
+		fmt.Printf("%-5d %-10.4f %-13.4f %-20.4f %-7.1f %.1f\n",
+			pes, ms.ComputeTime, ms.SortTime, cs.SortTime,
+			ms.SortFraction*100, cs.SortFraction*100)
+	}
+	fmt.Println("\nthe merge sort serializes at its tree root and grows into the")
+	fmt.Println("bottleneck; the Charm library, called from the MPI ranks through")
+	fmt.Println("the interop interface, keeps sorting a small fraction of the step.")
+}

@@ -1,0 +1,69 @@
+// Introspection example: the runtime continuously observes itself — the
+// §III-E story. A Projections-style tracer samples per-PE utilization
+// while an imbalanced LeanMD runs; the load database names the heaviest
+// objects; and after an RTS-triggered rebalance the same instruments show
+// the machine leveled out.
+package main
+
+import (
+	"fmt"
+
+	"charmgo"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/trace"
+
+	"charmgo/internal/apps/leanmd"
+)
+
+func main() {
+	rt := charmgo.NewRuntime(charmgo.NewMachine(machine.Testbed(8)))
+	tr := trace.New(rt, 0.0005)
+	tr.Start()
+
+	cfg := leanmd.Config{
+		CellsX: 4, CellsY: 4, CellsZ: 4, AtomsPerCell: 27,
+		Gaussian: 8, // pile the atoms up: severe imbalance
+		Steps:    24, Seed: 7, MigratePeriod: 100,
+		PerInteractionWork: 400e-9,
+	}
+	// Mid-run, the RTS notices the imbalance and rebalances itself.
+	rebalanced := false
+	cfg.StepHook = func(step int) {
+		if step == 12 && !rebalanced {
+			rebalanced = true
+			rt.SetBalancer(lb.Greedy{})
+			objs, pes := rt.LBView()
+			maxE, avgE := lb.Imbalance(objs, pes)
+			fmt.Printf("step %d: measured imbalance max/avg = %.2f — triggering LB\n",
+				step, maxE/avgE)
+			top := trace.LoadProfile(rt, 3)
+			for _, o := range top {
+				fmt.Printf("  heaviest object %s%v on PE %d: %.3f ms of load\n",
+					o.Array.Name(), o.Idx, o.PE, o.Load*1e3)
+			}
+			rep := rt.Rebalance()
+			fmt.Printf("  moved %d of %d objects; predicted max load %.3f -> %.3f ms\n",
+				rep.NumMoved, rep.NumObjs, rep.MaxLoad*1e3, rep.MaxLoadPost*1e3)
+		}
+	}
+
+	res, err := leanmd.Run(rt, cfg)
+	if err != nil {
+		panic(err)
+	}
+	ts := res.StepTimes()
+	before, after := 0.0, 0.0
+	for _, v := range ts[6:12] {
+		before += v / 6
+	}
+	for _, v := range ts[18:24] {
+		after += v / 6
+	}
+	fmt.Printf("\nstep time before LB: %.3f ms, after: %.3f ms\n", before*1e3, after*1e3)
+
+	fmt.Println("\nper-PE utilization timeline (one column per 0.5 ms):")
+	fmt.Print(tr.Timeline(8))
+	pe, util := tr.HottestPE()
+	fmt.Printf("hottest PE: %d at %.0f%% mean utilization\n", pe, util*100)
+}

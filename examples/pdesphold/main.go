@@ -1,0 +1,45 @@
+// PDES example: the PHOLD benchmark under YAWNS, showing how
+// over-decomposition raises the event rate and how TRAM trades latency for
+// throughput on fine-grained event traffic.
+package main
+
+import (
+	"fmt"
+
+	"charmgo"
+	"charmgo/internal/machine"
+
+	"charmgo/internal/apps/pdes"
+)
+
+func rate(lpsPerPE, eventsPerLP int, tram bool) float64 {
+	rt := charmgo.NewRuntime(charmgo.NewMachine(machine.Stampede(32)))
+	lps := 32 * lpsPerPE
+	res, err := pdes.Run(rt, pdes.Config{
+		LPs: lps, EventsPerLP: eventsPerLP,
+		TargetEvents: lps * eventsPerLP * 2,
+		UseTram:      tram, Seed: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.EventRate
+}
+
+func main() {
+	fmt.Println("over-decomposition (8 events/LP, direct sends):")
+	for _, lpp := range []int{16, 64, 256} {
+		fmt.Printf("  %3d LPs/PE: %8.0f events/s\n", lpp, rate(lpp, 8, false))
+	}
+	fmt.Println("TRAM (64 LPs/PE):")
+	for _, epl := range []int{2, 24} {
+		d := rate(64, epl, false)
+		t := rate(64, epl, true)
+		verdict := "TRAM wins"
+		if t < d {
+			verdict = "direct wins (aggregation latency)"
+		}
+		fmt.Printf("  %2d events/LP: direct %8.0f ev/s, TRAM %8.0f ev/s — %s\n",
+			epl, d, t, verdict)
+	}
+}

@@ -1,0 +1,3 @@
+module charmgo
+
+go 1.22

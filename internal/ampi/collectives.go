@@ -1,0 +1,132 @@
+package ampi
+
+import (
+	"fmt"
+
+	"charmgo/internal/charm"
+)
+
+// Internal tags for the collective operations; applications must keep
+// their own tags below this range (as with real MPI's reserved tags).
+const (
+	tagBcast   = 1<<30 + iota // root payload distribution
+	tagGather                 // leaf-to-root collection
+	tagScatter                // root-to-leaf distribution
+	tagAlltoall
+)
+
+// Bcast distributes the root's payload to every rank (MPI_Bcast): the
+// root passes its data, every other rank passes nil and receives the
+// root's value.
+func (r *Rank) Bcast(root int, data any, bytes int) any {
+	if r.Size() == 1 {
+		return data
+	}
+	if r.id == root {
+		// Binomial tree: log2(P) rounds from the root's perspective;
+		// relative rank 0 sends to 1, 2, 4, ...
+		r.treeSend(root, data, bytes)
+		return data
+	}
+	got, _ := r.Recv(AnySource, tagBcast)
+	r.treeSend(root, got, bytes)
+	return got
+}
+
+// treeSend forwards a broadcast payload down the binomial tree rooted at
+// root: relative rank rel serves children rel+mask for each mask below
+// rel's lowest set bit (the whole power-of-two range for the root).
+func (r *Rank) treeSend(root int, data any, bytes int) {
+	p := r.Size()
+	rel := (r.id - root + p) % p
+	mask := 1
+	if rel == 0 {
+		for mask < p {
+			mask <<= 1
+		}
+	} else {
+		for rel&mask == 0 {
+			mask <<= 1
+		}
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := rel + mask; child < p {
+			r.Send((child+root)%p, tagBcast, data, bytes)
+		}
+	}
+}
+
+// Gather collects every rank's payload at the root (MPI_Gather): the root
+// returns a slice indexed by source rank; other ranks return nil.
+func (r *Rank) Gather(root int, data any, bytes int) []any {
+	if r.id != root {
+		r.Send(root, tagGather, gatherMsg{Rank: r.id, Data: data}, bytes)
+		return nil
+	}
+	out := make([]any, r.Size())
+	out[r.id] = data
+	for i := 0; i < r.Size()-1; i++ {
+		m, _ := r.Recv(AnySource, tagGather)
+		gm := m.(gatherMsg)
+		out[gm.Rank] = gm.Data
+	}
+	return out
+}
+
+type gatherMsg struct {
+	Rank int
+	Data any
+}
+
+// Scatter distributes one payload per rank from the root (MPI_Scatter):
+// the root passes a slice indexed by destination rank; every rank receives
+// its element.
+func (r *Rank) Scatter(root int, data []any, bytes int) any {
+	if r.id == root {
+		if len(data) != r.Size() {
+			panic(fmt.Sprintf("ampi: scatter with %d payloads for %d ranks", len(data), r.Size()))
+		}
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst == r.id {
+				continue
+			}
+			r.Send(dst, tagScatter, data[dst], bytes)
+		}
+		return data[r.id]
+	}
+	got, _ := r.Recv(root, tagScatter)
+	return got
+}
+
+// Alltoall exchanges one payload with every rank (MPI_Alltoall): data[j]
+// goes to rank j; the result is indexed by source rank.
+func (r *Rank) Alltoall(data []any, bytes int) []any {
+	if len(data) != r.Size() {
+		panic(fmt.Sprintf("ampi: alltoall with %d payloads for %d ranks", len(data), r.Size()))
+	}
+	out := make([]any, r.Size())
+	out[r.id] = data[r.id]
+	for d := 1; d < r.Size(); d++ {
+		dst := (r.id + d) % r.Size()
+		r.Send(dst, tagAlltoall, gatherMsg{Rank: r.id, Data: data[dst]}, bytes)
+	}
+	for i := 0; i < r.Size()-1; i++ {
+		m, _ := r.Recv(AnySource, tagAlltoall)
+		gm := m.(gatherMsg)
+		out[gm.Rank] = gm.Data
+	}
+	return out
+}
+
+// Reduce combines one float64 across all ranks, delivering the result only
+// to the root (MPI_Reduce); other ranks return 0 without blocking.
+func (r *Rank) Reduce(root int, val float64, op charm.Reducer) float64 {
+	r.overhead()
+	if r.id == root {
+		r.ctx.Contribute(val, op, charm.CallbackSend(r.env.arr, charm.Idx1(root), epColl))
+		w := r.block(onColl)
+		return w.data.(float64)
+	}
+	r.ctx.Contribute(val, op, charm.CallbackSend(r.env.arr, charm.Idx1(root), epColl))
+	return 0
+}

@@ -1,0 +1,207 @@
+package ampi
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+)
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		for _, root := range []int{0, n - 1} {
+			rt := charm.New(machine.New(machine.Testbed(4)))
+			got := make([]int, n)
+			err := Run(rt, n, func(r *Rank) {
+				var payload any
+				if r.ID() == root {
+					payload = 4321
+				}
+				got[r.ID()] = r.Bcast(root, payload, 64).(int)
+			}, Options{})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for i, v := range got {
+				if v != 4321 {
+					t.Fatalf("n=%d root=%d: rank %d got %d", n, root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBcastIsLogDepth(t *testing.T) {
+	// A binomial broadcast over 64 ranks should complete in O(log P)
+	// message latencies, far faster than 63 serial sends from the root.
+	elapsed := func(n int) float64 {
+		rt := charm.New(machine.New(machine.Testbed(16)))
+		if err := Run(rt, n, func(r *Rank) {
+			r.Bcast(0, r.ID(), 1<<16) // 64KB payload
+		}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return float64(rt.Now())
+	}
+	t8, t64 := elapsed(8), elapsed(64)
+	// log2(64)/log2(8) = 2: the tree should grow ~2x, not 8x.
+	if t64 > 4*t8 {
+		t.Fatalf("bcast does not look logarithmic: 8 ranks %v, 64 ranks %v", t8, t64)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	const n, root = 7, 3
+	var gathered []any
+	scattered := make([]int, n)
+	err := Run(rt, n, func(r *Rank) {
+		g := r.Gather(root, r.ID()*11, 32)
+		if r.ID() == root {
+			gathered = g
+			out := make([]any, n)
+			for i := range out {
+				out[i] = i * 100
+			}
+			scattered[r.ID()] = r.Scatter(root, out, 32).(int)
+		} else {
+			if g != nil {
+				t.Errorf("rank %d got a gather result", r.ID())
+			}
+			scattered[r.ID()] = r.Scatter(root, nil, 32).(int)
+		}
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range gathered {
+		if v.(int) != i*11 {
+			t.Fatalf("gather[%d] = %v", i, v)
+		}
+	}
+	for i, v := range scattered {
+		if v != i*100 {
+			t.Fatalf("scatter to rank %d = %d", i, v)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	const n = 6
+	results := make([][]any, n)
+	err := Run(rt, n, func(r *Rank) {
+		out := make([]any, n)
+		for j := range out {
+			out[j] = r.ID()*1000 + j // value encodes (src, dst)
+		}
+		results[r.ID()] = r.Alltoall(out, 32)
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for me, res := range results {
+		for src, v := range res {
+			if v.(int) != src*1000+me {
+				t.Fatalf("rank %d slot %d = %v, want %d", me, src, v, src*1000+me)
+			}
+		}
+	}
+}
+
+func TestScatterSizeMismatchPanics(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	err := Run(rt, 3, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Scatter(0, make([]any, 2), 8)
+			return
+		}
+		r.Scatter(0, nil, 8)
+	}, Options{})
+	if err == nil {
+		t.Fatal("mismatched scatter should surface as a rank error")
+	}
+}
+
+func TestNonblockingOverlap(t *testing.T) {
+	// The classic Irecv/compute/Wait overlap: post receives up front,
+	// compute, then wait — the compute and the wire overlap, so the
+	// total time beats the blocking sequence.
+	run := func(nonblocking bool) float64 {
+		rt := charm.New(machine.New(machine.Testbed(4)))
+		if err := Run(rt, 4, func(r *Rank) {
+			peer := r.ID() ^ 1
+			for it := 0; it < 10; it++ {
+				if nonblocking {
+					req := r.Irecv(peer, 5)
+					r.Send(peer, 5, it, 1<<17) // 128 KB
+					r.Charge(50e-6)            // overlapped compute
+					r.Wait(req)
+				} else {
+					r.Send(peer, 5, it, 1<<17)
+					r.Recv(peer, 5)
+					r.Charge(50e-6)
+				}
+			}
+		}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return float64(rt.Now())
+	}
+	blocking := run(false)
+	overlap := run(true)
+	if overlap >= blocking {
+		t.Fatalf("nonblocking overlap did not help: %v vs %v", overlap, blocking)
+	}
+}
+
+func TestTestAndWaitall(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	err := Run(rt, 2, func(r *Rank) {
+		peer := 1 - r.ID()
+		reqs := []*Request{r.Irecv(peer, 1), r.Irecv(peer, 2)}
+		if reqs[0].Test() {
+			t.Error("Test passed before any send")
+		}
+		r.Send(peer, 2, 22, 8)
+		r.Send(peer, 1, 11, 8)
+		r.Waitall(reqs)
+		if v, _ := r.Wait(reqs[0]); v.(int) != 11 {
+			t.Errorf("req[0] = %v", v)
+		}
+		if v, _ := r.Wait(reqs[1]); v.(int) != 22 {
+			t.Errorf("req[1] = %v", v)
+		}
+		// Isend completes immediately.
+		if !r.Isend(peer, 9, 0, 8).Test() {
+			t.Error("Isend request not complete")
+		}
+		r.Recv(peer, 9)
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceToRoot(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	const n, root = 9, 4
+	var got [n]float64
+	err := Run(rt, n, func(r *Rank) {
+		got[r.ID()] = r.Reduce(root, float64(r.ID()+1), charm.SumF64)
+		// Non-roots continue immediately; a barrier proves no deadlock.
+		r.Barrier()
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := 0.0
+		if i == root {
+			want = 45 // 1+2+...+9
+		}
+		if v != want {
+			t.Fatalf("rank %d got %v, want %v", i, v, want)
+		}
+	}
+}

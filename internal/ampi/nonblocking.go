@@ -1,0 +1,63 @@
+package ampi
+
+// Request is a nonblocking-operation handle (MPI_Request). Sends complete
+// eagerly in this model; receives complete when Wait matches a message.
+type Request struct {
+	rank *Rank
+	recv bool
+	src  int
+	tag  int
+	done bool
+	data any
+	from int
+}
+
+// Isend posts a nonblocking send (MPI_Isend). Sends are eager/buffered, so
+// the returned request is already complete; it exists so ported code can
+// keep its Isend/Wait structure.
+func (r *Rank) Isend(dst, tag int, data any, bytes int) *Request {
+	r.Send(dst, tag, data, bytes)
+	return &Request{rank: r, done: true}
+}
+
+// Irecv posts a nonblocking receive (MPI_Irecv): the match is deferred to
+// Wait/Waitall, letting the rank compute while messages arrive.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, recv: true, src: src, tag: tag}
+}
+
+// Test reports whether the request would complete without blocking, and
+// completes it if so (MPI_Test).
+func (req *Request) Test() bool {
+	if req.done {
+		return true
+	}
+	r := req.rank
+	for i, m := range r.mailbox {
+		if matches(m, req.src, req.tag) {
+			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+			req.data, req.from = m.data, m.src
+			req.done = true
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the request completes, returning the payload and
+// source for receives (MPI_Wait).
+func (r *Rank) Wait(req *Request) (any, int) {
+	if req.done {
+		return req.data, req.from
+	}
+	req.data, req.from = r.Recv(req.src, req.tag)
+	req.done = true
+	return req.data, req.from
+}
+
+// Waitall completes every request (MPI_Waitall).
+func (r *Rank) Waitall(reqs []*Request) {
+	for _, req := range reqs {
+		r.Wait(req)
+	}
+}

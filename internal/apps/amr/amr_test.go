@@ -1,0 +1,324 @@
+package amr
+
+import (
+	"math"
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+)
+
+func newRT(pes int) *charm.Runtime {
+	return charm.New(machine.New(machine.Testbed(pes)))
+}
+
+// reference solves the same advection problem on a uniform periodic grid.
+func reference(depth, B, steps int, cfl float64) []float64 {
+	n := B * (1 << depth)
+	h := 1.0 / float64(n)
+	// dt must match the app: stable at MaxDepth (= depth here when the
+	// config pins Min=Max=Start).
+	dt := cfl * h / (velocity[0] + velocity[1] + velocity[2])
+	u := make([]float64, n*n*n)
+	at := func(g []float64, i, j, k int) float64 {
+		return g[((i+n)%n*n+(j+n)%n)*n+(k+n)%n]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				u[(i*n+j)*n+k] = initialU((float64(i)+0.5)*h, (float64(j)+0.5)*h, (float64(k)+0.5)*h)
+			}
+		}
+	}
+	nu := make([]float64, len(u))
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					c := at(u, i, j, k)
+					nu[(i*n+j)*n+k] = c - dt/h*(velocity[0]*(c-at(u, i-1, j, k))+
+						velocity[1]*(c-at(u, i, j-1, k))+
+						velocity[2]*(c-at(u, i, j, k-1)))
+				}
+			}
+		}
+		u, nu = nu, u
+	}
+	return u
+}
+
+func TestUniformMatchesReference(t *testing.T) {
+	const depth, B, steps = 2, 4, 8
+	rt := newRT(4)
+	app, err := New(rt, Config{MinDepth: depth, MaxDepth: depth, StartDepth: depth,
+		BlockSize: B, Steps: steps, RemeshPeriod: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := reference(depth, B, steps, app.cfg.CFL)
+	n := B * (1 << depth)
+	for _, idx := range app.Blocks().Keys() {
+		b := app.Blocks().Get(idx).(*block)
+		x0, y0, z0, _ := idx.Coords()
+		for i := 0; i < B; i++ {
+			for j := 0; j < B; j++ {
+				for k := 0; k < B; k++ {
+					gi, gj, gk := x0*B+i, y0*B+j, z0*B+k
+					got := b.U[(i*B+j)*B+k]
+					want := ref[(gi*n+gj)*n+gk]
+					if math.Abs(got-want) > 1e-12 {
+						t.Fatalf("cell (%d,%d,%d): got %v want %v", gi, gj, gk, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMassConservedUniform(t *testing.T) {
+	rt := newRT(4)
+	res, err := Run(rt, Config{MinDepth: 2, MaxDepth: 2, StartDepth: 2,
+		BlockSize: 4, Steps: 12, RemeshPeriod: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, mN := res.Mass[0], res.Mass[len(res.Mass)-1]
+	if math.Abs(mN-m0) > 1e-12*math.Abs(m0) {
+		t.Fatalf("mass not conserved on uniform mesh: %v -> %v", m0, mN)
+	}
+}
+
+func TestAdaptiveRunRefinesAndConserves(t *testing.T) {
+	rt := newRT(4)
+	res, err := Run(rt, Config{MinDepth: 1, MaxDepth: 3, StartDepth: 2,
+		BlockSize: 4, Steps: 12, RemeshPeriod: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remeshes == 0 {
+		t.Fatal("no remesh happened")
+	}
+	// The Gaussian pulse is steep: the mesh must have refined somewhere.
+	grew := false
+	for i := 1; i < len(res.Blocks); i++ {
+		if res.Blocks[i] != res.Blocks[0] {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("mesh never restructured: %v", res.Blocks)
+	}
+	// Mass approximately conserved across refinement boundaries.
+	m0, mN := res.Mass[0], res.Mass[len(res.Mass)-1]
+	if math.Abs(mN-m0) > 0.05*math.Abs(m0) {
+		t.Fatalf("mass drifted too far: %v -> %v", m0, mN)
+	}
+}
+
+func TestTwoToOneBalanceMaintained(t *testing.T) {
+	rt := newRT(4)
+	app, err := New(rt, Config{MinDepth: 1, MaxDepth: 3, StartDepth: 2,
+		BlockSize: 4, Steps: 12, RemeshPeriod: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// rebuildTopology errors on any 2:1 violation.
+	app.rebuildTopology(false)
+	if app.err != nil {
+		t.Fatal(app.err)
+	}
+	// Depth spread shows actual adaptivity.
+	depths := map[int]int{}
+	for _, idx := range app.Blocks().Keys() {
+		_, _, _, d := idx.Coords()
+		depths[d]++
+	}
+	if len(depths) < 2 {
+		t.Fatalf("mesh is uniform after adaptation: %v", depths)
+	}
+}
+
+func TestDynamicInsertionCreatesImbalanceLBFixesIt(t *testing.T) {
+	run := func(balance bool) float64 {
+		rt := newRT(8)
+		if balance {
+			rt.SetBalancer(lb.Distributed{Seed: 4})
+		}
+		res, err := Run(rt, Config{MinDepth: 1, MaxDepth: 4, StartDepth: 2,
+			BlockSize: 4, Steps: 18, RemeshPeriod: 3, Rebalance: balance,
+			PerCellWork: 60e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := res.StepTimes()
+		sum := 0.0
+		for _, v := range ts[len(ts)-6:] {
+			sum += v
+		}
+		return sum / 6
+	}
+	noLB := run(false)
+	withLB := run(true)
+	if withLB >= noLB {
+		t.Fatalf("DistributedLB did not help: %v vs %v", withLB, noLB)
+	}
+}
+
+func TestCheckpointTimesShrinkWithPEs(t *testing.T) {
+	// Fig 8 right: same mesh, more PEs, faster checkpoint.
+	times := map[int]float64{}
+	for _, pes := range []int{16, 64, 256} {
+		rt := newRT(pes)
+		app, err := New(rt, Config{MinDepth: 2, MaxDepth: 2, StartDepth: 2,
+			BlockSize: 8, Steps: 1, RemeshPeriod: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snap := ckpt.Capture(rt)
+		tm := ckpt.DefaultModel(pes)
+		tm.Base = 1e-4
+		times[pes] = float64(ckpt.DiskCheckpointTime(snap, pes, tm))
+	}
+	if !(times[16] > times[64] && times[64] > times[256]) {
+		t.Fatalf("checkpoint time not shrinking: %v", times)
+	}
+}
+
+func TestBitvecTopologyLocalOps(t *testing.T) {
+	// The §IV-A claim: parent/child/neighbour from local index arithmetic.
+	idx := charm.BitVecFromCoords(3, 1, 2, 2)
+	x, y, z, d := idx.Coords()
+	if x != 3 || y != 1 || z != 2 || d != 2 {
+		t.Fatalf("coords round trip: %d %d %d %d", x, y, z, d)
+	}
+	if idx.Child(5).Parent() != idx {
+		t.Fatal("child/parent inverse broken")
+	}
+}
+
+func TestRejectsOddBlockSize(t *testing.T) {
+	rt := newRT(2)
+	if _, err := New(rt, Config{MinDepth: 1, MaxDepth: 2, BlockSize: 7, Steps: 1}); err == nil {
+		t.Fatal("odd block size should be rejected")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (float64, float64, int) {
+		rt := newRT(4)
+		res, err := Run(rt, Config{MinDepth: 1, MaxDepth: 3, StartDepth: 2,
+			BlockSize: 4, Steps: 9, RemeshPeriod: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed), res.Mass[len(res.Mass)-1], res.Blocks[len(res.Blocks)-1]
+	}
+	t1, m1, b1 := run()
+	t2, m2, b2 := run()
+	if t1 != t2 || m1 != m2 || b1 != b2 {
+		t.Fatalf("nondeterministic: (%v,%v,%d) vs (%v,%v,%d)", t1, m1, b1, t2, m2, b2)
+	}
+}
+
+func TestRemeshUsesConstantCollectives(t *testing.T) {
+	// The §IV-A claim: mesh restructuring needs O(1) global collectives
+	// (quiescence detections) per remesh, not O(depth). Each remesh uses
+	// exactly two QD rounds — decide-wave completion and structural-
+	// change completion — regardless of tree depth.
+	for _, maxDepth := range []int{3, 5} {
+		rt := newRT(4)
+		app, err := New(rt, Config{MinDepth: 1, MaxDepth: maxDepth, StartDepth: 2,
+			BlockSize: 4, Steps: 9, RemeshPeriod: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := app.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Remeshes == 0 {
+			t.Fatal("no remeshes")
+		}
+		perRemesh := float64(rt.Stats.QDRounds) / float64(res.Remeshes)
+		if perRemesh != 2 {
+			t.Fatalf("maxDepth %d: %.1f QD rounds per remesh, want 2 (O(1))",
+				maxDepth, perRemesh)
+		}
+	}
+}
+
+func TestSplitExecutionMatchesStraightRun(t *testing.T) {
+	// The §III-B split-execution property, end to end: 8 steps +
+	// checkpoint + restart on a DIFFERENT PE count + 4 more steps must
+	// reproduce the field of a straight 12-step run exactly (uniform
+	// mesh: the advection update is a pure function of the field).
+	cfg := Config{MinDepth: 2, MaxDepth: 2, StartDepth: 2, BlockSize: 4,
+		RemeshPeriod: 0}
+
+	straight := cfg
+	straight.Steps = 12
+	rtA := newRT(4)
+	appA, err := New(rtA, straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appA.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	first := cfg
+	first.Steps = 8
+	rtB := newRT(4)
+	appB, err := New(rtB, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := appB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ckpt.Capture(rtB)
+
+	second := cfg
+	second.Steps = 4
+	rtC := newRT(16) // restart on 4x the PEs
+	appC, err := RestoreInto(rtC, second, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := appC.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass continuity across the restart (tolerance: the reduction sums
+	// blocks in placement order, which differs across PE counts).
+	mB, mC := resB.Mass[len(resB.Mass)-1], resC.Mass[0]
+	if math.Abs(mC-mB) > 1e-12*math.Abs(mB) {
+		t.Fatalf("mass jumped across restart: %v vs %v", mB, mC)
+	}
+	// Field equality, block by block, bit for bit.
+	for _, idx := range appA.Blocks().Keys() {
+		a := appA.Blocks().Get(idx).(*block)
+		c := appC.Blocks().Get(idx).(*block)
+		if c == nil {
+			t.Fatalf("block %v missing after restart", idx)
+		}
+		for i := range a.U {
+			if a.U[i] != c.U[i] {
+				t.Fatalf("block %v cell %d: straight %v vs split %v",
+					idx, i, a.U[i], c.U[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package lulesh
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+)
+
+func hopperRT(pes int) *charm.Runtime {
+	return charm.New(machine.New(machine.Hopper(pes)))
+}
+
+func small(side int) Config {
+	return Config{RankSide: side, ElemSide: 6, Iters: 6, Seed: 1}
+}
+
+func TestRunsAndComputesDt(t *testing.T) {
+	rt := hopperRT(24)
+	res, err := Run(rt, small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalDt <= 0 {
+		t.Fatalf("dt = %v", res.FinalDt)
+	}
+	if res.TotalEnergy <= 0 {
+		t.Fatalf("energy = %v", res.TotalEnergy)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestShockSpreads(t *testing.T) {
+	// The Sedov energy spike must propagate: after some steps, ranks
+	// other than rank 0 hold energy. Verify via the conserved-ish total
+	// on a longer run and dt dropping below its cap as pressure builds.
+	rt := hopperRT(24)
+	cfg := small(2)
+	cfg.Iters = 20
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalDt >= 1e-2 {
+		t.Fatalf("dt never reacted to the shock: %v", res.FinalDt)
+	}
+}
+
+func TestVirtualizationImprovesCacheBoundRun(t *testing.T) {
+	// Fig 14's heart: same total work on the same PEs; v=8 shrinks each
+	// working set into the node's cache share.
+	elapsed := func(rankSide, pes int) float64 {
+		rt := hopperRT(pes)
+		cfg := Config{RankSide: rankSide, ElemSide: 12, Iters: 4, Seed: 2}
+		// Keep total elements constant: rankSide³ × ElemSide³.
+		res, err := Run(rt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	// 8 ranks of 12³ on 8 PEs (v=1) vs 16³=4096... instead compare same
+	// PEs: 2³ ranks of 12³ (v=1 on 8 PEs) vs 4³ ranks of 6³ (v=8 on 8
+	// PEs) — same 13824 elements.
+	v1 := func() float64 {
+		rt := hopperRT(8)
+		res, err := Run(rt, Config{RankSide: 2, ElemSide: 12, Iters: 4, Seed: 2, Native: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}()
+	v8 := func() float64 {
+		rt := hopperRT(8)
+		res, err := Run(rt, Config{RankSide: 4, ElemSide: 6, Iters: 4, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}()
+	_ = elapsed
+	if v8 >= v1 {
+		t.Fatalf("virtualization did not help: v=1 %.4fs vs v=8 %.4fs", v1, v8)
+	}
+}
+
+func TestMigrationFixesRegionImbalance(t *testing.T) {
+	run := func(lbPeriod int) float64 {
+		rt := hopperRT(8)
+		res, err := Run(rt, Config{RankSide: 4, ElemSide: 6, Iters: 12, Seed: 3,
+			LBPeriod: lbPeriod, Regions: 4, RegionSpread: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	noLB := run(0)
+	withLB := run(4)
+	if withLB >= noLB {
+		t.Fatalf("MPI_Migrate LB did not help: %v vs %v", withLB, noLB)
+	}
+}
+
+func TestNonCubicPECount(t *testing.T) {
+	// The §IV-D.4 feature: 3000-style non-cubic core counts served by a
+	// cubic number of virtual ranks. 27 ranks on 10 PEs here.
+	rt := hopperRT(10)
+	res, err := Run(rt, Config{RankSide: 3, ElemSide: 6, Iters: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Virtualization <= 1 {
+		t.Fatalf("virtualization ratio %v", res.Virtualization)
+	}
+}
+
+func TestNativeVsAMPIOverhead(t *testing.T) {
+	run := func(native bool) float64 {
+		rt := hopperRT(8)
+		res, err := Run(rt, Config{RankSide: 2, ElemSide: 8, Iters: 6, Seed: 5, Native: native})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	native := run(true)
+	ampiRun := run(false)
+	if ampiRun <= native {
+		t.Fatalf("AMPI v=1 should carry a small overhead: native %v vs ampi %v", native, ampiRun)
+	}
+	if ampiRun > native*1.25 {
+		t.Fatalf("AMPI overhead too large: native %v vs ampi %v", native, ampiRun)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		rt := hopperRT(8)
+		res, err := Run(rt, small(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed, res.TotalEnergy
+	}
+	e1, en1 := run()
+	e2, en2 := run()
+	if e1 != e2 || en1 != en2 {
+		t.Fatalf("nondeterministic: (%v,%v) vs (%v,%v)", e1, en1, e2, en2)
+	}
+}

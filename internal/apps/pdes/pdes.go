@@ -1,0 +1,322 @@
+// Package pdes implements the parallel discrete event simulation mini-app
+// of §IV-E: logical processes (LPs) as chares executing timestamped events
+// under the YAWNS windowed conservative protocol, benchmarked with PHOLD.
+//
+// Each YAWNS round has two phases. The window calculation finds, by global
+// reduction, the earliest time any LP could next create an event; lookahead
+// then bounds a window inside which every pending event can execute without
+// being preempted. The execution phase runs those events — each schedules a
+// successor with a random future timestamp on a random LP, so communication
+// is unpredictable fine-grained point-to-point traffic: exactly the
+// workload where the paper leans on over-decomposition (idle LPs cost
+// nothing, the PE runs whichever LP has events), message-driven execution
+// (no posted receives to match), and TRAM (Fig 15b: aggregation hurts at
+// low event density and wins big at high).
+package pdes
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+	"charmgo/internal/pup"
+	"charmgo/internal/tram"
+)
+
+// Config parameterizes a PHOLD run.
+type Config struct {
+	// LPs is the number of logical processes.
+	LPs int
+	// EventsPerLP is the initial event population per LP.
+	EventsPerLP int
+	// Lookahead is the minimum event-to-event delay (the YAWNS window).
+	Lookahead float64
+	// MeanDelay is the mean of the exponential extra delay.
+	MeanDelay float64
+	// EventWork is the compute cost of executing one event.
+	EventWork float64
+	// TargetEvents ends the run once this many events committed.
+	TargetEvents int
+	// UseTram routes events through the aggregation layer.
+	UseTram bool
+	// TramBuf overrides the TRAM buffer threshold.
+	TramBuf int
+	// LBPeriodWindows rebalances the LPs every k YAWNS windows using the
+	// runtime's installed strategy (0 = never). Windows are quiescent
+	// points, so migration is always safe there.
+	LBPeriodWindows int
+	Seed            int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EventsPerLP == 0 {
+		c.EventsPerLP = 32
+	}
+	if c.Lookahead == 0 {
+		c.Lookahead = 1.0
+	}
+	if c.MeanDelay == 0 {
+		c.MeanDelay = 4.0
+	}
+	if c.EventWork == 0 {
+		c.EventWork = 2e-6
+	}
+	if c.TargetEvents == 0 {
+		c.TargetEvents = c.LPs * c.EventsPerLP * 4
+	}
+	return c
+}
+
+// Result reports a run.
+type Result struct {
+	// Committed is the number of events executed.
+	Committed int
+	// Windows is the number of YAWNS rounds.
+	Windows int
+	// Elapsed is the virtual wall time.
+	Elapsed des.Time
+	// EventRate is Committed / Elapsed (events per second, the Fig 15
+	// metric).
+	EventRate float64
+	// MaxVT is the highest virtual (simulation) timestamp executed.
+	MaxVT float64
+}
+
+const (
+	epExecute charm.EP = iota
+	epEvent
+	epReportMin
+)
+
+// tsHeap is a min-heap of event timestamps.
+type tsHeap []float64
+
+func (h tsHeap) Len() int           { return len(h) }
+func (h tsHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h tsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *tsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// lp is one logical process.
+type lp struct {
+	ID    int
+	Q     tsHeap
+	Exec  int64 // events executed
+	RngLo uint64
+	RngHi uint64
+
+	app *App
+}
+
+func (l *lp) Pup(p *pup.Pup) {
+	p.Int(&l.ID)
+	pup.Slice(p, (*[]float64)(&l.Q), (*pup.Pup).Float64)
+	p.Int64(&l.Exec)
+	p.Uint64(&l.RngLo)
+	p.Uint64(&l.RngHi)
+}
+
+// rng is a small deterministic generator carried in the LP state (so it
+// migrates with the LP).
+func (l *lp) rand() float64 {
+	l.RngLo ^= l.RngLo << 13
+	l.RngLo ^= l.RngLo >> 7
+	l.RngLo ^= l.RngLo << 17
+	return float64(l.RngLo%(1<<52)) / float64(uint64(1)<<52)
+}
+
+func (l *lp) randN(n int) int { return int(l.rand()*float64(n)) % n }
+
+func (l *lp) expo(mean float64) float64 {
+	u := l.rand()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -mean * math.Log(u)
+}
+
+// App wires PDES to a runtime.
+type App struct {
+	rt   *charm.Runtime
+	cfg  Config
+	lps  *charm.Array
+	tram *tram.Client
+	res  *Result
+	err  error
+
+	window    float64 // current window end
+	committed int64
+}
+
+// New creates the LP array and the initial PHOLD event population.
+func New(rt *charm.Runtime, cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LPs < 1 {
+		return nil, fmt.Errorf("pdes: need LPs")
+	}
+	a := &App{rt: rt, cfg: cfg, res: &Result{}}
+	handlers := []charm.Handler{
+		epExecute:   a.onExecute,
+		epEvent:     a.onEvent,
+		epReportMin: a.onReportMin,
+	}
+	a.lps = rt.DeclareArray("pdes_lps", func() charm.Chare { return &lp{app: a} },
+		handlers, charm.ArrayOpts{
+			Migratable: true,
+			HomeMap: func(idx charm.Index, numPEs int) int {
+				return idx.I() * numPEs / cfg.LPs // block map: LPs/PE contiguity
+			},
+		})
+	rng := rand.New(rand.NewSource(cfg.Seed*1619 + 11))
+	for i := 0; i < cfg.LPs; i++ {
+		l := &lp{ID: i, RngLo: uint64(rng.Int63()) | 1, app: a}
+		for e := 0; e < cfg.EventsPerLP; e++ {
+			heap.Push(&l.Q, l.expo(cfg.MeanDelay))
+		}
+		a.lps.Insert(charm.Idx1(i), l)
+	}
+	if cfg.UseTram {
+		// A short flush timeout drains the partially filled buffers at
+		// the end of each execution phase (the YAWNS window boundary is
+		// the natural TRAM flush point); the threshold still aggregates
+		// the intra-window burst.
+		topts := tram.Options{FlushTimeout: 1e-4}
+		if cfg.TramBuf > 0 {
+			topts.BufItems = cfg.TramBuf
+		}
+		a.tram = tram.New(rt, a.lps, epEvent, topts)
+	}
+	return a, nil
+}
+
+// LPs exposes the array.
+func (a *App) LPs() *charm.Array { return a.lps }
+
+// TramStats returns the aggregation statistics (zero when TRAM is off).
+func (a *App) TramStats() tram.Stats {
+	if a.tram == nil {
+		return tram.Stats{}
+	}
+	return a.tram.Stats
+}
+
+// Run executes YAWNS rounds until TargetEvents commit.
+func (a *App) Run() (*Result, error) {
+	// Bootstrap: first window from the initial population.
+	a.askMin()
+	a.res.Elapsed = a.rt.Run()
+	if a.err != nil {
+		return nil, a.err
+	}
+	if int(a.committed) < a.cfg.TargetEvents {
+		return nil, fmt.Errorf("pdes: committed %d of %d events", a.committed, a.cfg.TargetEvents)
+	}
+	a.res.Committed = int(a.committed)
+	if a.res.Elapsed > 0 {
+		a.res.EventRate = float64(a.committed) / float64(a.res.Elapsed)
+	}
+	return a.res, nil
+}
+
+// Run is the one-call driver.
+func Run(rt *charm.Runtime, cfg Config) (*Result, error) {
+	app, err := New(rt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return app.Run()
+}
+
+// askMin starts a window calculation: every LP reports its earliest
+// pending timestamp.
+func (a *App) askMin() {
+	a.lps.Broadcast(epReportMin, nil)
+}
+
+func (a *App) onReportMin(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	l := obj.(*lp)
+	l.app = a
+	m := math.Inf(1)
+	if len(l.Q) > 0 {
+		m = l.Q[0]
+	}
+	ctx.Charge(3e-7)
+	ctx.Contribute(m, charm.MinF64, charm.CallbackFunc(0, a.onWindow))
+}
+
+// onWindow receives the global minimum and opens the next window.
+func (a *App) onWindow(ctx *charm.Ctx, result any) {
+	gmin := result.(float64)
+	if int(a.committed) >= a.cfg.TargetEvents || math.IsInf(gmin, 1) {
+		a.res.MaxVT = gmin
+		ctx.Exit()
+		return
+	}
+	a.res.Windows++
+	if a.cfg.LBPeriodWindows > 0 && a.res.Windows%a.cfg.LBPeriodWindows == 0 &&
+		a.rt.Balancer() != nil {
+		a.rt.Rebalance()
+	}
+	a.window = gmin + a.cfg.Lookahead
+	ctx.Broadcast(a.lps, epExecute, a.window, nil)
+	// Execution completion (including events still inside TRAM buffers)
+	// is detected by quiescence, then the next window begins.
+	a.rt.StartQD(charm.CallbackFunc(0, func(ctx *charm.Ctx, _ any) {
+		a.askMin()
+	}))
+}
+
+// onExecute runs every pending event below the window end, scheduling the
+// successor events (PHOLD).
+func (a *App) onExecute(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	l := obj.(*lp)
+	l.app = a
+	w := msg.(float64)
+	for len(l.Q) > 0 && l.Q[0] < w {
+		ts := heap.Pop(&l.Q).(float64)
+		if ts > a.res.MaxVT {
+			a.res.MaxVT = ts
+		}
+		ctx.Charge(a.cfg.EventWork)
+		l.Exec++
+		a.committed++
+		// Successor: random LP, random future time (conservative:
+		// at least Lookahead away).
+		nts := ts + a.cfg.Lookahead + l.expo(a.cfg.MeanDelay)
+		dst := l.randN(a.cfg.LPs)
+		if dst == l.ID {
+			heap.Push(&l.Q, nts)
+			continue
+		}
+		if a.tram != nil {
+			a.tram.Submit(ctx, charm.Idx1(dst), nts)
+		} else {
+			ctx.SendOpt(a.lps, charm.Idx1(dst), epEvent, nts,
+				&charm.SendOpts{Bytes: 32})
+		}
+	}
+}
+
+// onEvent enqueues an incoming event.
+func (a *App) onEvent(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	l := obj.(*lp)
+	l.app = a
+	ts := msg.(float64)
+	if ts < a.window {
+		// Conservative protocol violated — fail loudly.
+		a.err = fmt.Errorf("pdes: event at %v arrived inside open window %v", ts, a.window)
+		ctx.Exit()
+		return
+	}
+	ctx.Charge(2e-7)
+	heap.Push(&l.Q, ts)
+}

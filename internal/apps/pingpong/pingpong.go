@@ -1,0 +1,205 @@
+// Package pingpong implements the pipelined ping benchmark of §III-E
+// (Fig 6): a fixed payload travels from one chare to another split into a
+// tunable number of pipeline messages. Splitting overlaps the sender's
+// packing, the wire, and the receiver's processing — but each extra
+// message costs software overhead, so time-per-step is U-shaped in the
+// pipeline count. The introspective control system registers the count as
+// a control point and converges to the optimum.
+package pingpong
+
+import (
+	"fmt"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/ctrlpoint"
+	"charmgo/internal/pup"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// TotalBytes is the payload per step.
+	TotalBytes int
+	// Steps is the number of ping-pong steps.
+	Steps int
+	// PackPerByte / ProcPerByte are the sender packing and receiver
+	// processing costs, seconds per byte at base frequency.
+	PackPerByte float64
+	ProcPerByte float64
+	// PerChunkCost is the fixed protocol cost each pipeline message pays
+	// on each side (rendezvous handshake, descriptor setup) — the term
+	// that penalizes over-pipelining.
+	PerChunkCost float64
+	// Pipeline bounds and start for the control point.
+	MinPipe, MaxPipe, InitPipe int
+	// FixedPipe pins the pipeline count (no tuning) when > 0.
+	FixedPipe int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalBytes == 0 {
+		c.TotalBytes = 1 << 20
+	}
+	if c.Steps == 0 {
+		c.Steps = 40
+	}
+	if c.PackPerByte == 0 {
+		c.PackPerByte = 0.25e-9
+	}
+	if c.ProcPerByte == 0 {
+		c.ProcPerByte = 0.4e-9
+	}
+	if c.PerChunkCost == 0 {
+		c.PerChunkCost = 5e-6
+	}
+	if c.MinPipe == 0 {
+		c.MinPipe = 1
+	}
+	if c.MaxPipe == 0 {
+		c.MaxPipe = 40
+	}
+	if c.InitPipe == 0 {
+		c.InitPipe = c.MinPipe
+	}
+	return c
+}
+
+// Result records the tuning trajectory.
+type Result struct {
+	// StepTimes[k] is the measured time of step k.
+	StepTimes []float64
+	// PipeValues[k] is the pipeline count used during step k.
+	PipeValues []int
+	// FinalPipe is the converged (or pinned) pipeline count.
+	FinalPipe int
+}
+
+const (
+	epGo charm.EP = iota
+	epChunk
+	epAck
+)
+
+type pinger struct {
+	ID int
+	// Receiver-side reassembly state.
+	Got   int
+	Need  int
+	Bytes int
+}
+
+func (p *pinger) Pup(pp *pup.Pup) {
+	pp.Int(&p.ID)
+	pp.Int(&p.Got)
+	pp.Int(&p.Need)
+	pp.Int(&p.Bytes)
+}
+
+type chunkMsg struct {
+	K     int
+	Bytes int
+}
+
+// Run executes the benchmark on the runtime. The two chares are placed on
+// different nodes so the payload crosses the network.
+func Run(rt *charm.Runtime, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	cs := ctrlpoint.NewSystem()
+	var point *ctrlpoint.Point
+	if cfg.FixedPipe == 0 {
+		point = cs.Register("pipeline_messages", cfg.MinPipe, cfg.MaxPipe, cfg.InitPipe,
+			ctrlpoint.EffectMoreOverlap)
+	}
+	pipe := func() int {
+		if cfg.FixedPipe > 0 {
+			return cfg.FixedPipe
+		}
+		return point.Value()
+	}
+
+	var arr *charm.Array
+	step := 0
+	stepStart := 0.0
+
+	handlers := []charm.Handler{
+		epGo: func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			k := pipe()
+			res.PipeValues = append(res.PipeValues, k)
+			stepStart = float64(ctx.Now())
+			chunk := cfg.TotalBytes / k
+			for i := 0; i < k; i++ {
+				sz := chunk
+				if i == k-1 {
+					sz = cfg.TotalBytes - chunk*(k-1)
+				}
+				ctx.Charge(cfg.PackPerByte*float64(sz) + cfg.PerChunkCost)
+				ctx.SendOpt(arr, charm.Idx1(1), epChunk, chunkMsg{K: k, Bytes: sz},
+					&charm.SendOpts{Bytes: sz})
+			}
+		},
+		epChunk: func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			p := obj.(*pinger)
+			m := msg.(chunkMsg)
+			ctx.Charge(cfg.ProcPerByte*float64(m.Bytes) + cfg.PerChunkCost)
+			p.Got++
+			p.Bytes += m.Bytes
+			p.Need = m.K
+			if p.Got >= p.Need {
+				if p.Bytes != cfg.TotalBytes {
+					panic(fmt.Sprintf("pingpong: reassembled %d of %d bytes", p.Bytes, cfg.TotalBytes))
+				}
+				p.Got, p.Bytes = 0, 0
+				ctx.SendOpt(arr, charm.Idx1(0), epAck, nil, &charm.SendOpts{Bytes: 16})
+			}
+		},
+		epAck: func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			elapsed := float64(ctx.Now()) - stepStart
+			res.StepTimes = append(res.StepTimes, elapsed)
+			if cfg.FixedPipe == 0 {
+				cs.Observe(elapsed)
+			}
+			step++
+			if step >= cfg.Steps {
+				res.FinalPipe = pipe()
+				ctx.Exit()
+				return
+			}
+			ctx.Send(arr, charm.Idx1(0), epGo, nil)
+		},
+	}
+	arr = rt.DeclareArray("ping_pair", func() charm.Chare { return &pinger{} }, handlers,
+		charm.ArrayOpts{})
+	// Opposite corners of the machine: guaranteed different nodes when
+	// the machine has more than one.
+	arr.InsertOn(charm.Idx1(0), &pinger{ID: 0}, 0)
+	arr.InsertOn(charm.Idx1(1), &pinger{ID: 1}, rt.NumPEs()-1)
+
+	arr.Send(charm.Idx1(0), epGo, nil)
+	rt.Run()
+	if len(res.StepTimes) != cfg.Steps {
+		return nil, fmt.Errorf("pingpong: completed %d of %d steps", len(res.StepTimes), cfg.Steps)
+	}
+	return res, nil
+}
+
+// Sweep measures one step time per fixed pipeline count — the underlying
+// curve of Fig 6.
+func Sweep(mk func() *charm.Runtime, cfg Config, counts []int) (map[int]float64, error) {
+	out := map[int]float64{}
+	for _, k := range counts {
+		c := cfg
+		c.FixedPipe = k
+		c.Steps = 5
+		res, err := Run(mk(), c)
+		if err != nil {
+			return nil, err
+		}
+		// Steady-state step time: skip the first (cold) step.
+		sum := 0.0
+		for _, t := range res.StepTimes[1:] {
+			sum += t
+		}
+		out[k] = sum / float64(len(res.StepTimes)-1)
+	}
+	return out, nil
+}

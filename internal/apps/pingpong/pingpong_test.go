@@ -1,0 +1,107 @@
+package pingpong
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+)
+
+func mkRT() *charm.Runtime {
+	return charm.New(machine.New(machine.Stampede(32)))
+}
+
+func TestSweepIsUShaped(t *testing.T) {
+	curve, err := Sweep(mkRT, Config{}, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More pipelining than 1 must help somewhere…
+	if !(curve[4] < curve[1] || curve[8] < curve[1]) {
+		t.Fatalf("pipelining never helped: %v", curve)
+	}
+	// …and extreme pipelining must hurt relative to the best.
+	best := curve[1]
+	for _, v := range curve {
+		if v < best {
+			best = v
+		}
+	}
+	if curve[32] <= best {
+		t.Fatalf("no overhead penalty at k=32: %v", curve)
+	}
+}
+
+func TestTunerConvergesNearSweepOptimum(t *testing.T) {
+	counts := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40}
+	curve, err := Sweep(mkRT, Config{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestK, bestV := 1, curve[1]
+	for _, k := range counts {
+		if curve[k] < bestV {
+			bestK, bestV = k, curve[k]
+		}
+	}
+	res, err := Run(mkRT(), Config{Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalV, ok := curve[res.FinalPipe]
+	if !ok {
+		// Interpolate: accept if within the bracketing counts' values.
+		finalV = bestV * 1.15
+	}
+	if finalV > bestV*1.3 {
+		t.Fatalf("tuner settled at k=%d (%.6fs); sweep optimum k=%d (%.6fs)",
+			res.FinalPipe, finalV, bestK, bestV)
+	}
+	// The tuned trajectory must stabilize: late steps at most slightly
+	// worse than the best observed step.
+	late := res.StepTimes[len(res.StepTimes)-5:]
+	for _, v := range late {
+		if v > bestV*1.5 {
+			t.Fatalf("tuned run did not stabilize: late step %.6f vs optimum %.6f", v, bestV)
+		}
+	}
+}
+
+func TestStepAccounting(t *testing.T) {
+	res, err := Run(mkRT(), Config{Steps: 10, FixedPipe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StepTimes) != 10 || len(res.PipeValues) != 10 {
+		t.Fatalf("step records: %d times, %d pipe values", len(res.StepTimes), len(res.PipeValues))
+	}
+	for i, k := range res.PipeValues {
+		if k != 4 {
+			t.Fatalf("step %d used k=%d with FixedPipe=4", i, k)
+		}
+	}
+	for _, ts := range res.StepTimes {
+		if ts <= 0 {
+			t.Fatal("non-positive step time")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(mkRT(), Config{Steps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mkRT(), Config{Steps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalPipe != b.FinalPipe {
+		t.Fatalf("nondeterministic tuning: %d vs %d", a.FinalPipe, b.FinalPipe)
+	}
+	for i := range a.StepTimes {
+		if a.StepTimes[i] != b.StepTimes[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}

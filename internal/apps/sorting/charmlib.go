@@ -1,0 +1,219 @@
+package sorting
+
+import (
+	"sort"
+
+	"charmgo/internal/ampi"
+	"charmgo/internal/charm"
+	"charmgo/internal/pup"
+)
+
+// CharmSortLib is a Charm-side sorting library module invocable from MPI
+// ranks — the actual §III-G interoperation mechanism the CHARM study used:
+// the MPI application initializes the module (CharmLibInit), hands its keys
+// across the interface function, the module's chares sort with
+// asynchronous messaging and reductions, and control returns to MPI when
+// the result lands back in the rank's mailbox.
+//
+// One sorter chare serves each rank. A sort round runs: local sort →
+// quantile reduction for splitters → direct all-to-all of key segments →
+// local multiway merge → result delivered to the owning rank.
+type CharmSortLib struct {
+	rt  *charm.Runtime
+	env *ampi.Env
+	arr *charm.Array
+	n   int
+	// MergePerKey is the modeled cost of sort/merge work per key.
+	MergePerKey float64
+}
+
+// TagResult is the MPI tag on which ranks receive the library's output.
+const TagResult = 7707
+
+const (
+	epSortInput charm.EP = iota
+	epSplitters
+	epSegment
+)
+
+type sortInput struct {
+	Rank int
+	Keys []uint64
+}
+
+// sorter is the library's chare.
+type sorter struct {
+	ID     int
+	Keys   []uint64
+	Client int
+	// Round state.
+	HaveSplitters bool
+	Splitters     []uint64
+	Runs          [][]uint64
+	GotSegs       int
+	PendingSegs   [][]uint64
+
+	lib *CharmSortLib
+}
+
+func (s *sorter) Pup(p *pup.Pup) {
+	p.Int(&s.ID)
+	p.Uint64s(&s.Keys)
+	p.Int(&s.Client)
+	p.Bool(&s.HaveSplitters)
+	p.Uint64s(&s.Splitters)
+	pup.Slice(p, &s.Runs, (*pup.Pup).Uint64s)
+	p.Int(&s.GotSegs)
+	pup.Slice(p, &s.PendingSegs, (*pup.Pup).Uint64s)
+}
+
+// NewCharmSortLib registers the library's chare array on the runtime: the
+// CharmLibInit step. n must equal the MPI job's rank count.
+func NewCharmSortLib(rt *charm.Runtime, env *ampi.Env, n int, mergePerKey float64) *CharmSortLib {
+	lib := &CharmSortLib{rt: rt, env: env, n: n, MergePerKey: mergePerKey}
+	if mergePerKey == 0 {
+		lib.MergePerKey = 6e-9
+	}
+	handlers := []charm.Handler{
+		epSortInput: lib.onInput,
+		epSplitters: lib.onSplitters,
+		epSegment:   lib.onSegment,
+	}
+	lib.arr = rt.DeclareArray("charm_sort_lib", func() charm.Chare { return &sorter{lib: lib} },
+		handlers, charm.ArrayOpts{
+			Migratable: true,
+			HomeMap: func(idx charm.Index, numPEs int) int {
+				return idx.I() * numPEs / n // co-locate sorter i with rank i
+			},
+		})
+	for i := 0; i < n; i++ {
+		lib.arr.Insert(charm.Idx1(i), &sorter{ID: i, lib: lib})
+	}
+	return lib
+}
+
+// Sort is the interface function MPI rank code calls: it transfers the
+// rank's keys and control to the Charm module and blocks until the module
+// returns the rank's sorted key range.
+func (lib *CharmSortLib) Sort(r *ampi.Rank, keys []uint64) []uint64 {
+	ctx := r.CharmCtx()
+	ctx.SendOpt(lib.arr, charm.Idx1(r.ID()), epSortInput,
+		sortInput{Rank: r.ID(), Keys: keys},
+		&charm.SendOpts{Bytes: len(keys)*8 + 32})
+	out, _ := r.Recv(ampi.AnySource, TagResult)
+	return out.([]uint64)
+}
+
+// onInput sorts locally and joins the splitter reduction.
+func (lib *CharmSortLib) onInput(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	s := obj.(*sorter)
+	s.lib = lib
+	in := msg.(sortInput)
+	s.Client = in.Rank
+	s.Keys = in.Keys
+	sort.Slice(s.Keys, func(i, j int) bool { return s.Keys[i] < s.Keys[j] })
+	ctx.Charge(lib.MergePerKey * float64(len(s.Keys)) * log2f(len(s.Keys)+1))
+
+	// Local quantiles; their cross-sorter average approximates the global
+	// splitters (single reduction, no iteration needed for iid keys).
+	q := make([]float64, lib.n-1)
+	for i := range q {
+		if len(s.Keys) > 0 {
+			q[i] = float64(s.Keys[(i+1)*len(s.Keys)/lib.n])
+		}
+	}
+	ctx.Contribute(q, charm.SumVecF64, charm.CallbackBcast(lib.arr, epSplitters))
+}
+
+// onSplitters partitions the local keys and ships each segment to its
+// destination sorter.
+func (lib *CharmSortLib) onSplitters(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	s := obj.(*sorter)
+	s.lib = lib
+	if lib.n == 1 {
+		lib.finish(s, ctx)
+		return
+	}
+	sums := msg.([]float64)
+	s.Splitters = make([]uint64, lib.n-1)
+	for i, v := range sums {
+		s.Splitters[i] = uint64(v / float64(lib.n))
+	}
+	for i := 1; i < len(s.Splitters); i++ {
+		if s.Splitters[i] < s.Splitters[i-1] {
+			s.Splitters[i] = s.Splitters[i-1]
+		}
+	}
+	s.HaveSplitters = true
+
+	prev := 0
+	for d := 0; d < lib.n; d++ {
+		end := len(s.Keys)
+		if d < len(s.Splitters) {
+			sp := s.Splitters[d]
+			end = sort.Search(len(s.Keys), func(j int) bool { return s.Keys[j] > sp })
+		}
+		if end < prev {
+			end = prev
+		}
+		seg := append([]uint64(nil), s.Keys[prev:end]...)
+		prev = end
+		if d == s.ID {
+			s.Runs = append(s.Runs, seg)
+			continue
+		}
+		ctx.SendOpt(lib.arr, charm.Idx1(d), epSegment, seg,
+			&charm.SendOpts{Bytes: len(seg)*8 + 16})
+	}
+	// Segments that raced ahead of our splitter broadcast.
+	if len(s.PendingSegs) > 0 {
+		pend := s.PendingSegs
+		s.PendingSegs = nil
+		for _, seg := range pend {
+			s.Runs = append(s.Runs, seg)
+			s.GotSegs++
+		}
+	}
+	lib.maybeMerge(s, ctx)
+}
+
+// onSegment collects one peer's key segment.
+func (lib *CharmSortLib) onSegment(obj charm.Chare, ctx *charm.Ctx, msg any) {
+	s := obj.(*sorter)
+	s.lib = lib
+	seg := msg.([]uint64)
+	if !s.HaveSplitters {
+		s.PendingSegs = append(s.PendingSegs, seg)
+		return
+	}
+	s.Runs = append(s.Runs, seg)
+	s.GotSegs++
+	lib.maybeMerge(s, ctx)
+}
+
+func (lib *CharmSortLib) maybeMerge(s *sorter, ctx *charm.Ctx) {
+	if s.GotSegs < lib.n-1 {
+		return
+	}
+	lib.finish(s, ctx)
+}
+
+// finish merges the runs and returns control (and data) to the MPI rank.
+func (lib *CharmSortLib) finish(s *sorter, ctx *charm.Ctx) {
+	total := 0
+	for _, r := range s.Runs {
+		total += len(r)
+	}
+	merged := mergeK(s.Runs)
+	if lib.n == 1 {
+		merged = s.Keys
+	}
+	ctx.Charge(lib.MergePerKey * float64(total) * log2f(len(s.Runs)+1))
+	lib.env.SendToRank(ctx, s.Client, s.Client, TagResult, merged, len(merged)*8)
+	// Reset round state.
+	s.Keys = nil
+	s.Runs = nil
+	s.GotSegs = 0
+	s.HaveSplitters = false
+	s.Splitters = nil
+}

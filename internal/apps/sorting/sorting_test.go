@@ -1,0 +1,184 @@
+package sorting
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+)
+
+func newRT(pes int) *charm.Runtime {
+	return charm.New(machine.New(machine.Testbed(pes)))
+}
+
+func TestBothAlgorithmsSortCorrectly(t *testing.T) {
+	// Run verifies sortedness, boundaries, and the permutation property
+	// internally; an error means the sort is wrong.
+	for _, algo := range []Algo{MergeTree, HistSort} {
+		for _, p := range []int{1, 2, 7, 16} {
+			rt := newRT(max(p, 1))
+			if _, err := Run(rt, Config{Ranks: p, KeysPerRank: 500, Algo: algo, Seed: 3}); err != nil {
+				t.Fatalf("%v with %d ranks: %v", algo, p, err)
+			}
+		}
+	}
+}
+
+func TestHistSortBalancesOutput(t *testing.T) {
+	// The histogram refinement must deliver near-equal key counts even
+	// for the skewed input distribution; the permutation check in Run
+	// covers totals, so here we check timing sanity instead: a wildly
+	// unbalanced all-to-all would blow up the max sort time relative to
+	// the single-rank baseline.
+	rt := newRT(16)
+	res, err := Run(rt, Config{Ranks: 16, KeysPerRank: 2000, Algo: HistSort, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortTime <= 0 || res.ComputeTime <= 0 {
+		t.Fatalf("bad times: %+v", res)
+	}
+}
+
+func TestMergeTreeBottlenecksAtScale(t *testing.T) {
+	// Weak scaling: the merge tree's sort fraction must grow with ranks
+	// while HistSort's stays roughly flat — the Fig 7 crossover.
+	frac := func(algo Algo, p int) float64 {
+		rt := newRT(p)
+		// Per-particle physics dominates a real step; sorting is the
+		// fixed overhead whose growth we are measuring.
+		res, err := Run(rt, Config{Ranks: p, KeysPerRank: 1000, Algo: algo, Seed: 1,
+			ComputePerKey: 2e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SortFraction
+	}
+	mergeSmall, mergeBig := frac(MergeTree, 8), frac(MergeTree, 64)
+	histSmall, histBig := frac(HistSort, 8), frac(HistSort, 64)
+	if mergeBig <= mergeSmall {
+		t.Fatalf("merge-tree fraction did not grow: %.3f -> %.3f", mergeSmall, mergeBig)
+	}
+	if histBig >= mergeBig {
+		t.Fatalf("HistSort (%.3f) should beat merge tree (%.3f) at 64 ranks", histBig, mergeBig)
+	}
+	if histBig > 3*histSmall+0.05 {
+		t.Fatalf("HistSort fraction exploded: %.3f -> %.3f", histSmall, histBig)
+	}
+}
+
+func TestMergeRuns(t *testing.T) {
+	got := mergeRuns([]uint64{1, 3, 5}, []uint64{2, 3, 6, 9})
+	want := []uint64{1, 2, 3, 3, 5, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("merge length %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	if out := mergeRuns(nil, []uint64{4}); len(out) != 1 || out[0] != 4 {
+		t.Fatal("merge with empty run broken")
+	}
+}
+
+func TestMergeK(t *testing.T) {
+	runs := [][]uint64{{5, 9}, {1}, {2, 8}, {3, 4, 7}, {6}}
+	got := mergeK(runs)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("mergeK out of order: %v", got)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("mergeK lost elements: %v", got)
+	}
+	if mergeK(nil) != nil {
+		t.Fatal("mergeK(nil) should be nil")
+	}
+}
+
+func TestMultiStep(t *testing.T) {
+	rt := newRT(8)
+	res, err := Run(rt, Config{Ranks: 8, KeysPerRank: 400, Algo: HistSort, Steps: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		rt := newRT(8)
+		res, err := Run(rt, Config{Ranks: 8, KeysPerRank: 300, Algo: HistSort, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SortTime, res.TotalTime
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%v,%v) vs (%v,%v)", s1, t1, s2, t2)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCharmInteropSortCorrect(t *testing.T) {
+	// The Charm-side library must produce correct results through the
+	// interop interface for assorted rank counts, including 1.
+	for _, p := range []int{1, 2, 8, 16} {
+		rt := newRT(max(p, 1))
+		if _, err := Run(rt, Config{Ranks: p, KeysPerRank: 400, Algo: HistSortCharm, Seed: 11}); err != nil {
+			t.Fatalf("interop sort with %d ranks: %v", p, err)
+		}
+	}
+}
+
+func TestCharmInteropMultiStep(t *testing.T) {
+	rt := newRT(8)
+	res, err := Run(rt, Config{Ranks: 8, KeysPerRank: 500, Algo: HistSortCharm, Steps: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SortTime <= 0 {
+		t.Fatalf("no sort time measured: %+v", res)
+	}
+}
+
+func TestCharmInteropScalesLikeHistSort(t *testing.T) {
+	// The library module's cost should stay in the same regime as the
+	// AMPI histogram sort — far below the merge tree at scale.
+	frac := func(algo Algo) float64 {
+		rt := newRT(64)
+		res, err := Run(rt, Config{Ranks: 64, KeysPerRank: 1000, Algo: algo, Seed: 13,
+			ComputePerKey: 2e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SortFraction
+	}
+	merge := frac(MergeTree)
+	charmLib := frac(HistSortCharm)
+	if charmLib >= merge {
+		t.Fatalf("interop HistSort (%.3f) should beat the merge tree (%.3f)", charmLib, merge)
+	}
+}
+
+func TestAlgoStrings(t *testing.T) {
+	if MergeTree.String() == "" || HistSort.String() == "" || HistSortCharm.String() == "" {
+		t.Fatal("empty algo name")
+	}
+	if HistSort.String() == HistSortCharm.String() {
+		t.Fatal("algo names must differ")
+	}
+}

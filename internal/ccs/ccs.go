@@ -1,0 +1,259 @@
+// Package ccs implements a Converse Client-Server (CCS) interface (§III-D,
+// [17]): a TCP endpoint through which external clients steer a running
+// job — the mechanism the paper uses to deliver shrink/expand requests to
+// LeanMD mid-run ("On a shrink request (sent through CHARM++ CCS
+// mechanism), the RTS reconfigures itself...").
+//
+// Handlers registered by name execute on the simulation goroutine, so they
+// may touch the runtime freely; network goroutines only enqueue requests.
+// The driver interleaves simulation slices with request pumping:
+//
+//	srv := ccs.NewServer(rt)
+//	srv.Register("shrink", ...)
+//	srv.Listen("127.0.0.1:0")
+//	srv.Drive(0.01, func() bool { return rt.Exited() })
+//
+// The wire protocol is one JSON object per line:
+//
+//	→ {"handler":"shrink","args":"128"}
+//	← {"ok":true,"result":"now on 128 PEs"}
+package ccs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+)
+
+// Handler executes one external command on the simulation goroutine.
+type Handler func(args string) (string, error)
+
+// Request is the wire format of a command.
+type Request struct {
+	Handler string `json:"handler"`
+	Args    string `json:"args"`
+}
+
+// Response is the wire format of a reply.
+type Response struct {
+	OK     bool   `json:"ok"`
+	Result string `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+type pending struct {
+	req  Request
+	resp chan Response
+}
+
+// Server is one CCS endpoint bound to a runtime.
+type Server struct {
+	rt *charm.Runtime
+	ln net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	queue    chan pending
+	closed   bool
+	conns    map[net.Conn]bool
+}
+
+// NewServer creates a server for the runtime (not yet listening).
+func NewServer(rt *charm.Runtime) *Server {
+	return &Server{
+		rt:       rt,
+		handlers: map[string]Handler{},
+		queue:    make(chan pending, 64),
+		conns:    map[net.Conn]bool{},
+	}
+}
+
+// Register installs a named handler. Registration is not safe after
+// Listen; install every handler first.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+}
+
+// Listen starts accepting clients on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, disconnects clients, and rejects queued requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	// Reject anything still queued.
+	for {
+		select {
+		case p := <-s.queue:
+			p.resp <- Response{OK: false, Error: "ccs: server closed"}
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		p := pending{req: req, resp: make(chan Response, 1)}
+		select {
+		case s.queue <- p:
+		default:
+			enc.Encode(Response{OK: false, Error: "ccs: request queue full"})
+			continue
+		}
+		if err := enc.Encode(<-p.resp); err != nil {
+			return
+		}
+	}
+}
+
+// Pump executes every queued request on the caller's goroutine (which must
+// be the simulation goroutine) and returns the number handled.
+func (s *Server) Pump() int {
+	n := 0
+	for {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return n
+			}
+			p.resp <- s.dispatch(p.req)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	s.mu.Lock()
+	h, ok := s.handlers[req.Handler]
+	s.mu.Unlock()
+	if !ok {
+		return Response{OK: false, Error: fmt.Sprintf("ccs: no handler %q", req.Handler)}
+	}
+	result, err := h(req.Args)
+	if err != nil {
+		return Response{OK: false, Error: err.Error()}
+	}
+	return Response{OK: true, Result: result}
+}
+
+// Drive runs the simulation in slices of the given virtual duration,
+// pumping external requests between slices, until done() reports true.
+// When the engine has drained and no requests are queued, Drive yields the
+// processor briefly (wall clock) so external clients can connect — this is
+// how a CCS-steered job's main loop waits for commands.
+func (s *Server) Drive(slice des.Time, done func() bool) {
+	eng := s.rt.Engine()
+	for !done() {
+		eng.RunUntil(eng.Now() + slice)
+		if s.Pump() == 0 && eng.Pending() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Client is a minimal CCS client.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a CCS server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), enc: json.NewEncoder(conn)}, nil
+}
+
+// Call sends one request and waits for the reply.
+func (c *Client) Call(handler, args string) (string, error) {
+	if err := c.enc.Encode(Request{Handler: handler, Args: args}); err != nil {
+		return "", err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Result, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }

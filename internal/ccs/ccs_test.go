@@ -1,0 +1,214 @@
+package ccs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/malleable"
+	"charmgo/internal/pup"
+)
+
+type blob struct{ N int64 }
+
+func (b *blob) Pup(p *pup.Pup) { p.Int64(&b.N) }
+
+func newServer(t *testing.T, pes int) (*Server, *charm.Runtime, string) {
+	t.Helper()
+	rt := charm.New(machine.New(machine.Testbed(pes)))
+	srv := NewServer(rt)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, rt, addr
+}
+
+// pumpInBackground drives Pump until the test ends, emulating the
+// simulation main loop.
+func pumpInBackground(t *testing.T, srv *Server) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.Pump()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	t.Cleanup(func() { close(stop); wg.Wait() })
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, _, addr := newServer(t, 4)
+	srv.Register("echo", func(args string) (string, error) {
+		return "hello " + args, nil
+	})
+	pumpInBackground(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("echo", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnknownHandlerAndHandlerError(t *testing.T) {
+	srv, _, addr := newServer(t, 2)
+	srv.Register("fail", func(args string) (string, error) {
+		return "", fmt.Errorf("deliberate: %s", args)
+	})
+	pumpInBackground(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("nope", ""); err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("want no-handler error, got %v", err)
+	}
+	if _, err := c.Call("fail", "x"); err == nil || !strings.Contains(err.Error(), "deliberate: x") {
+		t.Fatalf("want handler error, got %v", err)
+	}
+}
+
+func TestMultipleRequestsOneConnection(t *testing.T) {
+	srv, _, addr := newServer(t, 2)
+	count := 0
+	srv.Register("inc", func(string) (string, error) {
+		count++
+		return strconv.Itoa(count), nil
+	})
+	pumpInBackground(t, srv)
+	c, _ := Dial(addr)
+	defer c.Close()
+	for i := 1; i <= 5; i++ {
+		got, err := c.Call("inc", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != strconv.Itoa(i) {
+			t.Fatalf("call %d returned %s", i, got)
+		}
+	}
+}
+
+func TestShrinkViaCCS(t *testing.T) {
+	// The paper's exact scenario: an external shrink request arrives over
+	// CCS and the RTS reconfigures the running job.
+	srv, rt, addr := newServer(t, 8)
+	rt.SetBalancer(lb.Greedy{})
+	arr := rt.DeclareArray("blobs", func() charm.Chare { return &blob{} },
+		[]charm.Handler{func(obj charm.Chare, ctx *charm.Ctx, msg any) { ctx.Charge(1e-5) }},
+		charm.ArrayOpts{Migratable: true})
+	for i := 0; i < 32; i++ {
+		arr.Insert(charm.Idx1(i), &blob{N: int64(i)})
+	}
+	mgr := malleable.NewManager(rt)
+	srv.Register("shrink", func(args string) (string, error) {
+		n, err := strconv.Atoi(args)
+		if err != nil {
+			return "", err
+		}
+		if err := mgr.Reconfigure(n); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("now on %d PEs", rt.NumPEs()), nil
+	})
+	srv.Register("pes", func(string) (string, error) {
+		return strconv.Itoa(rt.NumPEs()), nil
+	})
+	pumpInBackground(t, srv)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, _ := c.Call("pes", ""); got != "8" {
+		t.Fatalf("initial PEs %s", got)
+	}
+	res, err := c.Call("shrink", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "now on 4 PEs" {
+		t.Fatalf("shrink reply %q", res)
+	}
+	if rt.NumPEs() != 4 {
+		t.Fatalf("runtime still on %d PEs", rt.NumPEs())
+	}
+	for i := 0; i < 32; i++ {
+		if pe := arr.PEOf(charm.Idx1(i)); pe >= 4 {
+			t.Fatalf("element %d left on evacuated PE %d", i, pe)
+		}
+	}
+	if _, err := c.Call("shrink", "0"); err == nil {
+		t.Fatal("invalid shrink should propagate the error to the client")
+	}
+}
+
+func TestDriveIntegratesPumping(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	srv := NewServer(rt)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	handled := make(chan struct{})
+	srv.Register("ping", func(string) (string, error) {
+		close(handled)
+		return "pong", nil
+	})
+	go func() {
+		c, err := Dial(addr)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Call("ping", "")
+	}()
+	done := false
+	go func() {
+		<-handled
+		done = true
+	}()
+	srv.Drive(0.01, func() bool { return done })
+	select {
+	case <-handled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drive never pumped the request")
+	}
+}
+
+func TestCloseRejectsLateClients(t *testing.T) {
+	srv, _, addr := newServer(t, 2)
+	srv.Close()
+	if c, err := Dial(addr); err == nil {
+		defer c.Close()
+		if _, err := c.Call("x", ""); err == nil {
+			t.Fatal("call after Close should fail")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"charmgo/internal/des"
+	"charmgo/internal/pup"
+)
+
+// ArrayOpts configures a chare array at declaration.
+type ArrayOpts struct {
+	// HomeMap overrides the default hash-based home-PE assignment
+	// (§II-D: "Programmers can also define their own scheme").
+	HomeMap func(idx Index, numPEs int) int
+	// UsesAtSync marks the array's elements as participants in the
+	// AtSync load-balancing barrier.
+	UsesAtSync bool
+	// Migratable marks the array's elements as movable by RTS-triggered
+	// rebalancing (Runtime.Rebalance) even without AtSync participation.
+	// UsesAtSync implies Migratable.
+	Migratable bool
+	// TrackComm records the per-destination communication volume of each
+	// element (the communication side of the LB database, §III-A), for
+	// communication-aware strategies. Costs a map per element.
+	TrackComm bool
+	// ResumeEP is the entry method invoked on every element when load
+	// balancing completes (ResumeFromSync).
+	ResumeEP EP
+}
+
+// Array is a chare array: an indexed collection of migratable objects.
+type Array struct {
+	rt       *Runtime
+	id       int
+	name     string
+	factory  func() Chare
+	handlers []Handler
+	opts     ArrayOpts
+
+	elems map[Index]*element
+}
+
+// DeclareArray registers a chare array type: a factory producing empty
+// elements (for migration and restart) and the entry-method table. EP
+// values index into handlers.
+func (rt *Runtime) DeclareArray(name string, factory func() Chare, handlers []Handler, opts ArrayOpts) *Array {
+	if _, dup := rt.arrayNames[name]; dup {
+		panic("charm: duplicate array name " + name)
+	}
+	a := &Array{
+		rt:       rt,
+		id:       len(rt.arrays),
+		name:     name,
+		factory:  factory,
+		handlers: handlers,
+		opts:     opts,
+		elems:    map[Index]*element{},
+	}
+	rt.arrays = append(rt.arrays, a)
+	rt.arrayNames[name] = a
+	for _, p := range rt.pes {
+		p.byArr = append(p.byArr, 0)
+	}
+	return a
+}
+
+// ArrayByName looks up a declared array.
+func (rt *Runtime) ArrayByName(name string) *Array { return rt.arrayNames[name] }
+
+// Arrays returns all declared arrays in declaration order.
+func (rt *Runtime) Arrays() []*Array { return rt.arrays }
+
+// Name returns the array's name.
+func (a *Array) Name() string { return a.name }
+
+// Len returns the number of live elements.
+func (a *Array) Len() int { return len(a.elems) }
+
+// NewElement invokes the array's factory.
+func (a *Array) NewElement() Chare { return a.factory() }
+
+// Insert creates an element at its home PE (bulk construction before or
+// during the run). Use Ctx.Insert for dynamic insertion on a specific PE.
+func (a *Array) Insert(idx Index, obj Chare) {
+	rt := a.rt
+	pe := rt.homePE(elemKey{array: a.id, idx: idx})
+	rt.insertElement(a, idx, obj, pe, false)
+}
+
+// InsertOn creates an element on an explicit PE.
+func (a *Array) InsertOn(idx Index, obj Chare, pe int) {
+	a.rt.insertElement(a, idx, obj, pe, false)
+}
+
+// Get returns the element's state, or nil if it does not exist. This is a
+// simulation-level accessor (checkpointing, verification); application
+// logic should communicate via entry methods.
+func (a *Array) Get(idx Index) Chare {
+	if el, ok := a.elems[idx]; ok {
+		return el.obj
+	}
+	return nil
+}
+
+// PEOf returns the PE currently hosting idx, or -1.
+func (a *Array) PEOf(idx Index) int {
+	if el, ok := a.elems[idx]; ok {
+		return el.pe
+	}
+	return -1
+}
+
+// Keys returns all live indices in deterministic sorted order.
+func (a *Array) Keys() []Index {
+	keys := make([]Index, 0, len(a.elems))
+	for idx := range a.elems {
+		keys = append(keys, idx)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+// Send invokes an entry method from outside any execution (drivers,
+// checkpoint restore); it is stamped at the current virtual time from PE 0.
+func (a *Array) Send(idx Index, ep EP, payload any) {
+	rt := a.rt
+	ctx := rt.newCtx(0, nil)
+	ctx.SendOpt(a, idx, ep, payload, nil)
+	// Driver-level sends do not occupy PE 0.
+}
+
+// Broadcast invokes ep on every element from the driver.
+func (a *Array) Broadcast(ep EP, payload any) {
+	rt := a.rt
+	rt.eng.At(rt.eng.Now(), func() {
+		ctx := rt.newCtx(0, nil)
+		ctx.Broadcast(a, ep, payload, nil)
+		rt.finishExec(ctx, nil)
+	})
+}
+
+// Replace swaps an existing element's state for obj and re-homes it on pe.
+// The fault-tolerance layer uses it to roll elements back to a checkpoint.
+func (a *Array) Replace(idx Index, obj Chare, pe int) {
+	el, ok := a.elems[idx]
+	if !ok {
+		panic("charm: Replace of missing element " + idx.String())
+	}
+	el.obj = obj
+	if el.pe != pe {
+		a.rt.moveElement(el, pe, false)
+	}
+}
+
+// Remove destroys an element from driver context (checkpoint rollback of a
+// post-snapshot insertion).
+func (a *Array) Remove(idx Index) {
+	if el, ok := a.elems[idx]; ok {
+		a.rt.removeElement(el)
+	}
+}
+
+// insertElement registers a new element on pe.
+func (rt *Runtime) insertElement(a *Array, idx Index, obj Chare, pe int, dynamic bool) {
+	key := elemKey{array: a.id, idx: idx}
+	if _, dup := rt.owner[key]; dup {
+		panic("charm: duplicate insert of " + key.String())
+	}
+	el := &element{key: key, obj: obj, pe: pe}
+	a.elems[idx] = el
+	rt.owner[key] = pe
+	p := rt.pes[pe]
+	p.elems[key] = el
+	p.insertSorted(el)
+	p.byArr[a.id]++
+	if a.opts.UsesAtSync {
+		rt.lbTotal++
+	}
+	// Flush messages buffered at home before the element existed.
+	if buffered, ok := rt.pending[key]; ok {
+		delete(rt.pending, key)
+		home := rt.homePE(key)
+		for _, m := range buffered {
+			rt.transmit(m, home, pe, rt.eng.Now())
+		}
+	}
+	_ = dynamic
+}
+
+// removeElement destroys an element.
+func (rt *Runtime) removeElement(el *element) {
+	a := rt.arrays[el.key.array]
+	delete(a.elems, el.key.idx)
+	delete(rt.owner, el.key)
+	p := rt.pes[el.pe]
+	delete(p.elems, el.key)
+	p.removeSorted(el)
+	p.byArr[a.id]--
+	if a.opts.UsesAtSync {
+		rt.lbTotal--
+		if el.atSync {
+			rt.lbArrived--
+		}
+		rt.maybeStartLB()
+	}
+}
+
+// moveElement migrates el to toPE, charging PUP serialization and transfer
+// costs when charge is true.
+func (rt *Runtime) moveElement(el *element, toPE int, charge bool) {
+	from := el.pe
+	if from == toPE {
+		return
+	}
+	size := pup.Size(el.obj) + 64
+	if charge {
+		// Serialize out, transfer, deserialize in.
+		cfg := rt.mach.Config()
+		pupCost := des.Time(float64(size) * 2e-10 * cfg.BaseFreqGHz)
+		src := rt.pes[from]
+		t := rt.eng.Now()
+		if src.busy > t {
+			src.busy = src.busy + pupCost
+		} else {
+			src.busy = t + pupCost
+		}
+		rt.mach.PE(from).BusyTime += pupCost
+	}
+	// Re-home the state. In a real machine the object is packed and
+	// unpacked; we exercise the same PUP path to keep Pup methods honest.
+	data := pup.Pack(el.obj)
+	fresh := rt.arrays[el.key.array].NewElement()
+	if err := pup.Unpack(data, fresh); err != nil {
+		panic(fmt.Sprintf("charm: migration pup of %v failed: %v", el.key, err))
+	}
+	el.obj = fresh
+
+	srcPE := rt.pes[from]
+	delete(srcPE.elems, el.key)
+	srcPE.removeSorted(el)
+	srcPE.byArr[el.key.array]--
+
+	el.pe = toPE
+	dst := rt.pes[toPE]
+	dst.elems[el.key] = el
+	dst.insertSorted(el)
+	dst.byArr[el.key.array]++
+
+	rt.owner[el.key] = toPE // home PE updated during migration (§II-D)
+	rt.Stats.Migrations++
+}

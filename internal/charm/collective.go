@@ -1,0 +1,226 @@
+package charm
+
+// Callback names a continuation for collective operations (reductions,
+// quiescence detection, checkpoints) — the CkCallback of the model.
+type Callback struct {
+	kind int // 0 none, 1 send, 2 bcast, 3 func
+	arr  *Array
+	idx  Index
+	ep   EP
+	fn   func(ctx *Ctx, result any)
+	fnPE int
+}
+
+// CallbackSend delivers the collective's result to one element.
+func CallbackSend(arr *Array, idx Index, ep EP) Callback {
+	return Callback{kind: 1, arr: arr, idx: idx, ep: ep}
+}
+
+// CallbackBcast broadcasts the collective's result to every element of arr.
+func CallbackBcast(arr *Array, ep EP) Callback {
+	return Callback{kind: 2, arr: arr, ep: ep}
+}
+
+// CallbackFunc runs fn on the given PE with the collective's result.
+func CallbackFunc(pe int, fn func(ctx *Ctx, result any)) Callback {
+	return Callback{kind: 3, fn: fn, fnPE: pe}
+}
+
+// fire invokes the callback from the context of the completing execution.
+func (cb Callback) fire(ctx *Ctx, result any) {
+	switch cb.kind {
+	case 1:
+		ctx.Send(cb.arr, cb.idx, cb.ep, result)
+	case 2:
+		ctx.Broadcast(cb.arr, cb.ep, result, nil)
+	case 3:
+		if cb.fnPE == ctx.pe {
+			cb.fn(ctx, result)
+			return
+		}
+		ctx.SendPE(cb.fnPE, ctx.rt.funcPEH, funcMsg{fn: cb.fn, result: result}, nil)
+	}
+}
+
+type funcMsg struct {
+	fn     func(ctx *Ctx, result any)
+	result any
+}
+
+// Reducer combines contributions.
+type Reducer struct {
+	Name  string
+	Merge func(a, b any) any
+}
+
+// Built-in reducers.
+var (
+	SumF64 = Reducer{"sum_f64", func(a, b any) any { return a.(float64) + b.(float64) }}
+	MinF64 = Reducer{"min_f64", func(a, b any) any { return min(a.(float64), b.(float64)) }}
+	MaxF64 = Reducer{"max_f64", func(a, b any) any { return max(a.(float64), b.(float64)) }}
+	SumI64 = Reducer{"sum_i64", func(a, b any) any { return a.(int64) + b.(int64) }}
+	MinI64 = Reducer{"min_i64", func(a, b any) any { return min(a.(int64), b.(int64)) }}
+	MaxI64 = Reducer{"max_i64", func(a, b any) any { return max(a.(int64), b.(int64)) }}
+	AndB   = Reducer{"and", func(a, b any) any { return a.(bool) && b.(bool) }}
+	OrB    = Reducer{"or", func(a, b any) any { return a.(bool) || b.(bool) }}
+
+	// SumVecF64 sums equal-length []float64 contributions elementwise
+	// (histogram reductions). The merge does not mutate its inputs.
+	SumVecF64 = Reducer{"sum_vec_f64", func(a, b any) any {
+		av, bv := a.([]float64), b.([]float64)
+		out := make([]float64, len(av))
+		copy(out, av)
+		for i := range bv {
+			out[i] += bv[i]
+		}
+		return out
+	}}
+)
+
+// ---- broadcast ----
+
+type bcastMsg struct {
+	arr     int
+	ep      EP
+	payload any
+	size    int
+	prio    int64
+}
+
+// Broadcast delivers payload to entry method ep of every element of arr via
+// a spanning tree over the active PEs.
+func (c *Ctx) Broadcast(arr *Array, ep EP, payload any, opts *SendOpts) {
+	size := c.msgSize(payload, opts)
+	var prio int64
+	if opts != nil {
+		prio = opts.Prio
+	}
+	bm := bcastMsg{arr: arr.id, ep: ep, payload: payload, size: size, prio: prio}
+	if c.pe == 0 {
+		c.rt.bcastFanout(c, bm)
+		return
+	}
+	c.SendPE(0, c.rt.bcastPEH, bm, &SendOpts{Bytes: size, Prio: prioControl})
+}
+
+func (rt *Runtime) bcastHandler(ctx *Ctx, msg any) {
+	rt.bcastFanout(ctx, msg.(bcastMsg))
+}
+
+// bcastFanout forwards the broadcast down the PE tree and delivers to local
+// elements.
+func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
+	p := ctx.pe
+	for _, child := range []int{2*p + 1, 2*p + 2} {
+		if child < rt.activePEs {
+			ctx.SendPE(child, rt.bcastPEH, bm, &SendOpts{Bytes: bm.size, Prio: prioControl})
+		}
+	}
+	// Local deliveries: one scheduler message per element.
+	arr := rt.arrays[bm.arr]
+	pe := rt.pes[p]
+	for _, el := range pe.sorted {
+		if el.key.array != bm.arr {
+			continue
+		}
+		rt.inflight++
+		m := &message{
+			dest:    el.key,
+			destPE:  -1,
+			ep:      bm.ep,
+			payload: bm.payload,
+			prio:    bm.prio,
+			size:    bm.size,
+			srcPE:   p,
+		}
+		rt.enqueue(m, p)
+	}
+	_ = arr
+}
+
+// ---- reductions ----
+
+type redKey struct {
+	arr int
+	gen uint64
+}
+
+// redRun tracks one reduction generation. Contributions are counted
+// globally against the element population at the reduction's start, which
+// makes reductions tolerant of element migration mid-stream (the RTS may
+// rebalance, shrink, or expand while a reduction is open); the spanning
+// tree's cost is modeled as a combining-tree latency charged between the
+// final contribution and the callback delivery.
+type redRun struct {
+	key      redKey
+	expected int
+	got      int
+	val      any
+	has      bool
+	reducer  Reducer
+	cb       Callback
+}
+
+// Contribute joins the element's next reduction over its array with the
+// given value; when every element has contributed, the combined result is
+// delivered through cb (which must be identical across contributors).
+// Elements must not be created or destroyed while a generation they
+// participate in is open (dynamic insertion aligns new elements to the
+// creator's generation — see Ctx.Insert).
+func (c *Ctx) Contribute(value any, reducer Reducer, cb Callback) {
+	el := c.elem
+	if el == nil {
+		panic("charm: Contribute outside an array element")
+	}
+	rt := c.rt
+	gen := el.redGen
+	el.redGen++
+	key := redKey{arr: el.key.array, gen: gen}
+	run, ok := rt.reductions[key]
+	if !ok {
+		expected := rt.arrays[key.arr].Len()
+		if expected == 0 {
+			panic("charm: reduction over empty array")
+		}
+		run = &redRun{key: key, expected: expected, reducer: reducer, cb: cb}
+		rt.reductions[key] = run
+	}
+	if run.has {
+		run.val = reducer.Merge(run.val, value)
+	} else {
+		run.val, run.has = value, true
+	}
+	run.got++
+	c.Charge(2e-7) // contribution bookkeeping
+	if run.got < run.expected {
+		return
+	}
+	// Complete: deliver the result after the combining tree's latency.
+	result := run.val
+	fireCB := run.cb
+	delete(rt.reductions, key)
+	rt.eng.At(c.Now()+rt.barrierLatency(), func() {
+		ctx := rt.newCtx(0, nil)
+		fireCB.fire(ctx, result)
+		rt.finishExec(ctx, nil)
+	})
+}
+
+func (rt *Runtime) funcHandler(ctx *Ctx, msg any) {
+	fm := msg.(funcMsg)
+	fm.fn(ctx, fm.result)
+}
+
+func min[T int64 | float64](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max[T int64 | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}

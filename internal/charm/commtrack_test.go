@@ -1,0 +1,104 @@
+package charm_test
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+)
+
+type chatter struct{ N int64 }
+
+func (c *chatter) Pup(p *pup.Pup) { p.Int64(&c.N) }
+
+// TestCommTrackingEndToEnd drives pairs of heavily communicating chares,
+// checks the LB database's communication graph, and verifies that the
+// comm-aware strategy co-locates the partners.
+func TestCommTrackingEndToEnd(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	var arr *charm.Array
+	handlers := []charm.Handler{
+		func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			n := msg.(int)
+			ctx.Charge(1e-5)
+			if n > 0 {
+				// Chat with my pair partner.
+				me := ctx.Index().I()
+				partner := me ^ 1
+				ctx.SendOpt(arr, charm.Idx1(partner), 0, n-1,
+					&charm.SendOpts{Bytes: 4096})
+			}
+		},
+	}
+	arr = rt.DeclareArray("chatters", func() charm.Chare { return &chatter{} },
+		handlers, charm.ArrayOpts{Migratable: true, TrackComm: true})
+	// Scatter partners onto different PEs deliberately.
+	for i := 0; i < 8; i++ {
+		arr.InsertOn(charm.Idx1(i), &chatter{}, i%4)
+	}
+	rt.Boot(func(ctx *charm.Ctx) {
+		for i := 0; i < 8; i += 2 {
+			ctx.Send(arr, charm.Idx1(i), 0, 20)
+		}
+	})
+	rt.Run()
+
+	objs, pes := rt.LBView()
+	if len(objs) != 8 {
+		t.Fatalf("LB view has %d objects", len(objs))
+	}
+	for _, o := range objs {
+		if len(o.Comm) == 0 {
+			t.Fatalf("object %v has no comm edges despite TrackComm", o.Idx)
+		}
+		if o.Comm[0].ToIdx.I() != o.Idx.I()^1 {
+			t.Fatalf("object %v heaviest partner is %v, want %d",
+				o.Idx, o.Comm[0].ToIdx, o.Idx.I()^1)
+		}
+	}
+
+	rt.SetBalancer(lb.CommAware{})
+	rt.Rebalance()
+	for i := 0; i < 8; i += 2 {
+		a, b := arr.PEOf(charm.Idx1(i)), arr.PEOf(charm.Idx1(i+1))
+		if a != b {
+			t.Fatalf("pair (%d,%d) split across PEs %d and %d", i, i+1, a, b)
+		}
+	}
+	// Comm stats are reset after the rebalance.
+	objs, _ = rt.LBView()
+	for _, o := range objs {
+		if len(o.Comm) != 0 {
+			t.Fatal("comm edges not reset after rebalance")
+		}
+	}
+	_ = pes
+}
+
+// TestCommTrackingOffByDefault ensures untracked arrays pay no map cost and
+// report no edges.
+func TestCommTrackingOffByDefault(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	var arr *charm.Array
+	handlers := []charm.Handler{
+		func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			if ctx.Index().I() == 0 {
+				ctx.Send(arr, charm.Idx1(1), 0, nil)
+			}
+		},
+	}
+	arr = rt.DeclareArray("quiet", func() charm.Chare { return &chatter{} },
+		handlers, charm.ArrayOpts{Migratable: true})
+	arr.Insert(charm.Idx1(0), &chatter{})
+	arr.Insert(charm.Idx1(1), &chatter{})
+	arr.Send(charm.Idx1(0), 0, nil)
+	rt.Run()
+	objs, _ := rt.LBView()
+	for _, o := range objs {
+		if len(o.Comm) != 0 {
+			t.Fatal("comm edges recorded without TrackComm")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package charm
+
+import (
+	"charmgo/internal/des"
+	"charmgo/internal/pup"
+)
+
+// Ctx is the execution context of a running entry method (or PE handler).
+// It accumulates the method's modeled compute cost and stamps outgoing
+// messages at the virtual moment they are sent.
+type Ctx struct {
+	rt      *Runtime
+	pe      int
+	elem    *element // nil in PE handlers and the main chare
+	elapsed des.Time // cost accumulated so far in this execution
+	exitReq bool
+}
+
+func (rt *Runtime) newCtx(pe int, el *element) *Ctx {
+	return &Ctx{rt: rt, pe: pe, elem: el}
+}
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// MyPE returns the PE this execution runs on.
+func (c *Ctx) MyPE() int { return c.pe }
+
+// NumPEs returns the active PE count.
+func (c *Ctx) NumPEs() int { return c.rt.activePEs }
+
+// Index returns the executing element's array index.
+func (c *Ctx) Index() Index {
+	if c.elem == nil {
+		return Index{}
+	}
+	return c.elem.key.idx
+}
+
+// Now returns the virtual time at the current point of the execution
+// (event start plus cost charged so far).
+func (c *Ctx) Now() des.Time { return c.rt.eng.Now() + c.elapsed }
+
+// Charge adds compute cost: work is seconds on a dedicated PE at base
+// frequency, scaled by the PE's current speed (DVFS, interference).
+func (c *Ctx) Charge(work float64) {
+	c.elapsed += c.rt.mach.ComputeTime(c.pe, work)
+}
+
+// ChargeWithCache charges work whose working set is ws bytes, applying the
+// node's cache model with the given number of cache sharers.
+func (c *Ctx) ChargeWithCache(work float64, ws int64, sharers int) {
+	c.Charge(work * c.rt.mach.CacheFactor(ws, sharers))
+}
+
+// ChargeSeconds adds an absolute virtual duration, bypassing the speed
+// model (used for fixed protocol costs).
+func (c *Ctx) ChargeSeconds(d des.Time) { c.elapsed += d }
+
+// SetPos records the element's spatial coordinates for geometric load
+// balancers (ORB).
+func (c *Ctx) SetPos(x, y, z float64) {
+	if c.elem != nil {
+		c.elem.pos = [3]float64{x, y, z}
+		c.elem.hasPos = true
+	}
+}
+
+// SendOpts tunes a send.
+type SendOpts struct {
+	// Bytes is the modeled payload size; 0 means the runtime estimates it
+	// (pup.Size for Pupable payloads, a small default otherwise).
+	Bytes int
+	// Prio orders delivery: lower values run first (§IV-C prioritized
+	// messages). Zero is the default priority.
+	Prio int64
+}
+
+func (c *Ctx) msgSize(payload any, opts *SendOpts) int {
+	if opts != nil && opts.Bytes > 0 {
+		return opts.Bytes
+	}
+	if p, ok := payload.(pup.Pupable); ok {
+		return pup.Size(p) + 32
+	}
+	return 64
+}
+
+// Send invokes entry method ep on element idx of arr asynchronously: the
+// caller continues immediately (§II-B).
+func (c *Ctx) Send(arr *Array, idx Index, ep EP, payload any) {
+	c.SendOpt(arr, idx, ep, payload, nil)
+}
+
+// SendOpt is Send with explicit size/priority options.
+func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts) {
+	size := c.msgSize(payload, opts)
+	var prio int64
+	if opts != nil {
+		prio = opts.Prio
+	}
+	dst := c.rt.resolve(c.pe, elemKey{array: arr.id, idx: idx})
+	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, dst))
+	m := &message{
+		dest:    elemKey{array: arr.id, idx: idx},
+		destPE:  -1,
+		ep:      ep,
+		payload: payload,
+		prio:    prio,
+		size:    size,
+		srcPE:   c.pe,
+	}
+	if c.elem != nil {
+		c.elem.msgsSent++
+		c.elem.bytesSent += uint64(size)
+		if c.rt.arrays[c.elem.key.array].opts.TrackComm {
+			if c.elem.comm == nil {
+				c.elem.comm = map[elemKey]uint64{}
+			}
+			c.elem.comm[m.dest] += uint64(size)
+		}
+	}
+	c.rt.send(m, c.Now())
+}
+
+// SendPE invokes a PE-level handler on the destination PE.
+func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
+	size := c.msgSize(payload, opts)
+	var prio int64
+	if opts != nil {
+		prio = opts.Prio
+	}
+	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, pe))
+	m := &message{
+		destPE:  pe,
+		ep:      EP(h),
+		payload: payload,
+		prio:    prio,
+		size:    size,
+		srcPE:   c.pe,
+	}
+	c.rt.send(m, c.Now())
+}
+
+// LocalInvoke runs an entry method on a local element synchronously within
+// this execution (no messaging cost beyond the handler's own charges). It
+// is the escape hatch libraries use for PE-local work; it panics if the
+// element is not on this PE.
+func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
+	key := elemKey{array: arr.id, idx: idx}
+	el, ok := c.rt.pes[c.pe].elems[key]
+	if !ok {
+		panic("charm: LocalInvoke on non-local element " + key.String())
+	}
+	sub := c.rt.newCtx(c.pe, el)
+	arr.handlers[ep](el.obj, sub, payload)
+	c.elapsed += sub.elapsed
+	if sub.exitReq {
+		c.exitReq = true
+	}
+}
+
+// Exit requests job termination (CkExit): the engine stops after this
+// event completes.
+func (c *Ctx) Exit() { c.exitReq = true }
+
+// AtSync enters the load-balancing barrier (§III-A AtSync mode): the
+// element pauses until the runtime has rebalanced and delivers
+// ResumeFromSync (the array's ResumeEP).
+func (c *Ctx) AtSync() {
+	el := c.elem
+	if el == nil {
+		panic("charm: AtSync outside an array element")
+	}
+	arr := c.rt.arrays[el.key.array]
+	if !arr.opts.UsesAtSync {
+		panic("charm: AtSync on array declared without UsesAtSync: " + arr.name)
+	}
+	if el.atSync {
+		return
+	}
+	el.atSync = true
+	c.rt.lbArrived++
+	c.rt.maybeStartLB()
+}
+
+// Migrate requests migration of the executing element to a specific PE
+// (CkMigrateMe). The move happens after the current method returns.
+func (c *Ctx) Migrate(toPE int) {
+	el := c.elem
+	if el == nil {
+		panic("charm: Migrate outside an array element")
+	}
+	rt := c.rt
+	from := el.pe
+	if toPE == from {
+		return
+	}
+	rt.eng.At(c.Now(), func() { rt.moveElement(el, toPE, true) })
+}
+
+// Insert creates a new element of arr with the given initial state on this
+// PE (dynamic insertion, used by AMR when refining). Messages already
+// buffered at the element's home are flushed to it. The new element joins
+// the creating element's current reduction generation, so in-progress and
+// future reductions stay aligned across restructuring.
+func (c *Ctx) Insert(arr *Array, idx Index, obj Chare) {
+	c.rt.insertElement(arr, idx, obj, c.pe, true)
+	if c.elem != nil {
+		if el, ok := c.rt.pes[c.pe].elems[elemKey{array: arr.id, idx: idx}]; ok {
+			el.redGen = c.elem.redGen
+		}
+	}
+}
+
+// Destroy removes element idx of arr, which must live on this PE (used by
+// AMR when coarsening). Destroying the executing element is allowed; the
+// current method finishes normally.
+func (c *Ctx) Destroy(arr *Array, idx Index) {
+	key := elemKey{array: arr.id, idx: idx}
+	el, ok := c.rt.pes[c.pe].elems[key]
+	if !ok {
+		panic("charm: Destroy of non-local element " + key.String())
+	}
+	c.rt.removeElement(el)
+}

@@ -1,0 +1,354 @@
+package charm
+
+import (
+	"sort"
+
+	"charmgo/internal/des"
+	"charmgo/internal/pup"
+)
+
+// LBObject is one migratable object as seen by a load-balancing strategy:
+// its instrumented load, its size (migration cost), and optional spatial
+// coordinates for geometric strategies.
+type LBObject struct {
+	Array  *Array
+	Idx    Index
+	PE     int
+	Load   float64 // speed-normalized seconds since the previous LB
+	Bytes  int
+	Pos    [3]float64
+	HasPos bool
+	Msgs   uint64
+	SentB  uint64
+	// Comm lists per-destination communication volumes (populated for
+	// TrackComm arrays), sorted heaviest-first.
+	Comm []CommEdge
+}
+
+// CommEdge is one edge of the instrumented communication graph.
+type CommEdge struct {
+	ToArray *Array
+	ToIdx   Index
+	Bytes   uint64
+}
+
+// LBPE is one PE as seen by a strategy.
+type LBPE struct {
+	ID int
+	// Speed is the PE's measured relative performance (DVFS level and
+	// external interference folded in), 1.0 being a dedicated PE at base
+	// frequency. Strategies divide load by Speed when placing objects.
+	Speed float64
+}
+
+// Migration is one strategy decision.
+type Migration struct {
+	Array *Array
+	Idx   Index
+	ToPE  int
+}
+
+// Strategy computes a new object mapping; implementations live in
+// internal/lb.
+type Strategy interface {
+	Name() string
+	Balance(objs []LBObject, pes []LBPE) []Migration
+}
+
+// StrategyCostModeler optionally refines the modeled decision time of a
+// strategy; the default is a centralized O(n log n) model.
+type StrategyCostModeler interface {
+	DecisionCost(nObjs, nPEs int) float64
+}
+
+// LBReport summarizes one completed load-balancing round for introspection
+// (MetaLB, tests, the control system).
+type LBReport struct {
+	Round       int
+	Time        des.Time // when the LB completed
+	Duration    des.Time // barrier + decision + migration span
+	NumObjs     int
+	NumMoved    int
+	MaxLoad     float64 // before, speed-adjusted
+	AvgLoad     float64 // before
+	MaxLoadPost float64 // strategy's predicted post-balance max
+}
+
+// SetBalancer installs the LB strategy invoked at AtSync barriers. A nil
+// strategy makes AtSync a pure barrier (NoLB baselines).
+func (rt *Runtime) SetBalancer(s Strategy) { rt.balancer = s }
+
+// Balancer returns the installed strategy.
+func (rt *Runtime) Balancer() Strategy { return rt.balancer }
+
+// OnLB registers a listener called after every LB round.
+func (rt *Runtime) OnLB(fn func(LBReport)) { rt.lbListener = fn }
+
+// LBRounds returns the number of completed LB rounds.
+func (rt *Runtime) LBRounds() int { return rt.lbCount }
+
+// PauseLB suspends AtSync processing (used during shrink/expand
+// reconfiguration).
+func (rt *Runtime) PauseLB(paused bool) {
+	rt.lbPaused = paused
+	if !paused {
+		rt.maybeStartLB()
+	}
+}
+
+// StallActivePEs advances every active PE's busy horizon to at least t,
+// modeling a global protocol (reconfiguration, restart) during which no
+// application work proceeds.
+func (rt *Runtime) StallActivePEs(t des.Time) {
+	for p := 0; p < rt.activePEs; p++ {
+		if rt.pes[p].busy < t {
+			rt.pes[p].busy = t
+		}
+	}
+}
+
+// Rebalance runs the installed strategy immediately from driver context,
+// outside the AtSync protocol — the RTS-triggered balancing used by
+// shrink/expand and the cloud experiments. It returns the report and the
+// modeled duration, which has already been applied as a global stall.
+func (rt *Runtime) Rebalance() LBReport {
+	objs, pes := rt.LBView()
+	start := rt.MaxBusy()
+	decision := 0.0
+	var migs []Migration
+	if rt.balancer != nil {
+		migs = rt.balancer.Balance(objs, pes)
+		if cm, ok := rt.balancer.(StrategyCostModeler); ok {
+			decision = cm.DecisionCost(len(objs), len(pes))
+		} else {
+			n := float64(len(objs))
+			decision = 2e-4 + 2e-7*n*float64(log2ceil(len(objs)+1))
+		}
+	}
+	maxXfer := des.Time(0)
+	moved := 0
+	for _, mg := range migs {
+		el, ok := mg.Array.elems[mg.Idx]
+		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs {
+			continue
+		}
+		size := pup.Size(el.obj) + 64
+		xfer := rt.mach.NetDelay(el.pe, mg.ToPE, size) +
+			rt.mach.SendOverhead(el.pe) + rt.mach.RecvOverhead(mg.ToPE)
+		if xfer > maxXfer {
+			maxXfer = xfer
+		}
+		rt.moveElement(el, mg.ToPE, false)
+		moved++
+	}
+	dur := des.Time(decision) + maxXfer + rt.barrierLatency()
+	rt.StallActivePEs(start + dur)
+	rep := rt.summarize(objs, pes, start, dur, moved)
+	rt.lbCount++
+	rt.Stats.LBInvocations++
+	for p := 0; p < rt.activePEs; p++ {
+		for _, el := range rt.pes[p].sorted {
+			el.load = 0
+			el.comm = nil
+		}
+	}
+	if rt.lbListener != nil {
+		rt.lbListener(rep)
+	}
+	return rep
+}
+
+// ResetLoadStats zeroes the per-object instrumentation window.
+func (rt *Runtime) ResetLoadStats() {
+	for _, p := range rt.pes {
+		for _, el := range p.sorted {
+			el.load = 0
+			el.msgsSent = 0
+			el.bytesSent = 0
+			el.comm = nil
+		}
+	}
+}
+
+// maybeStartLB fires the LB step once every AtSync element has arrived.
+func (rt *Runtime) maybeStartLB() {
+	if rt.lbPaused || rt.lbInProgress || rt.lbTotal == 0 || rt.lbArrived < rt.lbTotal {
+		return
+	}
+	rt.lbInProgress = true
+	// The barrier completes when the slowest PE drains, plus a tree
+	// reduction to detect it.
+	t := rt.MaxBusy() + rt.barrierLatency()
+	rt.eng.At(t, rt.runLB)
+}
+
+// LBView builds the strategy's view of the current objects and PEs.
+func (rt *Runtime) LBView() ([]LBObject, []LBPE) {
+	var objs []LBObject
+	for p := 0; p < rt.activePEs; p++ {
+		for _, el := range rt.pes[p].sorted {
+			arr := rt.arrays[el.key.array]
+			if !arr.opts.UsesAtSync && !arr.opts.Migratable {
+				continue
+			}
+			o := LBObject{
+				Array:  arr,
+				Idx:    el.key.idx,
+				PE:     p,
+				Load:   float64(el.load),
+				Bytes:  pup.Size(el.obj) + 64,
+				Pos:    el.pos,
+				HasPos: el.hasPos,
+				Msgs:   el.msgsSent,
+				SentB:  el.bytesSent,
+			}
+			if len(el.comm) > 0 {
+				for dst, bytes := range el.comm {
+					o.Comm = append(o.Comm, CommEdge{
+						ToArray: rt.arrays[dst.array],
+						ToIdx:   dst.idx,
+						Bytes:   bytes,
+					})
+				}
+				sort.Slice(o.Comm, func(i, j int) bool {
+					if o.Comm[i].Bytes != o.Comm[j].Bytes {
+						return o.Comm[i].Bytes > o.Comm[j].Bytes
+					}
+					return o.Comm[i].ToIdx.Less(o.Comm[j].ToIdx)
+				})
+			}
+			objs = append(objs, o)
+		}
+	}
+	pes := make([]LBPE, rt.activePEs)
+	base := rt.mach.Config().BaseFreqGHz
+	for p := range pes {
+		pes[p] = LBPE{ID: p, Speed: rt.mach.PE(p).Speed(base)}
+	}
+	return objs, pes
+}
+
+// runLB executes one AtSync load-balancing round: gather the instrumented
+// view, run the strategy, migrate, and resume every element.
+func (rt *Runtime) runLB() {
+	objs, pes := rt.LBView()
+	start := rt.eng.Now()
+
+	var migs []Migration
+	decision := 0.0
+	if rt.balancer != nil {
+		migs = rt.balancer.Balance(objs, pes)
+		if cm, ok := rt.balancer.(StrategyCostModeler); ok {
+			decision = cm.DecisionCost(len(objs), len(pes))
+		} else {
+			n := float64(len(objs))
+			decision = 2e-4 + 2e-7*n*float64(log2ceil(len(objs)+1))
+		}
+	}
+
+	// Apply migrations; the span of the transfer phase is the max cost of
+	// any single move (they proceed in parallel across PEs).
+	maxXfer := des.Time(0)
+	moved := 0
+	for _, mg := range migs {
+		el, ok := mg.Array.elems[mg.Idx]
+		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs {
+			continue
+		}
+		size := pup.Size(el.obj) + 64
+		xfer := rt.mach.NetDelay(el.pe, mg.ToPE, size) +
+			rt.mach.SendOverhead(el.pe) + rt.mach.RecvOverhead(mg.ToPE)
+		if xfer > maxXfer {
+			maxXfer = xfer
+		}
+		rt.moveElement(el, mg.ToPE, false)
+		moved++
+	}
+
+	report := rt.summarize(objs, pes, start, des.Time(decision)+maxXfer, moved)
+
+	resumeAt := start + des.Time(decision) + maxXfer + rt.barrierLatency()
+	rt.eng.At(resumeAt, func() {
+		rt.lbInProgress = false
+		rt.lbCount++
+		rt.Stats.LBInvocations++
+		// Reset instrumentation for the next interval and resume.
+		for p := 0; p < rt.activePEs; p++ {
+			pe := rt.pes[p]
+			for _, el := range pe.sorted {
+				arr := rt.arrays[el.key.array]
+				if !arr.opts.UsesAtSync || !el.atSync {
+					continue
+				}
+				el.atSync = false
+				rt.lbArrived--
+				el.load = 0
+				el.msgsSent = 0
+				el.bytesSent = 0
+				el.comm = nil
+				rt.inflight++
+				m := &message{
+					dest:   el.key,
+					destPE: -1,
+					ep:     arr.opts.ResumeEP,
+					srcPE:  p,
+					size:   16,
+				}
+				rt.enqueue(m, p)
+			}
+		}
+		if rt.lbListener != nil {
+			rt.lbListener(report)
+		}
+	})
+}
+
+func (rt *Runtime) summarize(objs []LBObject, pes []LBPE, start, dur des.Time, moved int) LBReport {
+	loadPer := make([]float64, len(pes))
+	for _, o := range objs {
+		loadPer[o.PE] += o.Load
+	}
+	maxL, avg := 0.0, 0.0
+	for p, l := range loadPer {
+		eff := l
+		if pes[p].Speed > 0 {
+			eff = l / pes[p].Speed
+		}
+		if eff > maxL {
+			maxL = eff
+		}
+		avg += eff
+	}
+	if len(pes) > 0 {
+		avg /= float64(len(pes))
+	}
+	// Post-balance prediction.
+	post := make([]float64, len(pes))
+	for _, o := range objs {
+		pe := o.PE
+		if el, ok := o.Array.elems[o.Idx]; ok {
+			pe = el.pe
+		}
+		post[pe] += o.Load
+	}
+	maxPost := 0.0
+	for p, l := range post {
+		eff := l
+		if pes[p].Speed > 0 {
+			eff = l / pes[p].Speed
+		}
+		if eff > maxPost {
+			maxPost = eff
+		}
+	}
+	return LBReport{
+		Round:       rt.lbCount,
+		Time:        start,
+		Duration:    dur,
+		NumObjs:     len(objs),
+		NumMoved:    moved,
+		MaxLoad:     maxL,
+		AvgLoad:     avg,
+		MaxLoadPost: maxPost,
+	}
+}

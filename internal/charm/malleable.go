@@ -1,0 +1,32 @@
+package charm
+
+// SetActivePEs reconfigures the job to run on the first n PEs (§III-D
+// malleability). On shrink, elements on evacuated PEs migrate to their new
+// home PEs; on expand, the new PEs become eligible targets and the next
+// load-balancing round spreads work onto them. Location caches are flushed
+// because home assignments depend on the active PE count.
+//
+// The timing of the shrink/expand protocol (evacuation transfers, process
+// restart, reconnection) is modeled by internal/malleable; this method is
+// the instantaneous reconfiguration primitive it builds on.
+func (rt *Runtime) SetActivePEs(n int) {
+	if n < 1 || n > len(rt.pes) {
+		panic("charm: active PE count out of range")
+	}
+	old := rt.activePEs
+	rt.activePEs = n
+	if n < old {
+		// Evacuate chares from the removed PEs (§III-D: "evacuate chares
+		// from nodes which would be removed").
+		for p := n; p < old; p++ {
+			pe := rt.pes[p]
+			for len(pe.sorted) > 0 {
+				el := pe.sorted[0]
+				rt.moveElement(el, rt.homePE(el.key), false)
+			}
+		}
+	}
+	for _, pe := range rt.pes {
+		clear(pe.locCache)
+	}
+}

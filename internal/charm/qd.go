@@ -1,0 +1,54 @@
+package charm
+
+import "charmgo/internal/des"
+
+// qdState is one armed quiescence detection.
+type qdState struct {
+	cb    Callback
+	fired bool
+}
+
+// StartQD arms quiescence detection (CkStartQD): cb fires once no
+// application messages are in flight or queued anywhere. The completion is
+// charged the cost of the two-wave counting collective the real RTS runs —
+// this is what makes AMR mesh restructuring O(1) collectives instead of
+// O(depth) (§IV-A.4).
+func (rt *Runtime) StartQD(cb Callback) {
+	st := &qdState{cb: cb}
+	rt.qdWatch = append(rt.qdWatch, st)
+	rt.checkQD()
+}
+
+// QDLatency returns the modeled cost of the two counting waves.
+func (rt *Runtime) QDLatency() des.Time {
+	return 2 * rt.barrierLatency()
+}
+
+// checkQD fires any armed detections when the system is quiescent.
+func (rt *Runtime) checkQD() {
+	if len(rt.qdWatch) == 0 || rt.inflight > 0 {
+		return
+	}
+	watches := rt.qdWatch
+	rt.qdWatch = nil
+	fireAt := rt.MaxBusy() + rt.QDLatency()
+	for _, st := range watches {
+		st := st
+		rt.eng.At(fireAt, func() {
+			if st.fired {
+				return
+			}
+			// Re-verify: activity may have restarted during the wave
+			// (a timer or driver injected new work); if so, re-arm.
+			if rt.inflight > 0 {
+				rt.qdWatch = append(rt.qdWatch, st)
+				return
+			}
+			st.fired = true
+			rt.Stats.QDRounds++
+			ctx := rt.newCtx(0, nil)
+			st.cb.fire(ctx, nil)
+			rt.finishExec(ctx, nil)
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package charm
+
+import "container/heap"
+
+// message is one asynchronous entry-method invocation in flight or queued.
+type message struct {
+	dest    elemKey // element target (when pe < 0 is not used)
+	destPE  int     // PE target for PE-level handlers; -1 for element target
+	ep      EP
+	payload any
+	prio    int64 // lower value = higher priority (Charm++ convention)
+	size    int   // modeled bytes on the wire
+	srcPE   int
+	seq     uint64 // FIFO tie-break within a priority level
+	hops    int    // location-manager forwarding hops taken so far
+}
+
+// msgQueue is a priority queue ordered by (prio, seq): the PE scheduler
+// always picks the highest-priority (lowest value), oldest message —
+// message-driven execution.
+type msgQueue []*message
+
+func (q msgQueue) Len() int { return len(q) }
+func (q msgQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q msgQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *msgQueue) Push(x any)   { *q = append(*q, x.(*message)) }
+func (q *msgQueue) Pop() any {
+	old := *q
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return m
+}
+
+func (q *msgQueue) push(m *message) { heap.Push(q, m) }
+func (q *msgQueue) pop() *message   { return heap.Pop(q).(*message) }

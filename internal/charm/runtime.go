@@ -1,0 +1,521 @@
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"charmgo/internal/des"
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+)
+
+// EP identifies an entry method of a chare array (an index into the handler
+// table passed to DeclareArray).
+type EP int
+
+// PEH identifies a PE-level handler registered with DeclarePEHandler.
+type PEH int
+
+// Chare is the interface chare state implements: serializable so the RTS
+// can migrate and checkpoint it.
+type Chare interface {
+	pup.Pupable
+}
+
+// Handler is the body of an entry method: it receives the chare, an
+// execution context, and the message payload.
+type Handler func(obj Chare, ctx *Ctx, msg any)
+
+// PEHandler is a PE-level handler (no chare target); TRAM and the
+// collective trees use these.
+type PEHandler func(ctx *Ctx, msg any)
+
+type elemKey struct {
+	array int
+	idx   Index
+}
+
+func (k elemKey) String() string { return fmt.Sprintf("arr%d%v", k.array, k.idx) }
+
+// element is the runtime-side record of one chare-array element.
+type element struct {
+	key elemKey
+	obj Chare
+	pe  int
+
+	// Instrumentation (the automatic load database of §III-A).
+	load      des.Time // measured compute since last LB, speed-normalized
+	totalLoad des.Time
+	msgsSent  uint64
+	bytesSent uint64
+	comm      map[elemKey]uint64 // bytes per destination (TrackComm arrays)
+	pos       [3]float64
+	hasPos    bool
+
+	atSync bool   // element has called AtSync and awaits ResumeFromSync
+	redGen uint64 // reduction generation counter
+}
+
+type peState struct {
+	id   int
+	q    msgQueue
+	seq  uint64 // enqueue sequence for FIFO tie-breaks
+	busy des.Time
+	// pumpAt is the time of the scheduled dequeue event, or -1 when none.
+	pumpAt des.Time
+
+	elems  map[elemKey]*element
+	sorted []*element // deterministic iteration order
+	byArr  []int      // live element count per array id
+
+	locCache map[elemKey]int
+}
+
+func (p *peState) insertSorted(el *element) {
+	i := sort.Search(len(p.sorted), func(i int) bool {
+		e := p.sorted[i]
+		if e.key.array != el.key.array {
+			return e.key.array > el.key.array
+		}
+		return !e.key.idx.Less(el.key.idx)
+	})
+	p.sorted = append(p.sorted, nil)
+	copy(p.sorted[i+1:], p.sorted[i:])
+	p.sorted[i] = el
+}
+
+func (p *peState) removeSorted(el *element) {
+	for i, e := range p.sorted {
+		if e == el {
+			p.sorted = append(p.sorted[:i], p.sorted[i+1:]...)
+			return
+		}
+	}
+}
+
+// Runtime is the adaptive RTS: it owns the machine, the event engine, the
+// chare arrays, and the location manager.
+type Runtime struct {
+	eng  *des.Engine
+	mach *machine.Machine
+
+	pes        []*peState
+	arrays     []*Array
+	arrayNames map[string]*Array
+	peHandlers []PEHandler
+
+	// Location authority: the home PE of key k is homePE(k); the runtime
+	// keeps global truth in owner (what the home PE "knows") and buffers
+	// messages for not-yet-created elements at their home.
+	owner   map[elemKey]int
+	pending map[elemKey][]*message
+
+	// In-flight application messages, for quiescence detection.
+	inflight int
+	qdWatch  []*qdState
+
+	// Collective state.
+	reductions map[redKey]*redRun
+	bcastPEH   PEH
+	funcPEH    PEH
+	mcastPEH   PEH
+
+	// Load balancing (AtSync protocol).
+	balancer     Strategy
+	lbTotal      int // elements in AtSync arrays
+	lbArrived    int
+	lbInProgress bool
+	lbCount      int // completed LB rounds
+	lbListener   func(LBReport)
+	lbPaused     bool
+
+	// Malleability: PEs >= activePEs are evacuated and receive no work.
+	activePEs int
+
+	exited bool
+	booted bool
+	Stats  RuntimeStats
+}
+
+// RuntimeStats aggregates counters for introspection, tests, and the
+// control system.
+type RuntimeStats struct {
+	MsgsSent      uint64
+	BytesSent     uint64
+	MsgsForwarded uint64 // location-manager forwards (cache misses)
+	MsgsDelivered uint64
+	Migrations    uint64
+	LBInvocations uint64
+	QDRounds      uint64   // quiescence detections completed
+	EntryTime     des.Time // total virtual compute across PEs
+}
+
+// New creates a runtime over a machine.
+func New(m *machine.Machine) *Runtime {
+	rt := &Runtime{
+		eng:        des.NewEngine(),
+		mach:       m,
+		arrayNames: map[string]*Array{},
+		owner:      map[elemKey]int{},
+		pending:    map[elemKey][]*message{},
+		reductions: map[redKey]*redRun{},
+		activePEs:  m.NumPEs(),
+	}
+	rt.bcastPEH = rt.DeclarePEHandler(rt.bcastHandler)
+	rt.funcPEH = rt.DeclarePEHandler(rt.funcHandler)
+	rt.mcastPEH = rt.DeclarePEHandler(rt.mcastHandler)
+	rt.pes = make([]*peState, m.NumPEs())
+	for i := range rt.pes {
+		rt.pes[i] = &peState{
+			id:       i,
+			pumpAt:   -1,
+			elems:    map[elemKey]*element{},
+			locCache: map[elemKey]int{},
+		}
+	}
+	return rt
+}
+
+// Engine exposes the event engine (for timers, the power controller, and
+// tests).
+func (rt *Runtime) Engine() *des.Engine { return rt.eng }
+
+// Machine returns the machine the runtime executes on.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// NumPEs returns the number of currently active PEs (§III-D malleability:
+// shrink reduces this without restarting the job).
+func (rt *Runtime) NumPEs() int { return rt.activePEs }
+
+// MaxPEs returns the machine's physical PE count.
+func (rt *Runtime) MaxPEs() int { return len(rt.pes) }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() des.Time { return rt.eng.Now() }
+
+// homePE maps an element to its home PE: the PE responsible for knowing its
+// current location (§II-D Scalable Location Management).
+func (rt *Runtime) homePE(k elemKey) int {
+	arr := rt.arrays[k.array]
+	if arr.opts.HomeMap != nil {
+		return arr.opts.HomeMap(k.idx, rt.activePEs)
+	}
+	return int(k.idx.Hash() % uint64(rt.activePEs))
+}
+
+// DeclarePEHandler registers a PE-level handler and returns its id.
+func (rt *Runtime) DeclarePEHandler(h PEHandler) PEH {
+	rt.peHandlers = append(rt.peHandlers, h)
+	return PEH(len(rt.peHandlers) - 1)
+}
+
+// Boot runs fn as the main chare on PE 0 at the current virtual time,
+// before or during execution.
+func (rt *Runtime) Boot(fn func(ctx *Ctx)) {
+	rt.booted = true
+	rt.eng.At(rt.eng.Now(), func() {
+		ctx := rt.newCtx(0, nil)
+		fn(ctx)
+		rt.finishExec(ctx, nil)
+	})
+}
+
+// Run executes the simulation until no events remain or Exit is called,
+// returning the time the machine drained (the busy horizon of the slowest
+// PE, which can extend past the last event's start time).
+func (rt *Runtime) Run() des.Time {
+	rt.eng.Run()
+	end := rt.eng.Now()
+	for _, p := range rt.pes {
+		if p.busy > end {
+			end = p.busy
+		}
+	}
+	return end
+}
+
+// Exited reports whether Exit was called.
+func (rt *Runtime) Exited() bool { return rt.exited }
+
+// exit stops the engine after the current event.
+func (rt *Runtime) exit() {
+	rt.exited = true
+	rt.eng.Stop()
+}
+
+// ---- send / deliver / execute ----
+
+const (
+	prioControl = int64(-1) << 40 // collective-tree and RTS control traffic
+	prioDefault = int64(0)
+)
+
+// send routes m, whose send-side costs have already been charged, stamping
+// it onto the wire at time t.
+func (rt *Runtime) send(m *message, t des.Time) {
+	rt.Stats.MsgsSent++
+	rt.Stats.BytesSent += uint64(m.size)
+	if m.destPE < 0 {
+		rt.inflight++ // element-targeted app message: QD-counted
+		dst := rt.resolve(m.srcPE, m.dest)
+		rt.transmit(m, m.srcPE, dst, t)
+		return
+	}
+	rt.transmit(m, m.srcPE, m.destPE, t)
+}
+
+// resolve consults the sender's location cache, falling back to the home PE
+// guess.
+func (rt *Runtime) resolve(srcPE int, k elemKey) int {
+	p := rt.pes[srcPE]
+	if el, ok := p.elems[k]; ok {
+		return el.pe // local delivery
+	}
+	if pe, ok := p.locCache[k]; ok && pe < rt.activePEs {
+		return pe
+	}
+	return rt.homePE(k)
+}
+
+// transmit moves m from PE src to PE dst over the network and enqueues it.
+func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
+	arrival := rt.mach.Transmit(src, dst, m.size, t)
+	rt.eng.At(arrival, func() { rt.arrive(m, dst) })
+}
+
+// arrive lands m on PE dst: element messages that miss are forwarded via
+// the home PE (location-manager protocol); PE messages are enqueued as is.
+func (rt *Runtime) arrive(m *message, dst int) {
+	if m.destPE >= 0 {
+		rt.enqueue(m, dst)
+		return
+	}
+	p := rt.pes[dst]
+	if _, ok := p.elems[m.dest]; ok {
+		rt.enqueue(m, dst)
+		return
+	}
+	// Cache miss: the element is not here.
+	home := rt.homePE(m.dest)
+	if dst != home {
+		// Forward to home, which always knows the current location.
+		m.hops++
+		rt.Stats.MsgsForwarded++
+		rt.transmit(m, dst, home, rt.eng.Now())
+		return
+	}
+	if ownerPE, ok := rt.owner[m.dest]; ok {
+		// Home forwards to the owner and updates the sender's cache so
+		// future sends go direct.
+		m.hops++
+		rt.Stats.MsgsForwarded++
+		rt.pes[m.srcPE].locCache[m.dest] = ownerPE
+		rt.transmit(m, dst, ownerPE, rt.eng.Now())
+		return
+	}
+	// Element does not exist yet: buffer at home until insertion.
+	rt.pending[m.dest] = append(rt.pending[m.dest], m)
+}
+
+// enqueue places m in dst's scheduler queue and pumps the PE.
+func (rt *Runtime) enqueue(m *message, dst int) {
+	p := rt.pes[dst]
+	m.seq = p.seq
+	p.seq++
+	p.q.push(m)
+	rt.pump(p)
+}
+
+// pump schedules the PE's next dequeue if it is not already scheduled.
+func (rt *Runtime) pump(p *peState) {
+	if p.pumpAt >= 0 || len(p.q) == 0 {
+		return
+	}
+	t := rt.eng.Now()
+	if p.busy > t {
+		t = p.busy
+	}
+	p.pumpAt = t
+	rt.eng.At(t, func() { rt.runOne(p) })
+}
+
+// runOne executes the highest-priority queued message on p.
+func (rt *Runtime) runOne(p *peState) {
+	p.pumpAt = -1
+	if len(p.q) == 0 {
+		return
+	}
+	m := p.q.pop()
+	ctx := rt.newCtx(p.id, nil)
+	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
+
+	if m.destPE >= 0 {
+		rt.peHandlers[m.ep](ctx, m.payload)
+		rt.finishExec(ctx, nil)
+		rt.checkQD()
+		rt.pump(p)
+		return
+	}
+
+	el, ok := p.elems[m.dest]
+	if !ok {
+		// The element migrated away between enqueue and execution:
+		// re-route through the location manager. The message stays
+		// in flight, so quiescence counters are untouched.
+		m.hops++
+		rt.Stats.MsgsForwarded++
+		rt.transmit(m, p.id, rt.homePE(m.dest), rt.eng.Now())
+		rt.pump(p)
+		return
+	}
+	ctx.elem = el
+	arr := rt.arrays[m.dest.array]
+	handler := arr.handlers[m.ep]
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(fmt.Sprintf("charm: entry method %d of %s%v on PE %d at t=%.6fs: %v",
+					m.ep, arr.name, m.dest.idx, p.id, float64(rt.eng.Now()), r))
+			}
+		}()
+		handler(el.obj, ctx, m.payload)
+	}()
+	rt.inflight--
+	rt.Stats.MsgsDelivered++
+	rt.finishExec(ctx, el)
+	rt.checkQD()
+	rt.pump(p)
+}
+
+// finishExec charges the context's accumulated cost to the PE and element.
+func (rt *Runtime) finishExec(ctx *Ctx, el *element) {
+	p := rt.pes[ctx.pe]
+	start := rt.eng.Now()
+	end := start + ctx.elapsed
+	if end > p.busy {
+		p.busy = end
+	}
+	rt.mach.PE(ctx.pe).BusyTime += ctx.elapsed
+	rt.Stats.EntryTime += ctx.elapsed
+	if el != nil {
+		// Speed-normalize so LB strategies see intrinsic object load even
+		// on slowed (DVFS/interference) PEs.
+		sp := rt.mach.PE(ctx.pe).Speed(rt.mach.Config().BaseFreqGHz)
+		norm := des.Time(float64(ctx.elapsed) * sp)
+		el.load += norm
+		el.totalLoad += norm
+	}
+	if ctx.exitReq {
+		rt.exit()
+	}
+}
+
+// BusyUntil returns when PE p finishes its current work.
+func (rt *Runtime) BusyUntil(p int) des.Time { return rt.pes[p].busy }
+
+// MaxBusy returns the latest busy horizon across active PEs — the earliest
+// time a global barrier could complete.
+func (rt *Runtime) MaxBusy() des.Time {
+	var m des.Time
+	for _, p := range rt.pes[:rt.activePEs] {
+		if p.busy > m {
+			m = p.busy
+		}
+	}
+	if now := rt.eng.Now(); now > m {
+		m = now
+	}
+	return m
+}
+
+// IncInflight registers library-managed application work (e.g. TRAM data
+// items riding inside aggregated messages) with the quiescence detector.
+func (rt *Runtime) IncInflight(n int) { rt.inflight += n }
+
+// DecInflight retires library-managed work and re-checks quiescence.
+func (rt *Runtime) DecInflight(n int) {
+	rt.inflight -= n
+	rt.checkQD()
+}
+
+// ExecuteOnPE schedules fn to run on PE pe after delay, as a normal
+// scheduler message (it queues behind the PE's current work). Transport
+// libraries use it for flush timers.
+func (rt *Runtime) ExecuteOnPE(pe int, delay des.Time, fn func(ctx *Ctx)) {
+	rt.eng.After(delay, func() {
+		m := &message{
+			destPE:  pe,
+			ep:      EP(rt.funcPEH),
+			payload: funcMsg{fn: func(ctx *Ctx, _ any) { fn(ctx) }},
+			prio:    prioControl,
+			size:    16,
+			srcPE:   pe,
+		}
+		rt.enqueue(m, pe)
+	})
+}
+
+// ProbablePE returns fromPE's best guess of where element idx of arr lives
+// (location cache, falling back to the home PE) — what a sender knows
+// without querying.
+func (rt *Runtime) ProbablePE(arr *Array, idx Index, fromPE int) int {
+	return rt.resolve(fromPE, elemKey{array: arr.id, idx: idx})
+}
+
+// barrierLatency models an optimized tree barrier/reduction over the active
+// PEs.
+func (rt *Runtime) barrierLatency() des.Time {
+	cfg := rt.mach.Config()
+	depth := log2ceil(rt.activePEs)
+	return des.Time(float64(depth) * (cfg.Alpha + cfg.SendOverhead + cfg.RecvOverhead))
+}
+
+// Diagnose summarizes the runtime's live state — queued and in-flight
+// messages, a stuck AtSync barrier, open reductions — for debugging a run
+// that stalled or deadlocked.
+func (rt *Runtime) Diagnose() string {
+	queued := 0
+	busiest, busiestPE := 0, -1
+	for _, p := range rt.pes {
+		queued += len(p.q)
+		if len(p.q) > busiest {
+			busiest, busiestPE = len(p.q), p.id
+		}
+	}
+	s := fmt.Sprintf("t=%.6fs: %d msgs in flight, %d queued", float64(rt.eng.Now()), rt.inflight, queued)
+	if busiestPE >= 0 {
+		s += fmt.Sprintf(" (deepest queue: PE %d with %d)", busiestPE, busiest)
+	}
+	if rt.lbTotal > 0 {
+		s += fmt.Sprintf("; AtSync barrier %d/%d arrived", rt.lbArrived, rt.lbTotal)
+		if rt.lbInProgress {
+			s += " (LB in progress)"
+		}
+	}
+	if n := len(rt.reductions); n > 0 {
+		s += fmt.Sprintf("; %d open reductions:", n)
+		// Deterministic order for test friendliness.
+		keys := make([]redKey, 0, n)
+		for k := range rt.reductions {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].arr != keys[j].arr {
+				return keys[i].arr < keys[j].arr
+			}
+			return keys[i].gen < keys[j].gen
+		})
+		for _, k := range keys {
+			run := rt.reductions[k]
+			s += fmt.Sprintf(" %s gen %d (%d/%d contributed)",
+				rt.arrays[k.arr].name, k.gen, run.got, run.expected)
+		}
+	}
+	if n := len(rt.qdWatch); n > 0 {
+		s += fmt.Sprintf("; %d armed quiescence detections", n)
+	}
+	if n := len(rt.pending); n > 0 {
+		s += fmt.Sprintf("; %d messages buffered for uncreated elements", n)
+	}
+	return s
+}

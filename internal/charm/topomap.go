@@ -1,0 +1,43 @@
+package charm
+
+import "charmgo/internal/machine"
+
+// TopoMap3D builds a topology-aware home map for a 3-D chare grid of
+// cx×cy×cz elements: neighbouring chares land on neighbouring torus nodes,
+// so nearest-neighbour ghost traffic travels few hops. Topology-aware
+// mapping is one of the §III-E control points ("topology aware mapping
+// scheme"); Charm++ ships it as the TopoManager.
+//
+// The 3-D chare grid is scaled onto the machine's (up to 3-D) node torus;
+// chares that share the scaled node cell spread round-robin over its PEs.
+func TopoMap3D(m *machine.Machine, cx, cy, cz int) func(Index, int) int {
+	dims := m.TorusDims()
+	for len(dims) < 3 {
+		dims = append(dims, 1)
+	}
+	perNode := m.Config().PEsPerNode
+	return func(idx Index, numPEs int) int {
+		i, j, k := idx.I(), idx.J(), idx.K()
+		// Scale each chare coordinate onto the torus axis.
+		nc := []int{
+			i * dims[0] / max3(cx, 1),
+			j * dims[1] / max3(cy, 1),
+			k * dims[2] / max3(cz, 1),
+		}
+		node := m.NodeAt(nc[:len(m.TorusDims())])
+		// Fold the sub-node position onto the node's PEs.
+		sub := (i*31 + j*17 + k*7) % perNode
+		pe := node*perNode + sub
+		if pe >= numPEs {
+			pe %= numPEs
+		}
+		return pe
+	}
+}
+
+func max3(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

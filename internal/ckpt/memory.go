@@ -1,0 +1,116 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+	"charmgo/internal/pup"
+)
+
+// Mem implements the double in-memory checkpointing of FTC-Charm++
+// (§III-B): each PE keeps a checkpoint of its own chares in local memory
+// and a copy of its buddy PE's checkpoint. When a PE fails, a replacement
+// PE receives the buddy copy and every PE rolls back to the last
+// checkpoint, so execution continues without touching the file system.
+type Mem struct {
+	rt    *charm.Runtime
+	model TimeModel
+
+	snap *Snapshot // the logical content of the distributed checkpoints
+
+	// Checkpoints and Restarts count completed operations.
+	Checkpoints int
+	Restarts    int
+}
+
+// NewMem creates the in-memory checkpointer for a runtime.
+func NewMem(rt *charm.Runtime) *Mem {
+	return &Mem{rt: rt, model: DefaultModel(rt.NumPEs())}
+}
+
+// SetModel overrides the timing model.
+func (m *Mem) SetModel(tm TimeModel) { m.model = tm }
+
+// Buddy returns the PE holding pe's remote checkpoint copy.
+func (m *Mem) Buddy(pe int) int { return (pe + 1) % m.rt.NumPEs() }
+
+// Checkpoint takes a double in-memory checkpoint (CkStartMemCheckpoint)
+// and returns its modeled duration: every PE serializes its elements and
+// ships a copy to its buddy, in parallel, followed by a barrier.
+func (m *Mem) Checkpoint() des.Time {
+	m.snap = Capture(m.rt)
+	m.Checkpoints++
+	per := m.snap.perPEBytes(m.rt.NumPEs())
+	var worst float64
+	for _, b := range per {
+		t := float64(b)/m.model.SerializeBW + float64(b)/m.model.MemBW
+		if t > worst {
+			worst = t
+		}
+	}
+	return des.Time(m.model.Base/3 + worst + m.model.Barrier)
+}
+
+// HasCheckpoint reports whether a checkpoint exists to recover from.
+func (m *Mem) HasCheckpoint() bool { return m.snap != nil }
+
+// FailAndRecover simulates the hard failure of a PE and the recovery
+// protocol: a replacement PE takes the failed PE's identity, its chares are
+// reconstructed from the buddy's copy, and every other chare rolls back to
+// the last checkpoint. It returns the modeled restart duration.
+//
+// Restart uses several consistency barriers, which is why its cost grows
+// with PE count even as per-PE data shrinks (Fig 10).
+func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
+	if m.snap == nil {
+		return 0, fmt.Errorf("ckpt: no in-memory checkpoint to recover from")
+	}
+	if failedPE < 0 || failedPE >= m.rt.NumPEs() {
+		return 0, fmt.Errorf("ckpt: failed PE %d out of range", failedPE)
+	}
+	m.Restarts++
+
+	// Roll every element back to the checkpoint, placing it on its
+	// checkpoint-time PE (the replacement inherits the failed PE's id).
+	for _, as := range m.snap.Arrays {
+		arr := m.rt.ArrayByName(as.Name)
+		if arr == nil {
+			return 0, fmt.Errorf("ckpt: recover: array %q not declared", as.Name)
+		}
+		inSnap := map[charm.Index]bool{}
+		for _, es := range as.Elems {
+			inSnap[es.Idx] = true
+			obj := arr.NewElement()
+			if err := pup.Unpack(es.Data, obj); err != nil {
+				return 0, fmt.Errorf("ckpt: recover %s%v: %w", as.Name, es.Idx, err)
+			}
+			if arr.Get(es.Idx) != nil {
+				arr.Replace(es.Idx, obj, es.PE)
+			} else {
+				arr.InsertOn(es.Idx, obj, es.PE)
+			}
+		}
+		// Elements created after the checkpoint are rolled away.
+		for _, idx := range arr.Keys() {
+			if !inSnap[idx] {
+				arr.Remove(idx)
+			}
+		}
+	}
+
+	// Timing: the buddy streams the failed PE's checkpoint to the
+	// replacement; everyone else restores locally; then several barriers
+	// re-establish a consistent state.
+	per := m.snap.perPEBytes(m.rt.NumPEs())
+	failedBytes := float64(per[failedPE])
+	var worstLocal float64
+	for _, b := range per {
+		if t := float64(b) / m.model.SerializeBW; t > worstLocal {
+			worstLocal = t
+		}
+	}
+	buddyStream := failedBytes/m.model.MemBW + failedBytes/m.model.SerializeBW
+	barriers := 4*m.model.Barrier + m.model.CoordPerPE*float64(m.rt.NumPEs())/8
+	return des.Time(m.model.Base/2 + worstLocal + buddyStream + barriers), nil
+}

@@ -1,0 +1,91 @@
+package ckpt
+
+import "math"
+
+// OptimalPeriod returns Young's approximation of the checkpoint interval
+// that minimizes expected run time: sqrt(2 · C · MTBF), where C is the
+// checkpoint cost and MTBF the mean time between failures. "Fault
+// tolerance frequency" is one of the §III-E control points; this gives the
+// control system its starting value.
+func OptimalPeriod(checkpointCost, mtbf float64) float64 {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * checkpointCost * mtbf)
+}
+
+// ExpectedRunTime models the wall time of a job with useful work W,
+// checkpoint cost C every T seconds, restart cost R, and exponential
+// failures at rate 1/MTBF — the first-order model behind Young's formula:
+// the job pays one checkpoint per period, and each failure costs the
+// restart plus on average half a period of recomputation.
+func ExpectedRunTime(work, period, checkpointCost, restartCost, mtbf float64) float64 {
+	if period <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	// Wall time spent on work + checkpoints.
+	base := work * (1 + checkpointCost/period)
+	// Expected failures over that span, each losing restart + half a
+	// period (plus the in-progress checkpoint fraction, folded in).
+	failures := base / mtbf
+	lost := failures * (restartCost + period/2 + checkpointCost/2)
+	return base + lost
+}
+
+// SimulateFailures replays a job with deterministic pseudo-random failure
+// times and returns the actual wall time — the empirical counterpart used
+// to validate the model (and, through it, Young's period).
+func SimulateFailures(work, period, checkpointCost, restartCost, mtbf float64, seed int64) float64 {
+	// xorshift for deterministic exponential samples.
+	s := uint64(seed)*2685821657736338717 + 1
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		u := float64(s%(1<<52)) / float64(uint64(1)<<52)
+		if u <= 0 {
+			u = 1e-12
+		}
+		return -mtbf * math.Log(u)
+	}
+	wall := 0.0
+	doneWork := 0.0  // work safely checkpointed
+	sinceCkpt := 0.0 // work since the last checkpoint
+	failAt := next() // wall time of the next failure
+	for doneWork+sinceCkpt < work {
+		// Advance to the next interesting instant: checkpoint or failure.
+		toCkpt := period - sinceCkpt
+		remaining := work - doneWork - sinceCkpt
+		if remaining < toCkpt {
+			toCkpt = remaining
+		}
+		if wall+toCkpt >= failAt {
+			// Failure strikes: lose the uncheckpointed work.
+			progressed := failAt - wall
+			if progressed > 0 {
+				sinceCkpt += progressed
+			}
+			wall = failAt + restartCost
+			sinceCkpt = 0
+			failAt = wall + next()
+			continue
+		}
+		wall += toCkpt
+		sinceCkpt += toCkpt
+		if doneWork+sinceCkpt >= work {
+			break
+		}
+		// Take a checkpoint (a failure during it loses the period too;
+		// approximate by exposing the checkpoint to the failure clock).
+		if wall+checkpointCost >= failAt {
+			wall = failAt + restartCost
+			sinceCkpt = 0
+			failAt = wall + next()
+			continue
+		}
+		wall += checkpointCost
+		doneWork += sinceCkpt
+		sinceCkpt = 0
+	}
+	return wall
+}

@@ -1,0 +1,87 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimalPeriodFormula(t *testing.T) {
+	// sqrt(2 * 30 * 21600) = sqrt(1296000) ≈ 1138.4
+	got := OptimalPeriod(30, 6*3600)
+	if math.Abs(got-1138.42) > 0.1 {
+		t.Fatalf("Young period %v", got)
+	}
+	if !math.IsInf(OptimalPeriod(0, 100), 1) || !math.IsInf(OptimalPeriod(10, 0), 1) {
+		t.Fatal("degenerate inputs should disable checkpointing")
+	}
+}
+
+func TestModelIsUShapedWithMinNearYoung(t *testing.T) {
+	const (
+		work = 100 * 3600.0
+		c    = 60.0
+		r    = 300.0
+		mtbf = 4 * 3600.0
+	)
+	young := OptimalPeriod(c, mtbf)
+	best, bestT := math.Inf(1), 0.0
+	var first, last float64
+	for _, mult := range []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 4, 10, 20} {
+		T := young * mult
+		e := ExpectedRunTime(work, T, c, r, mtbf)
+		if mult == 0.05 {
+			first = e
+		}
+		if mult == 20 {
+			last = e
+		}
+		if e < best {
+			best, bestT = e, T
+		}
+	}
+	if bestT < young/2-1 || bestT > young*2+1 {
+		t.Fatalf("model minimum at %v, Young says %v", bestT, young)
+	}
+	if first <= best || last <= best {
+		t.Fatalf("model not U-shaped: ends %v/%v, min %v", first, last, best)
+	}
+}
+
+func TestSimulationAgreesWithModel(t *testing.T) {
+	const (
+		work = 50 * 3600.0
+		c    = 45.0
+		r    = 180.0
+		mtbf = 2 * 3600.0
+	)
+	young := OptimalPeriod(c, mtbf)
+	mean := func(T float64) float64 {
+		sum := 0.0
+		const runs = 40
+		for seed := int64(1); seed <= runs; seed++ {
+			sum += SimulateFailures(work, T, c, r, mtbf, seed)
+		}
+		return sum / runs
+	}
+	atYoung := mean(young)
+	tooOften := mean(young / 10)
+	tooRare := mean(young * 10)
+	if atYoung >= tooOften || atYoung >= tooRare {
+		t.Fatalf("Young period not near-optimal: young %v, 0.1x %v, 10x %v",
+			atYoung, tooOften, tooRare)
+	}
+	// The analytic model tracks the simulation within ~15%.
+	model := ExpectedRunTime(work, young, c, r, mtbf)
+	if rel := math.Abs(model-atYoung) / atYoung; rel > 0.15 {
+		t.Fatalf("model %v vs simulation %v (%.0f%% off)", model, atYoung, rel*100)
+	}
+}
+
+func TestSimulationNoFailures(t *testing.T) {
+	// With an astronomically large MTBF, wall time = work + checkpoints.
+	got := SimulateFailures(1000, 100, 5, 50, 1e15, 3)
+	want := 1000 + 9*5.0 // 9 interior checkpoints (the last period ends the job)
+	if math.Abs(got-want) > 5+1e-9 {
+		t.Fatalf("failure-free wall %v, want about %v", got, want)
+	}
+}

@@ -1,0 +1,52 @@
+// Package cloud models the HPC-in-cloud environment of §IV-F: static
+// heterogeneity (physically different or frequency-capped nodes) and
+// dynamic heterogeneity from multi-tenant interference — VMs of other users
+// arriving on and departing from the job's physical nodes mid-run.
+package cloud
+
+import (
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+)
+
+// SlowNode applies static heterogeneity: node n runs at factor × its base
+// frequency (the Grid'5000 experiment caps one node at 0.7×).
+func SlowNode(rt *charm.Runtime, node int, factor float64) {
+	m := rt.Machine()
+	m.SetNodeFreq(node, m.Config().BaseFreqGHz*factor)
+}
+
+// Interference describes one interfering VM episode on a PE.
+type Interference struct {
+	PE    int
+	Start des.Time
+	// End <= Start means the interference persists to the end of the run.
+	End des.Time
+	// Fraction of the PE stolen while active (0.5 ≈ one co-scheduled VM).
+	Fraction float64
+}
+
+// Inject schedules interference episodes on the runtime's virtual timeline.
+func Inject(rt *charm.Runtime, episodes ...Interference) {
+	for _, ep := range episodes {
+		ep := ep
+		rt.Engine().At(ep.Start, func() {
+			rt.Machine().SetInterference(ep.PE, ep.Fraction)
+		})
+		if ep.End > ep.Start {
+			rt.Engine().At(ep.End, func() {
+				rt.Machine().SetInterference(ep.PE, 0)
+			})
+		}
+	}
+}
+
+// InterfereNode injects the same episode on every PE of a node — an
+// interfering VM pinned to that host (the Fig 16 scenario).
+func InterfereNode(rt *charm.Runtime, node int, start, end des.Time, frac float64) {
+	m := rt.Machine()
+	per := m.Config().PEsPerNode
+	for pe := node * per; pe < (node+1)*per && pe < m.NumPEs(); pe++ {
+		Inject(rt, Interference{PE: pe, Start: start, End: end, Fraction: frac})
+	}
+}

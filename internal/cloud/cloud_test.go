@@ -1,0 +1,66 @@
+package cloud
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+)
+
+func TestSlowNode(t *testing.T) {
+	rt := charm.New(machine.New(machine.Cloud(8))) // 2 nodes x 4 PEs
+	SlowNode(rt, 1, 0.7)
+	m := rt.Machine()
+	want := m.Config().BaseFreqGHz * 0.7
+	if got := m.Node(1).FreqGHz(); got != want {
+		t.Fatalf("node freq %v, want %v", got, want)
+	}
+	if m.Node(0).FreqGHz() != m.Config().BaseFreqGHz {
+		t.Fatal("wrong node slowed")
+	}
+}
+
+func TestInjectEpisode(t *testing.T) {
+	rt := charm.New(machine.New(machine.Cloud(8)))
+	Inject(rt, Interference{PE: 2, Start: 1.0, End: 3.0, Fraction: 0.5})
+	m := rt.Machine()
+	eng := rt.Engine()
+	eng.RunUntil(0.5)
+	if m.PE(2).Interference() != 0 {
+		t.Fatal("interference started early")
+	}
+	eng.RunUntil(2.0)
+	if m.PE(2).Interference() != 0.5 {
+		t.Fatal("interference did not start")
+	}
+	eng.RunUntil(4.0)
+	if m.PE(2).Interference() != 0 {
+		t.Fatal("interference did not end")
+	}
+}
+
+func TestPersistentInterference(t *testing.T) {
+	rt := charm.New(machine.New(machine.Cloud(4)))
+	Inject(rt, Interference{PE: 0, Start: 1.0, Fraction: 0.3})
+	rt.Engine().RunUntil(100)
+	if rt.Machine().PE(0).Interference() != 0.3 {
+		t.Fatal("persistent interference ended")
+	}
+}
+
+func TestInterfereNodeHitsAllPEs(t *testing.T) {
+	rt := charm.New(machine.New(machine.Cloud(8))) // 4 PEs/node
+	InterfereNode(rt, 1, 0.5, 2.0, 0.4)
+	rt.Engine().RunUntil(1.0)
+	m := rt.Machine()
+	for pe := 4; pe < 8; pe++ {
+		if m.PE(pe).Interference() != 0.4 {
+			t.Fatalf("PE %d missed node interference", pe)
+		}
+	}
+	for pe := 0; pe < 4; pe++ {
+		if m.PE(pe).Interference() != 0 {
+			t.Fatalf("PE %d wrongly interfered", pe)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is the foundation of the virtual parallel machine: every
+// runtime action (message delivery, entry-method completion, timer expiry)
+// is an event with a virtual timestamp. Events at equal timestamps are
+// ordered by an insertion sequence number, which makes every simulation run
+// bit-for-bit reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual time in seconds since the start of the simulation.
+type Time float64
+
+// Forever is a timestamp later than any event the engine will execute.
+const Forever Time = Time(math.MaxFloat64)
+
+// Event is a closure scheduled to run at a virtual time.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	pos int // heap index, -1 when popped or cancelled
+}
+
+// Handle allows a scheduled event to be cancelled before it fires.
+type Handle struct{ ev *Event }
+
+// Cancelled reports whether Cancel was called on the handle's event, or the
+// event already fired.
+func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.pos < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.pos = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.pos = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded deterministic event executor.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+	// Executed counts events that have run, for introspection and tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev == nil || h.ev.pos < 0 {
+		return
+	}
+	heap.Remove(&e.heap, h.ev.pos)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*Event)
+	e.now = ev.At
+	e.Executed++
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (if it is ahead of the last event). Events scheduled during execution
+// are honoured if they fall within the horizon.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].At <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,338 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/cloud"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+
+	"charmgo/internal/apps/barnes"
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/lulesh"
+	"charmgo/internal/apps/pdes"
+)
+
+// leanmdSteady returns the mean of the last k per-step times.
+func leanmdSteady(res *leanmd.Result, k int) float64 {
+	ts := res.StepTimes()
+	if len(ts) < k {
+		k = len(ts)
+	}
+	sum := 0.0
+	for _, v := range ts[len(ts)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// ---- Fig 9 ----
+
+// Fig09LeanMDScaling reproduces Fig 9: LeanMD strong scaling with and
+// without the hierarchical load balancer on a BG/Q model (the paper's
+// 2.8M-atom system scaled down ~100×, Gaussian-skewed for imbalance).
+func Fig09LeanMDScaling(w io.Writer) error {
+	run := func(pes int, balance bool) float64 {
+		rt := charm.New(machine.New(machine.Vesta(pes)))
+		cfg := leanmd.Config{
+			CellsX: 6, CellsY: 6, CellsZ: 6,
+			AtomsPerCell: 27, Gaussian: 6, Steps: 10, Seed: 5,
+			MigratePeriod: 100, PerInteractionWork: 300e-9,
+		}
+		if balance {
+			rt.SetBalancer(lb.Hybrid{})
+			cfg.LBPeriod = 5
+		}
+		res, err := leanmd.Run(rt, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return leanmdSteady(res, 3)
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tNoLB_s_per_step\tHybridLB_s_per_step\tspeedup_LB\tideal")
+	base := 0.0
+	basePE := 0
+	for i, pes := range []int{32, 64, 128, 256, 512, 1024} {
+		no := run(pes, false)
+		with := run(pes, true)
+		if i == 0 {
+			base = with
+			basePE = pes
+		}
+		fmt.Fprintf(tw, "%d\t%.5f\t%.5f\t%.2f\t%.2f\n",
+			pes, no, with, base/with*float64(basePE), float64(pes))
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 10 ----
+
+// Fig10LeanMDCheckpoint reproduces Fig 10: double in-memory checkpoint and
+// restart times vs PE count for two system sizes (the paper's 2.8M / 1.6M
+// atom systems scaled down).
+func Fig10LeanMDCheckpoint(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tbig_ckpt_s\tbig_restart_s\tsmall_ckpt_s\tsmall_restart_s")
+	measure := func(pes, cellSide int) (float64, float64) {
+		rt := charm.New(machine.New(machine.Vesta(pes)))
+		app, err := leanmd.New(rt, leanmd.Config{
+			CellsX: cellSide, CellsY: cellSide, CellsZ: cellSide,
+			AtomsPerCell: 27, Steps: 1, Seed: 6,
+		})
+		if err != nil {
+			panic(err)
+		}
+		_ = app
+		m := ckpt.NewMem(rt)
+		tm := ckpt.DefaultModel(pes)
+		tm.Base = 3e-4
+		m.SetModel(tm)
+		ck := float64(m.Checkpoint())
+		rs, err := m.FailAndRecover(1)
+		if err != nil {
+			panic(err)
+		}
+		return ck, float64(rs)
+	}
+	for _, pes := range []int{256, 512, 1024, 2048, 4096} {
+		bc, br := measure(pes, 20) // "2.8M-atom" stand-in: 216k atoms
+		sc, sr := measure(pes, 16) // "1.6M-atom" stand-in: 110k atoms
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", pes, bc, br, sc, sr)
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 11 ----
+
+// Fig11NAMDScaling reproduces Fig 11: strong scaling of the molecular
+// dynamics engine on the Titan XK7 and Jaguar XT5 machine models (the
+// 100M-atom benchmark scaled down ~7000×).
+func Fig11NAMDScaling(w io.Writer) error {
+	run := func(cfgMachine machine.Config) float64 {
+		rt := charm.New(machine.New(cfgMachine))
+		rt.SetBalancer(lb.Hybrid{})
+		res, err := leanmd.Run(rt, leanmd.Config{
+			CellsX: 8, CellsY: 8, CellsZ: 8, AtomsPerCell: 27,
+			Gaussian: 3, Steps: 6, LBPeriod: 3, Seed: 7, MigratePeriod: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return leanmdSteady(res, 3)
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tTitan_ms_per_step\tJaguar_ms_per_step")
+	for _, pes := range []int{32, 64, 128, 256, 512} {
+		t := run(machine.Titan(pes))
+		j := run(machine.Jaguar(pes))
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", pes, t*1e3, j*1e3)
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 12 ----
+
+// Fig12BarnesHut reproduces Fig 12: time per step for the plain
+// over-decomposed run ("500m"), with ORB load balancing ("500m_LB"), and
+// with one piece per PE ("500m_NO"), on a Cray XE6 model.
+func Fig12BarnesHut(w io.Writer) error {
+	center := [3]float64{0.30, 0.34, 0.62}
+	run := func(pes, depth int, balance bool) float64 {
+		rt := charm.New(machine.New(machine.BlueWaters(pes)))
+		cfg := barnes.Config{
+			Particles: 48000, Depth: depth, Steps: 3, Seed: 8, Center: center,
+		}
+		if balance {
+			rt.SetBalancer(lb.ORB{})
+			cfg.LBPeriod = 2
+		}
+		res, err := barnes.Run(rt, cfg)
+		if err != nil {
+			panic(err)
+		}
+		m := res.MeanPhases()
+		return m.Total
+	}
+	// Depth for ~1 piece/PE vs 8 pieces/PE.
+	noDepth := func(pes int) int {
+		d := 0
+		for (1 << (3 * d)) < pes {
+			d++
+		}
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\t500m_NO_s\t500m_s\t500m_LB_s")
+	for _, pes := range []int{8, 64, 512} {
+		nd := noDepth(pes)
+		no := run(pes, nd, false)
+		plain := run(pes, nd+1, false)
+		balanced := run(pes, nd+1, true)
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pes, no, plain, balanced)
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 13 ----
+
+// Fig13ChaNGaPhases reproduces Fig 13: the per-phase breakdown (DD, tree
+// build, gravity, LB, total) of the cosmology-style run across PE counts.
+func Fig13ChaNGaPhases(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tGravity_s\tDD_s\tTB_s\tLB_s\tTotal_s")
+	for _, pes := range []int{64, 128, 256, 512} {
+		rt := charm.New(machine.New(machine.BlueWaters(pes)))
+		rt.SetBalancer(lb.ORB{})
+		res, err := barnes.Run(rt, barnes.Config{
+			Particles: 50000, Depth: 3, Steps: 4, Seed: 9,
+			Uniform: true, LBPeriod: 2,
+		})
+		if err != nil {
+			return err
+		}
+		m := res.MeanPhases()
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			pes, m.Gravity, m.DD, m.TB, m.LB, m.Total)
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 14 ----
+
+// Fig14Lulesh reproduces Fig 14: LULESH weak scaling under native MPI,
+// AMPI v=1, AMPI v=8 (cache blocking), and AMPI v=8 with load balancing,
+// plus the non-cubic PE counts virtualization unlocks.
+func Fig14Lulesh(w io.Writer) error {
+	iters := 4
+	// Hopper-like nodes with 8 PEs sharing 12 MB of cache: the same
+	// 1.5 MB per-PE share as the real 24-core/36 MB Hopper node, but PE
+	// counts that divide into cubic rank grids.
+	hopper8 := func(pes int) machine.Config {
+		c := machine.Hopper(pes)
+		c.NumNodes = (pes + 7) / 8
+		c.PEsPerNode = 8
+		c.CachePerNodeBytes = 12 << 20
+		c.TorusDims = nil
+		return c
+	}
+	run := func(pes, rankSide, elemSide int, native bool, lbPeriod int) float64 {
+		rt := charm.New(machine.New(hopper8(pes)))
+		res, err := lulesh.Run(rt, lulesh.Config{
+			RankSide: rankSide, ElemSide: elemSide, Iters: iters,
+			Native: native, LBPeriod: lbPeriod, Seed: 10,
+			Regions: 4, RegionSpread: 0.3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tMPI_s\tAMPI_v1_s\tAMPI_v8_s\tAMPI_v8_LB_s")
+	for _, c := range []int{2, 3, 4} { // cubic PE counts: 8, 27, 64
+		pes := c * c * c
+		mpi := run(pes, c, 24, true, 0)
+		v1 := run(pes, c, 24, false, 0)
+		v8 := run(pes, 2*c, 12, false, 0)
+		v8lb := run(pes, 2*c, 12, false, 2)
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", pes, mpi, v1, v8, v8lb)
+	}
+	// Non-cubic PE counts (the paper's 3000/6000): cubic virtual ranks
+	// virtualized over awkward PE counts; MPI has no entry — it cannot
+	// run there at all.
+	for _, pes := range []int{12, 48} {
+		v8 := run(pes, 6, 12, false, 0) // 216 ranks
+		fmt.Fprintf(tw, "%d\t-\t-\t%.4f\t-\n", pes, v8)
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 15 ----
+
+// Fig15aPholdLPs reproduces Fig 15a: PHOLD event rate as LPs per PE grows
+// (32 initial events per LP).
+func Fig15aPholdLPs(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tLPs_per_PE\tevents_per_sec")
+	for _, pes := range []int{16, 32, 64} {
+		for _, lpsPerPE := range []int{16, 64, 256} {
+			rt := charm.New(machine.New(machine.Stampede(pes)))
+			lps := pes * lpsPerPE
+			res, err := pdes.Run(rt, pdes.Config{
+				LPs: lps, EventsPerLP: 8, TargetEvents: lps * 16, Seed: 11,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\n", pes, lpsPerPE, res.EventRate)
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig15bPholdTram reproduces Fig 15b: event rates with and without TRAM at
+// low and high event densities (the paper's 64 vs 1024 events/LP scaled).
+func Fig15bPholdTram(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tevents_per_LP\tdirect_ev_per_s\ttram_ev_per_s")
+	for _, pes := range []int{16, 32, 64} {
+		for _, epl := range []int{2, 24} {
+			lps := pes * 64
+			rate := func(useTram bool) float64 {
+				rt := charm.New(machine.New(machine.Stampede(pes)))
+				res, err := pdes.Run(rt, pdes.Config{
+					LPs: lps, EventsPerLP: epl, TargetEvents: lps * epl * 2,
+					UseTram: useTram, Seed: 12,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return res.EventRate
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\n", pes, epl, rate(false), rate(true))
+		}
+	}
+	return tw.Flush()
+}
+
+// ---- Fig 17 ----
+
+// Fig17CloudLeanMD reproduces Fig 17: LeanMD time per step in a cloud
+// where one node runs at 0.7× — without LB, with heterogeneity-aware LB,
+// and on the homogeneous cluster for reference.
+func Fig17CloudLeanMD(w io.Writer) error {
+	run := func(pes int, hetero, balance bool) float64 {
+		rt := charm.New(machine.New(machine.Cloud(pes)))
+		if hetero {
+			cloud.SlowNode(rt, 0, 0.7)
+		}
+		cfg := leanmd.Config{
+			CellsX: 6, CellsY: 6, CellsZ: 6, AtomsPerCell: 27,
+			Steps: 21, Seed: 13, MigratePeriod: 100,
+			PerInteractionWork: 900e-9,
+		}
+		if balance {
+			rt.SetBalancer(lb.Refine{Tolerance: 1.05})
+			cfg.LBPeriod = 10
+		}
+		res, err := leanmd.Run(rt, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return leanmdSteady(res, 8)
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tHeteroNoLB_s\tHeteroLB_s\tHomoLB_s")
+	for _, pes := range []int{32, 64, 128, 256} {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pes,
+			run(pes, true, false), run(pes, true, true), run(pes, false, true))
+	}
+	return tw.Flush()
+}

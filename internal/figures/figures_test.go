@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"4", "5", "6", "7", "8L", "8R", "9", "10", "11", "12", "13", "14", "15a", "15b", "16", "17"}
+	figs := All()
+	if len(figs) != len(want) {
+		t.Fatalf("%d figures registered, want %d", len(figs), len(want))
+	}
+	for i, id := range want {
+		if figs[i].ID != id {
+			t.Fatalf("figure %d is %q, want %q", i, figs[i].ID, id)
+		}
+		if figs[i].Title == "" || figs[i].Run == nil {
+			t.Fatalf("figure %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("8L"); !ok {
+		t.Fatal("ByID lookup failed")
+	}
+	if _, ok := ByID("99"); ok {
+		t.Fatal("ByID accepted a bogus id")
+	}
+}
+
+// The fastest figures run end-to-end as a smoke test; the full set is
+// exercised by the benchmarks and cmd/figures.
+func TestFastFiguresProduceTables(t *testing.T) {
+	for _, id := range []string{"4", "6", "8R"} {
+		f, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := f.Run(&buf); err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(strings.Split(buf.String(), "\n")) < 4 {
+			t.Fatalf("figure %s produced a trivial table:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestFig04Ordering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig04Thermal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	temps := map[string]float64{}
+	times := map[string]float64{}
+	energy := map[string]float64{}
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		fields := strings.Fields(ln)
+		if len(fields) != 4 {
+			continue
+		}
+		tm, err1 := strconv.ParseFloat(fields[1], 64)
+		temp, err2 := strconv.ParseFloat(fields[2], 64)
+		kj, err3 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		times[fields[0]] = tm
+		temps[fields[0]] = temp
+		energy[fields[0]] = kj
+	}
+	// The paper's Fig 4 claims: Base runs hot; every DVFS policy holds
+	// the 50°C threshold; LB reduces the DVFS timing penalty.
+	if temps["Base"] <= 55 {
+		t.Fatalf("Base should exceed the threshold:\n%s", out)
+	}
+	for _, cfg := range []string{"Naive_DVFS", "LB_10s", "LB_5s", "MetaTemp"} {
+		if temps[cfg] > 55 {
+			t.Fatalf("%s exceeded the threshold (%v°C):\n%s", cfg, temps[cfg], out)
+		}
+	}
+	if times["Base"] >= times["Naive_DVFS"] {
+		t.Fatalf("Base should be fastest:\n%s", out)
+	}
+	if times["LB_10s"] >= times["Naive_DVFS"] {
+		t.Fatalf("LB should beat naive DVFS:\n%s", out)
+	}
+	// §III-C's point: the controlled policies save machine energy.
+	if energy["LB_10s"] >= energy["Base"] {
+		t.Fatalf("DVFS+LB should save energy vs Base:\n%s", out)
+	}
+}

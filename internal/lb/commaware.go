@@ -1,0 +1,132 @@
+package lb
+
+import (
+	"sort"
+
+	"charmgo/internal/charm"
+)
+
+// CommAware is a communication-aware greedy strategy (the GreedyCommLB
+// family of §III-A): objects are placed heaviest-first onto the PE that
+// minimizes effective compute load *minus* an affinity credit for
+// communication with objects already placed there. It needs arrays
+// declared with TrackComm so the runtime's LB database carries the
+// communication graph.
+type CommAware struct {
+	// CommWeight converts bytes of co-located communication into seconds
+	// of credited load; 0 picks a weight that makes the average object's
+	// total communication worth ~1.5× the average object load, enough to
+	// overcome the marginal imbalance of stacking one partner.
+	CommWeight float64
+}
+
+// Name implements charm.Strategy.
+func (CommAware) Name() string { return "GreedyCommLB" }
+
+type objID struct {
+	arr *charm.Array
+	idx charm.Index
+}
+
+// Balance implements charm.Strategy.
+func (ca CommAware) Balance(objs []charm.LBObject, pes []charm.LBPE) []charm.Migration {
+	if len(objs) == 0 || len(pes) == 0 {
+		return nil
+	}
+	w := ca.CommWeight
+	if w == 0 {
+		var totalLoad, totalComm float64
+		for _, o := range objs {
+			totalLoad += o.Load
+			for _, e := range o.Comm {
+				totalComm += float64(e.Bytes)
+			}
+		}
+		if totalComm > 0 {
+			w = 1.5 * totalLoad / totalComm
+		}
+	}
+
+	// Build a symmetric affinity graph between migratable objects.
+	key := func(arr *charm.Array, idx charm.Index) objID {
+		return objID{arr: arr, idx: idx}
+	}
+	pos := make(map[objID]int, len(objs))
+	for i, o := range objs {
+		pos[key(o.Array, o.Idx)] = i
+	}
+	affinity := make([]map[int]float64, len(objs))
+	addEdge := func(a, b int, bytes float64) {
+		if affinity[a] == nil {
+			affinity[a] = map[int]float64{}
+		}
+		affinity[a][b] += bytes
+	}
+	for i, o := range objs {
+		for _, e := range o.Comm {
+			j, ok := pos[key(e.ToArray, e.ToIdx)]
+			if !ok || j == i {
+				continue
+			}
+			addEdge(i, j, float64(e.Bytes))
+			addEdge(j, i, float64(e.Bytes))
+		}
+	}
+
+	// Greedy placement, heaviest (load + comm degree) first.
+	order := make([]int, len(objs))
+	for i := range order {
+		order[i] = i
+	}
+	weight := func(i int) float64 {
+		s := objs[i].Load
+		for _, b := range affinity[i] {
+			s += w * b / 2
+		}
+		return s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weight(order[a]) > weight(order[b]) })
+
+	maxID := 0
+	for _, p := range pes {
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	load := make([]float64, maxID+1)
+	speed := make([]float64, maxID+1)
+	for _, p := range pes {
+		speed[p.ID] = p.Speed
+	}
+	dest := make([]int, len(objs))
+	for i := range dest {
+		dest[i] = -1
+	}
+	for _, oi := range order {
+		bestPE, bestScore := -1, 0.0
+		for _, p := range pes {
+			s := speed[p.ID]
+			if s <= 0 {
+				s = 1e-9
+			}
+			score := (load[p.ID] + objs[oi].Load) / s
+			// Credit communication with objects already on p.
+			for j, bytes := range affinity[oi] {
+				if dest[j] == p.ID {
+					score -= w * bytes
+				}
+			}
+			if bestPE < 0 || score < bestScore {
+				bestPE, bestScore = p.ID, score
+			}
+		}
+		dest[oi] = bestPE
+		load[bestPE] += objs[oi].Load
+	}
+	return diff(objs, dest)
+}
+
+// DecisionCost models the centralized graph-aware decision.
+func (CommAware) DecisionCost(nObjs, nPEs int) float64 {
+	return 3e-4 + 1.5e-7*float64(nObjs)*float64(nPEs)/8
+}

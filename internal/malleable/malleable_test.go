@@ -1,0 +1,120 @@
+package malleable
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+)
+
+type blob struct{ Data []float64 }
+
+func (b *blob) Pup(p *pup.Pup) { p.Float64s(&b.Data) }
+
+func build(numPEs, numElems int) (*charm.Runtime, *charm.Array, *Manager) {
+	rt := charm.New(machine.New(machine.Testbed(numPEs)))
+	arr := rt.DeclareArray("blobs", func() charm.Chare { return &blob{} },
+		[]charm.Handler{func(obj charm.Chare, ctx *charm.Ctx, msg any) { ctx.Charge(1e-4) }},
+		charm.ArrayOpts{Migratable: true})
+	for i := 0; i < numElems; i++ {
+		arr.Insert(charm.Idx1(i), &blob{Data: make([]float64, 64)})
+	}
+	rt.SetBalancer(lb.Greedy{})
+	return rt, arr, NewManager(rt)
+}
+
+func TestShrinkEvacuatesAndStalls(t *testing.T) {
+	rt, arr, m := build(8, 32)
+	before := rt.MaxBusy()
+	if err := m.Reconfigure(4); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPEs() != 4 {
+		t.Fatalf("NumPEs=%d", rt.NumPEs())
+	}
+	for i := 0; i < 32; i++ {
+		if pe := arr.PEOf(charm.Idx1(i)); pe >= 4 {
+			t.Fatalf("element %d still on evacuated PE %d", i, pe)
+		}
+	}
+	if rt.MaxBusy() <= before+1 {
+		t.Fatalf("reconfiguration cost not applied: busy %v -> %v", before, rt.MaxBusy())
+	}
+	if len(m.Events) != 1 || m.Events[0].FromPEs != 8 || m.Events[0].ToPEs != 4 {
+		t.Fatalf("event log wrong: %+v", m.Events)
+	}
+}
+
+func TestExpandSpreadsLoad(t *testing.T) {
+	rt, arr, m := build(8, 64)
+	if err := m.Reconfigure(4); err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate load so the post-expand rebalance has data.
+	arr.Broadcast(0, nil)
+	rt.Run()
+	if err := m.Reconfigure(8); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPEs() != 8 {
+		t.Fatalf("NumPEs=%d", rt.NumPEs())
+	}
+	used := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		used[arr.PEOf(charm.Idx1(i))] = true
+	}
+	if len(used) < 7 {
+		t.Fatalf("expand rebalance used only %d of 8 PEs", len(used))
+	}
+}
+
+func TestExpandCostsMoreThanShrink(t *testing.T) {
+	// Fig 5: shrink 256→128 took 2.7s, expand 128→256 took 7.2s —
+	// expand restarts more processes.
+	rt, _, m := build(16, 64)
+	if err := m.Reconfigure(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reconfigure(16); err != nil {
+		t.Fatal(err)
+	}
+	shrink, expand := m.Events[0].Duration, m.Events[1].Duration
+	_ = rt
+	if expand <= shrink {
+		t.Fatalf("expand (%v) should cost more than shrink (%v)", expand, shrink)
+	}
+}
+
+func TestInvalidTargets(t *testing.T) {
+	_, _, m := build(4, 8)
+	if err := m.Reconfigure(0); err == nil {
+		t.Fatal("shrink to 0 should fail")
+	}
+	if err := m.Reconfigure(5); err == nil {
+		t.Fatal("expand beyond the machine should fail")
+	}
+	if err := m.Reconfigure(4); err != nil {
+		t.Fatalf("no-op reconfigure errored: %v", err)
+	}
+	if len(m.Events) != 0 {
+		t.Fatal("no-op reconfigure logged an event")
+	}
+}
+
+func TestRequestAtFiresOnSchedule(t *testing.T) {
+	rt, _, m := build(8, 16)
+	m.RequestAt(2.0, 4)
+	rt.Engine().RunUntil(1.0)
+	if rt.NumPEs() != 8 {
+		t.Fatal("reconfiguration fired early")
+	}
+	rt.Engine().RunUntil(3.0)
+	if rt.NumPEs() != 4 {
+		t.Fatal("scheduled reconfiguration did not fire")
+	}
+	if m.Events[0].At < 2.0 {
+		t.Fatalf("event at %v, want >= 2.0", m.Events[0].At)
+	}
+}

@@ -1,0 +1,342 @@
+// Package pup implements the pack/unpack (PUP) serialization framework of
+// the migratable-objects model. A single traversal function written by the
+// chare author serves three purposes — sizing, packing, and unpacking —
+// exactly like Charm++'s PUP::er: the runtime calls it with a Pup in the
+// appropriate mode to migrate a chare, take a checkpoint, or restore one.
+//
+//	func (a *A) Pup(p *pup.Pup) {
+//		p.Int(&a.foo)
+//		p.Float64s(&a.bar)
+//	}
+package pup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mode selects what a traversal does.
+type Mode int
+
+const (
+	// Sizing measures the number of bytes the object serializes to.
+	Sizing Mode = iota
+	// Packing writes the object into the buffer.
+	Packing
+	// Unpacking reads the object out of the buffer.
+	Unpacking
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sizing:
+		return "sizing"
+	case Packing:
+		return "packing"
+	case Unpacking:
+		return "unpacking"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Pupable is the interface migratable state implements.
+type Pupable interface {
+	Pup(p *Pup)
+}
+
+// Pup is the serialization cursor passed to Pup methods.
+type Pup struct {
+	mode Mode
+	buf  []byte
+	off  int
+}
+
+// NewSizer returns a Pup that measures.
+func NewSizer() *Pup { return &Pup{mode: Sizing} }
+
+// NewPacker returns a Pup that writes into buf, which must be large enough
+// (use Size first, or the Pack convenience function).
+func NewPacker(buf []byte) *Pup { return &Pup{mode: Packing, buf: buf} }
+
+// NewUnpacker returns a Pup that reads from buf.
+func NewUnpacker(buf []byte) *Pup { return &Pup{mode: Unpacking, buf: buf} }
+
+// Mode returns the traversal mode.
+func (p *Pup) Mode() Mode { return p.mode }
+
+// IsUnpacking reports whether the traversal restores state; Pup methods use
+// it to allocate structures before filling them.
+func (p *Pup) IsUnpacking() bool { return p.mode == Unpacking }
+
+// IsSizing reports whether the traversal only measures.
+func (p *Pup) IsSizing() bool { return p.mode == Sizing }
+
+// Bytes returns the cursor position: the measured size after a sizing
+// traversal, or the bytes consumed/produced so far.
+func (p *Pup) Bytes() int { return p.off }
+
+func (p *Pup) need(n int) []byte {
+	switch p.mode {
+	case Sizing:
+		p.off += n
+		return nil
+	case Packing:
+		if p.off+n > len(p.buf) {
+			panic(fmt.Sprintf("pup: packing overflow at %d+%d of %d", p.off, n, len(p.buf)))
+		}
+	case Unpacking:
+		if p.off+n > len(p.buf) {
+			panic(fmt.Sprintf("pup: unpacking underflow at %d+%d of %d", p.off, n, len(p.buf)))
+		}
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+// Uint64 pups a uint64.
+func (p *Pup) Uint64(v *uint64) {
+	b := p.need(8)
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint64(b, *v)
+	case Unpacking:
+		*v = binary.LittleEndian.Uint64(b)
+	}
+}
+
+// Int64 pups an int64.
+func (p *Pup) Int64(v *int64) {
+	u := uint64(*v)
+	p.Uint64(&u)
+	*v = int64(u)
+}
+
+// Int pups an int (always 8 bytes on the wire).
+func (p *Pup) Int(v *int) {
+	u := uint64(int64(*v))
+	p.Uint64(&u)
+	*v = int(int64(u))
+}
+
+// Uint32 pups a uint32.
+func (p *Pup) Uint32(v *uint32) {
+	b := p.need(4)
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint32(b, *v)
+	case Unpacking:
+		*v = binary.LittleEndian.Uint32(b)
+	}
+}
+
+// Int32 pups an int32.
+func (p *Pup) Int32(v *int32) {
+	u := uint32(*v)
+	p.Uint32(&u)
+	*v = int32(u)
+}
+
+// Uint8 pups a byte.
+func (p *Pup) Uint8(v *uint8) {
+	b := p.need(1)
+	switch p.mode {
+	case Packing:
+		b[0] = *v
+	case Unpacking:
+		*v = b[0]
+	}
+}
+
+// Bool pups a bool.
+func (p *Pup) Bool(v *bool) {
+	var u uint8
+	if *v {
+		u = 1
+	}
+	p.Uint8(&u)
+	*v = u != 0
+}
+
+// Float64 pups a float64.
+func (p *Pup) Float64(v *float64) {
+	u := math.Float64bits(*v)
+	p.Uint64(&u)
+	*v = math.Float64frombits(u)
+}
+
+// Float32 pups a float32.
+func (p *Pup) Float32(v *float32) {
+	u := math.Float32bits(*v)
+	p.Uint32(&u)
+	*v = math.Float32frombits(u)
+}
+
+// String pups a string with a length prefix.
+func (p *Pup) String(v *string) {
+	n := len(*v)
+	p.Int(&n)
+	if p.mode == Sizing {
+		p.off += n
+		return
+	}
+	b := p.need(n)
+	switch p.mode {
+	case Packing:
+		copy(b, *v)
+	case Unpacking:
+		*v = string(b)
+	}
+}
+
+// BytesSlice pups a []byte with a length prefix.
+func (p *Pup) BytesSlice(v *[]byte) {
+	n := len(*v)
+	p.Int(&n)
+	if p.mode == Sizing {
+		p.off += n
+		return
+	}
+	if p.mode == Unpacking {
+		if n == 0 {
+			*v = nil
+		} else {
+			*v = make([]byte, n)
+		}
+	}
+	b := p.need(n)
+	switch p.mode {
+	case Packing:
+		copy(b, *v)
+	case Unpacking:
+		copy(*v, b)
+	}
+}
+
+// Virtual advances the cursor by n bytes of modeled payload without
+// materializing application data: AMPI rank-chares use it so migration and
+// checkpoint costs reflect the declared state size (the iso-malloc'd rank
+// memory) without allocating it.
+func (p *Pup) Virtual(n int) {
+	if n < 0 {
+		panic("pup: negative virtual size")
+	}
+	if p.mode == Sizing {
+		p.off += n
+		return
+	}
+	b := p.need(n)
+	if p.mode == Packing {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// Float64s pups a []float64 with a length prefix.
+func (p *Pup) Float64s(v *[]float64) {
+	Slice(p, v, (*Pup).Float64)
+}
+
+// Ints pups a []int with a length prefix.
+func (p *Pup) Ints(v *[]int) {
+	Slice(p, v, (*Pup).Int)
+}
+
+// Uint64s pups a []uint64 with a length prefix.
+func (p *Pup) Uint64s(v *[]uint64) {
+	Slice(p, v, (*Pup).Uint64)
+}
+
+// Slice pups any slice given an element pup function, resizing on unpack.
+// It is the Go analogue of Charm++'s PUParray.
+func Slice[T any](p *Pup, v *[]T, elem func(*Pup, *T)) {
+	n := len(*v)
+	p.Int(&n)
+	if p.IsUnpacking() {
+		if n == 0 {
+			*v = nil
+		} else {
+			*v = make([]T, n)
+		}
+	}
+	for i := range *v {
+		elem(p, &(*v)[i])
+	}
+}
+
+// Size measures the serialized size of obj.
+func Size(obj Pupable) int {
+	s := NewSizer()
+	obj.Pup(s)
+	return s.Bytes()
+}
+
+// Pack serializes obj into a fresh buffer.
+func Pack(obj Pupable) []byte {
+	buf := make([]byte, Size(obj))
+	pk := NewPacker(buf)
+	obj.Pup(pk)
+	if pk.Bytes() != len(buf) {
+		panic(fmt.Sprintf("pup: sizing/packing disagreement: %d vs %d (unstable Pup method?)", pk.Bytes(), len(buf)))
+	}
+	return buf
+}
+
+// Unpack restores obj from data, returning an error if the Pup method does
+// not consume the buffer exactly.
+func Unpack(data []byte, obj Pupable) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pup: unpack: %v", r)
+		}
+	}()
+	up := NewUnpacker(data)
+	obj.Pup(up)
+	if up.Bytes() != len(data) {
+		return fmt.Errorf("pup: unpack consumed %d of %d bytes", up.Bytes(), len(data))
+	}
+	return nil
+}
+
+// Strings pups a []string with a length prefix.
+func (p *Pup) Strings(v *[]string) {
+	Slice(p, v, (*Pup).String)
+}
+
+// Int32s pups a []int32 with a length prefix.
+func (p *Pup) Int32s(v *[]int32) {
+	Slice(p, v, (*Pup).Int32)
+}
+
+// Map pups a map with deterministic (sorted-key) encoding; keyLess orders
+// keys, and the key/value pup functions handle the entries. On unpacking
+// the map is replaced.
+func Map[K comparable, V any](p *Pup, m *map[K]V, keyLess func(a, b K) bool,
+	pupK func(*Pup, *K), pupV func(*Pup, *V)) {
+	n := len(*m)
+	p.Int(&n)
+	if p.IsUnpacking() {
+		*m = make(map[K]V, n)
+		for i := 0; i < n; i++ {
+			var k K
+			var v V
+			pupK(p, &k)
+			pupV(p, &v)
+			(*m)[k] = v
+		}
+		return
+	}
+	keys := make([]K, 0, len(*m))
+	for k := range *m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		v := (*m)[k]
+		pupK(p, &k)
+		pupV(p, &v)
+	}
+}

@@ -1,0 +1,242 @@
+// Package trace provides Projections-style performance introspection for
+// the runtime: periodic sampling of per-PE utilization and message rates,
+// with summaries and an ASCII timeline. The introspective control system
+// of §III-E is built on exactly this kind of continuously collected
+// performance data; this package makes the same observations available to
+// users and tests.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+)
+
+// Sample is one observation window.
+type Sample struct {
+	// At is the window's end time.
+	At des.Time
+	// Util is the per-PE busy fraction during the window, in [0,1].
+	Util []float64
+	// Msgs is the number of messages delivered during the window.
+	Msgs uint64
+}
+
+// Tracer samples a runtime on a fixed virtual period.
+type Tracer struct {
+	rt       *charm.Runtime
+	interval des.Time
+
+	lastBusy []des.Time
+	lastMsgs uint64
+	samples  []Sample
+	stopped  bool
+}
+
+// New creates a tracer sampling every interval seconds of virtual time.
+func New(rt *charm.Runtime, interval des.Time) *Tracer {
+	return &Tracer{
+		rt:       rt,
+		interval: interval,
+		lastBusy: make([]des.Time, rt.MaxPEs()),
+	}
+}
+
+// Start begins sampling; the tracer stops itself when the runtime exits or
+// Stop is called.
+func (t *Tracer) Start() { t.tickLater() }
+
+// Stop halts sampling after the current tick.
+func (t *Tracer) Stop() { t.stopped = true }
+
+func (t *Tracer) tickLater() {
+	t.rt.Engine().After(t.interval, t.tick)
+}
+
+func (t *Tracer) tick() {
+	if t.stopped || t.rt.Exited() {
+		return
+	}
+	m := t.rt.Machine()
+	n := t.rt.NumPEs()
+	util := make([]float64, n)
+	for p := 0; p < n; p++ {
+		busy := m.PE(p).BusyTime
+		u := float64(busy-t.lastBusy[p]) / float64(t.interval)
+		if u > 1 {
+			u = 1
+		}
+		if u < 0 {
+			u = 0
+		}
+		util[p] = u
+		t.lastBusy[p] = busy
+	}
+	msgs := t.rt.Stats.MsgsDelivered
+	t.samples = append(t.samples, Sample{
+		At:   t.rt.Now(),
+		Util: util,
+		Msgs: msgs - t.lastMsgs,
+	})
+	t.lastMsgs = msgs
+	t.tickLater()
+}
+
+// Samples returns the recorded windows.
+func (t *Tracer) Samples() []Sample { return t.samples }
+
+// MeanUtilization returns the run-wide average busy fraction.
+func (t *Tracer) MeanUtilization() float64 {
+	total, n := 0.0, 0
+	for _, s := range t.samples {
+		for _, u := range s.Util {
+			total += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// HottestPE returns the PE with the highest cumulative utilization and its
+// mean busy fraction.
+func (t *Tracer) HottestPE() (pe int, util float64) {
+	if len(t.samples) == 0 {
+		return -1, 0
+	}
+	sums := make([]float64, len(t.samples[0].Util))
+	for _, s := range t.samples {
+		for p, u := range s.Util {
+			if p < len(sums) {
+				sums[p] += u
+			}
+		}
+	}
+	pe = 0
+	for p, s := range sums {
+		if s > sums[pe] {
+			pe = p
+		}
+	}
+	return pe, sums[pe] / float64(len(t.samples))
+}
+
+// Summary renders a per-window table: time, mean/min/max utilization,
+// message throughput.
+func (t *Tracer) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %-8s %s\n", "t(s)", "mean", "min", "max", "msgs")
+	for _, s := range t.samples {
+		mean, min, max := 0.0, 1.0, 0.0
+		for _, u := range s.Util {
+			mean += u
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+		if len(s.Util) > 0 {
+			mean /= float64(len(s.Util))
+		}
+		fmt.Fprintf(&b, "%-10.4f %-8.2f %-8.2f %-8.2f %d\n", float64(s.At), mean, min, max, s.Msgs)
+	}
+	return b.String()
+}
+
+// utilGlyphs maps utilization to density characters.
+var utilGlyphs = []rune(" .:-=+*#%@")
+
+// Timeline renders an ASCII utilization heat map: one row per PE (up to
+// maxPEs rows, aggregating if there are more), one column per sample.
+func (t *Tracer) Timeline(maxPEs int) string {
+	if len(t.samples) == 0 {
+		return "(no samples)\n"
+	}
+	n := len(t.samples[0].Util)
+	rows := n
+	group := 1
+	if maxPEs > 0 && n > maxPEs {
+		group = (n + maxPEs - 1) / maxPEs
+		rows = (n + group - 1) / group
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		lo, hi := r*group, (r+1)*group
+		if hi > n {
+			hi = n
+		}
+		fmt.Fprintf(&b, "PE%4d%s |", lo, rangeSuffix(lo, hi))
+		for _, s := range t.samples {
+			u := 0.0
+			for p := lo; p < hi && p < len(s.Util); p++ {
+				u += s.Util[p]
+			}
+			u /= float64(hi - lo)
+			g := int(u * float64(len(utilGlyphs)-1))
+			b.WriteRune(utilGlyphs[g])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func rangeSuffix(lo, hi int) string {
+	if hi-lo <= 1 {
+		return "     "
+	}
+	return fmt.Sprintf("-%-4d", hi-1)
+}
+
+// LoadProfile summarizes the current per-object load database: the top-k
+// heaviest migratable objects.
+func LoadProfile(rt *charm.Runtime, k int) []charm.LBObject {
+	objs, _ := rt.LBView()
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].Load != objs[j].Load {
+			return objs[i].Load > objs[j].Load
+		}
+		return objs[i].Idx.Less(objs[j].Idx)
+	})
+	if k > 0 && len(objs) > k {
+		objs = objs[:k]
+	}
+	return objs
+}
+
+// jsonDoc is the export schema.
+type jsonDoc struct {
+	IntervalSeconds float64      `json:"interval_seconds"`
+	NumPEs          int          `json:"num_pes"`
+	Samples         []jsonSample `json:"samples"`
+}
+
+type jsonSample struct {
+	At   float64   `json:"t"`
+	Util []float64 `json:"util"`
+	Msgs uint64    `json:"msgs"`
+}
+
+// WriteJSON exports the trace for external visualization tools.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{
+		IntervalSeconds: float64(t.interval),
+		NumPEs:          t.rt.MaxPEs(),
+	}
+	for _, s := range t.samples {
+		doc.Samples = append(doc.Samples, jsonSample{
+			At: float64(s.At), Util: s.Util, Msgs: s.Msgs,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

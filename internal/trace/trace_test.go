@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+	"charmgo/internal/pup"
+)
+
+type worker struct{ Steps int }
+
+func (w *worker) Pup(p *pup.Pup) { p.Int(&w.Steps) }
+
+// imbalancedRun keeps PE 0 busy and the rest mostly idle for ~1s.
+func imbalancedRun(t *testing.T, pes int) (*charm.Runtime, *Tracer) {
+	t.Helper()
+	rt := charm.New(machine.New(machine.Testbed(pes)))
+	var arr *charm.Array
+	handlers := []charm.Handler{
+		func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			w := obj.(*worker)
+			ctx.Charge(0.05)
+			w.Steps--
+			if w.Steps > 0 {
+				ctx.Send(arr, ctx.Index(), 0, nil)
+			} else {
+				ctx.Exit()
+			}
+		},
+	}
+	arr = rt.DeclareArray("w", func() charm.Chare { return &worker{} }, handlers,
+		charm.ArrayOpts{Migratable: true})
+	arr.InsertOn(charm.Idx1(0), &worker{Steps: 20}, 0)
+	tr := New(rt, 0.1)
+	tr.Start()
+	arr.Send(charm.Idx1(0), 0, nil)
+	rt.Run()
+	return rt, tr
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	_, tr := imbalancedRun(t, 4)
+	if len(tr.Samples()) < 8 {
+		t.Fatalf("only %d samples over ~1s at 0.1s period", len(tr.Samples()))
+	}
+	for _, s := range tr.Samples() {
+		if len(s.Util) != 4 {
+			t.Fatalf("sample has %d PEs", len(s.Util))
+		}
+		for _, u := range s.Util {
+			if u < 0 || u > 1 {
+				t.Fatalf("utilization %v out of range", u)
+			}
+		}
+	}
+}
+
+func TestHotPEIdentified(t *testing.T) {
+	_, tr := imbalancedRun(t, 4)
+	pe, util := tr.HottestPE()
+	if pe != 0 {
+		t.Fatalf("hottest PE %d, want 0", pe)
+	}
+	if util < 0.8 {
+		t.Fatalf("PE 0 utilization %v, expected near 1", util)
+	}
+	if mean := tr.MeanUtilization(); mean > 0.5 {
+		t.Fatalf("mean utilization %v should reflect 3 idle PEs", mean)
+	}
+}
+
+func TestSummaryAndTimelineRender(t *testing.T) {
+	_, tr := imbalancedRun(t, 4)
+	sum := tr.Summary()
+	if !strings.Contains(sum, "mean") || len(strings.Split(sum, "\n")) < 5 {
+		t.Fatalf("summary too small:\n%s", sum)
+	}
+	tl := tr.Timeline(0)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("timeline rows %d, want 4:\n%s", len(lines), tl)
+	}
+	// PE 0's row should be dense, PE 3's near-empty.
+	if !strings.ContainsAny(lines[0], "#%@") {
+		t.Fatalf("busy PE row has no dense glyphs: %q", lines[0])
+	}
+	if strings.ContainsAny(lines[3], "#%@") {
+		t.Fatalf("idle PE row is dense: %q", lines[3])
+	}
+}
+
+func TestTimelineAggregatesRows(t *testing.T) {
+	_, tr := imbalancedRun(t, 16)
+	tl := tr.Timeline(4)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("aggregated timeline rows %d, want 4:\n%s", len(lines), tl)
+	}
+}
+
+func TestLoadProfile(t *testing.T) {
+	rt, _ := imbalancedRun(t, 4)
+	top := LoadProfile(rt, 5)
+	if len(top) != 1 {
+		t.Fatalf("profile has %d objects, want 1", len(top))
+	}
+	if top[0].Load <= 0 {
+		t.Fatal("top object has no load")
+	}
+}
+
+func TestStop(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	tr := New(rt, 0.1)
+	tr.Start()
+	rt.Engine().At(0.35, func() { tr.Stop() })
+	rt.Engine().RunUntil(2.0)
+	if n := len(tr.Samples()); n > 4 {
+		t.Fatalf("tracer kept sampling after Stop: %d samples", n)
+	}
+}
+
+func TestEmptyTracer(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	tr := New(rt, 0.1)
+	if pe, _ := tr.HottestPE(); pe != -1 {
+		t.Fatal("empty tracer should report no hottest PE")
+	}
+	if tr.Timeline(0) == "" || tr.MeanUtilization() != 0 {
+		t.Fatal("empty tracer rendering broken")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	_, tr := imbalancedRun(t, 4)
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		IntervalSeconds float64 `json:"interval_seconds"`
+		NumPEs          int     `json:"num_pes"`
+		Samples         []struct {
+			At   float64   `json:"t"`
+			Util []float64 `json:"util"`
+			Msgs uint64    `json:"msgs"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.NumPEs != 4 || doc.IntervalSeconds != 0.1 {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Samples) == 0 || len(doc.Samples[0].Util) != 4 {
+		t.Fatalf("samples malformed: %d", len(doc.Samples))
+	}
+}

@@ -1,0 +1,287 @@
+// Package tram implements the Topological Routing and Aggregation Module
+// of §III-F: a library that improves fine-grained communication performance
+// by coalescing small data items into larger messages.
+//
+// TRAM overlays a virtual N-dimensional grid on the PEs. The peers of a PE
+// are the PEs reachable by changing a single grid coordinate, so buffer
+// space is O(Σ dims) instead of O(P). An item whose destination is not a
+// peer travels dimension by dimension along a minimal route, being
+// re-aggregated at each intermediate hop. Per-message software overhead is
+// paid once per aggregated message instead of once per item, at the cost of
+// added latency when traffic is too sparse to fill buffers — exactly the
+// trade Fig 15b shows.
+package tram
+
+import (
+	"fmt"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+)
+
+// Options configures a TRAM client.
+type Options struct {
+	// Dims is the virtual grid; the product must equal the runtime's
+	// active PE count. Nil picks a near-square 2-D grid automatically.
+	Dims []int
+	// BufItems is the per-peer buffer capacity that triggers a flush
+	// (the "aggregation threshold"); default 64.
+	BufItems int
+	// ItemBytes is the modeled wire size of one item; default 32.
+	ItemBytes int
+	// FlushTimeout flushes partly filled buffers after this much idle
+	// virtual time; default 2 ms. Zero disables timed flushes.
+	FlushTimeout des.Time
+	// PerItemCost is the CPU cost of handling one item at each hop
+	// (packing/unpacking), far below a full message overhead; default
+	// 60 ns.
+	PerItemCost float64
+}
+
+func (o Options) withDefaults(numPEs int) Options {
+	if len(o.Dims) == 0 {
+		o.Dims = AutoDims(numPEs, 2)
+	}
+	if o.BufItems == 0 {
+		o.BufItems = 64
+	}
+	if o.ItemBytes == 0 {
+		o.ItemBytes = 32
+	}
+	if o.FlushTimeout == 0 {
+		o.FlushTimeout = 2e-3
+	}
+	if o.PerItemCost == 0 {
+		o.PerItemCost = 60e-9
+	}
+	return o
+}
+
+// AutoDims factors numPEs into nd grid dimensions as evenly as possible.
+// For prime or awkward counts it degrades toward fewer effective
+// dimensions (worst case [P, 1, ...]), which is always correct.
+func AutoDims(numPEs, nd int) []int {
+	if nd < 1 {
+		nd = 1
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		dims[i] = 1
+	}
+	rem := numPEs
+	for d := 0; d < nd-1; d++ {
+		// Largest divisor of rem not exceeding the balanced target.
+		target := 1
+		for target*target <= rem {
+			target++
+		}
+		best := 1
+		for f := 1; f <= target; f++ {
+			if rem%f == 0 {
+				best = f
+			}
+		}
+		dims[d] = best
+		rem /= best
+	}
+	dims[nd-1] = rem
+	return dims
+}
+
+type item struct {
+	destPE  int
+	idx     charm.Index
+	payload any
+}
+
+type batch struct {
+	items []item
+}
+
+type peBuffers struct {
+	// buf maps peer PE -> pending items; a slice keyed by peer ordinal.
+	peerOf map[int]int
+	peers  []int
+	bufs   [][]item
+	armed  []bool // timed flush scheduled for this peer
+}
+
+// Stats counts TRAM activity.
+type Stats struct {
+	ItemsSubmitted uint64
+	ItemsDelivered uint64
+	MsgsSent       uint64 // aggregated messages put on the wire
+	TimedFlushes   uint64
+	FullFlushes    uint64
+}
+
+// Client is one TRAM instance delivering items to entry method ep of arr.
+type Client struct {
+	rt   *charm.Runtime
+	arr  *charm.Array
+	ep   charm.EP
+	opts Options
+	peh  charm.PEH
+
+	dims    []int
+	strides []int
+	pes     []*peBuffers
+
+	Stats Stats
+}
+
+// New creates a TRAM client for the runtime's current active PE set.
+func New(rt *charm.Runtime, arr *charm.Array, ep charm.EP, opts Options) *Client {
+	o := opts.withDefaults(rt.NumPEs())
+	prod := 1
+	for _, d := range o.Dims {
+		prod *= d
+	}
+	if prod != rt.NumPEs() {
+		panic(fmt.Sprintf("tram: grid %v does not cover %d PEs", o.Dims, rt.NumPEs()))
+	}
+	c := &Client{rt: rt, arr: arr, ep: ep, opts: o, dims: o.Dims}
+	c.strides = make([]int, len(o.Dims))
+	s := 1
+	for d := len(o.Dims) - 1; d >= 0; d-- {
+		c.strides[d] = s
+		s *= o.Dims[d]
+	}
+	c.pes = make([]*peBuffers, rt.NumPEs())
+	for p := range c.pes {
+		c.pes[p] = c.newPEBuffers(p)
+	}
+	c.peh = rt.DeclarePEHandler(c.onBatch)
+	return c
+}
+
+func (c *Client) coord(pe, dim int) int { return pe / c.strides[dim] % c.dims[dim] }
+
+// nextHop routes dimension by dimension: correct the first mismatched
+// coordinate.
+func (c *Client) nextHop(from, dest int) int {
+	for d := range c.dims {
+		cf, cd := c.coord(from, d), c.coord(dest, d)
+		if cf != cd {
+			return from + (cd-cf)*c.strides[d]
+		}
+	}
+	return from
+}
+
+// Peers returns the peer set of a PE (one per reachable single-dimension
+// move) — O(Σ(dims-1)) rather than O(P).
+func (c *Client) Peers(pe int) []int {
+	return append([]int(nil), c.pes[pe].peers...)
+}
+
+func (c *Client) newPEBuffers(pe int) *peBuffers {
+	b := &peBuffers{peerOf: map[int]int{}}
+	for d := range c.dims {
+		for v := 0; v < c.dims[d]; v++ {
+			peer := pe + (v-c.coord(pe, d))*c.strides[d]
+			if peer == pe {
+				continue
+			}
+			if _, dup := b.peerOf[peer]; dup {
+				continue
+			}
+			b.peerOf[peer] = len(b.peers)
+			b.peers = append(b.peers, peer)
+		}
+	}
+	b.bufs = make([][]item, len(b.peers))
+	b.armed = make([]bool, len(b.peers))
+	return b
+}
+
+// Submit hands one fine-grained item to TRAM from within an entry method
+// or PE handler executing on ctx's PE. The item is counted as in-flight
+// application work until final delivery, so quiescence detection covers
+// TRAM traffic.
+func (c *Client) Submit(ctx *charm.Ctx, idx charm.Index, payload any) {
+	c.Stats.ItemsSubmitted++
+	dest := c.rt.ProbablePE(c.arr, idx, ctx.MyPE())
+	it := item{destPE: dest, idx: idx, payload: payload}
+	c.rt.IncInflight(1)
+	c.route(ctx, it)
+}
+
+func (c *Client) route(ctx *charm.Ctx, it item) {
+	ctx.Charge(c.opts.PerItemCost)
+	me := ctx.MyPE()
+	if it.destPE == me {
+		c.deliver(ctx, it)
+		return
+	}
+	hop := c.nextHop(me, it.destPE)
+	pb := c.pes[me]
+	pi, ok := pb.peerOf[hop]
+	if !ok {
+		// Shrunken PE set or irregular grid: send directly.
+		c.sendBatch(ctx, hop, []item{it})
+		return
+	}
+	pb.bufs[pi] = append(pb.bufs[pi], it)
+	if len(pb.bufs[pi]) >= c.opts.BufItems {
+		c.Stats.FullFlushes++
+		c.flushPeer(ctx, me, pi)
+		return
+	}
+	if c.opts.FlushTimeout > 0 && !pb.armed[pi] {
+		pb.armed[pi] = true
+		c.rt.ExecuteOnPE(me, c.opts.FlushTimeout, func(ctx *charm.Ctx) {
+			pb.armed[pi] = false
+			if len(pb.bufs[pi]) > 0 {
+				c.Stats.TimedFlushes++
+				c.flushPeer(ctx, me, pi)
+			}
+		})
+	}
+}
+
+func (c *Client) flushPeer(ctx *charm.Ctx, pe, pi int) {
+	pb := c.pes[pe]
+	items := pb.bufs[pi]
+	pb.bufs[pi] = nil
+	c.sendBatch(ctx, pb.peers[pi], items)
+}
+
+func (c *Client) sendBatch(ctx *charm.Ctx, to int, items []item) {
+	c.Stats.MsgsSent++
+	size := 48 + len(items)*c.opts.ItemBytes
+	ctx.SendPE(to, c.peh, batch{items: items}, &charm.SendOpts{Bytes: size})
+}
+
+// FlushAll flushes every buffer on ctx's PE (end-of-phase drain).
+func (c *Client) FlushAll(ctx *charm.Ctx) {
+	me := ctx.MyPE()
+	pb := c.pes[me]
+	for pi := range pb.bufs {
+		if len(pb.bufs[pi]) > 0 {
+			c.flushPeer(ctx, me, pi)
+		}
+	}
+}
+
+// onBatch receives an aggregated message: deliver local items, re-buffer
+// the rest toward their next dimension.
+func (c *Client) onBatch(ctx *charm.Ctx, msg any) {
+	for _, it := range msg.(batch).items {
+		c.route(ctx, it)
+	}
+}
+
+// deliver invokes the destination entry method inline; if the element
+// moved since routing began, fall back to a regular point-to-point send.
+func (c *Client) deliver(ctx *charm.Ctx, it item) {
+	ctx.Charge(c.opts.PerItemCost)
+	if c.arr.PEOf(it.idx) == ctx.MyPE() {
+		ctx.LocalInvoke(c.arr, it.idx, c.ep, it.payload)
+		c.Stats.ItemsDelivered++
+		c.rt.DecInflight(1)
+		return
+	}
+	c.rt.DecInflight(1) // hand back to the regular path, which re-counts
+	ctx.Send(c.arr, it.idx, c.ep, it.payload)
+}
