@@ -1,0 +1,47 @@
+// Command charmvet runs the determinism & PUP-completeness static-analysis
+// suite over the module:
+//
+//	go run ./cmd/charmvet ./...
+//
+// It prints one line per violation (file:line:col: [analyzer] message) and
+// exits nonzero when any are found. The same suite runs in CI through
+// TestCharmvetClean, so the CLI is for local iteration: run it after
+// touching event-producing code or a Pup method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charmgo/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: charmvet [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.DefaultSuite().Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := analysis.DefaultSuite().Run(pkgs)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "charmvet: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -217,9 +217,11 @@ func (e *Env) abortAll() {
 		}
 		if r.blocked != notBlocked || !r.started {
 			// Parked on a blocking call (or never started): unpark with
-			// an abort so the goroutine exits.
-			r.resume <- wake{kind: wAbort}
+			// an abort so the goroutine exits. Mark aborted before the
+			// send so the write is ordered before the rank goroutine's
+			// own r.aborted store after it wakes.
 			r.aborted = true
+			r.resume <- wake{kind: wAbort}
 		}
 	}
 }

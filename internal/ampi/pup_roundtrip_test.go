@@ -1,0 +1,14 @@
+package ampi
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+// TestPupRoundTrip covers the rank chare, whose Pup models the iso-malloc
+// rank memory with a virtual payload: the restored chare must agree on the
+// declared state size so migration costs stay faithful.
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &rankChare{ID: 6, StateBytes: 4096})
+}

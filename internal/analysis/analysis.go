@@ -1,0 +1,226 @@
+// Package analysis implements charmvet, a vet-style static-analysis suite
+// that enforces the invariants the runtime's determinism and migratability
+// guarantees rest on. Four analyzers cover the classic bug classes of a
+// migratable-objects runtime built on a deterministic DES core:
+//
+//   - detmap: no map-order-dependent iteration in event-producing packages
+//   - walltime: no wall clock or global math/rand in simulation code
+//   - pupcheck: every field of a chare struct is covered by its Pup method
+//   - nospawn: no goroutines or selects inside DES-driven packages
+//
+// The suite is stdlib-only (go/parser, go/ast, go/types); imports are
+// resolved from compiler export data via `go list -export`. It runs as a
+// CLI (cmd/charmvet) and as a tier-1 test (TestCharmvetClean), so a
+// violation reintroduced anywhere fails `go test ./...`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one checker of the suite.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scoped analyzers run only on packages the suite marks critical for
+	// them; unscoped analyzers run everywhere.
+	Scoped bool
+	Run    func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Path     string
+
+	waivers  map[string]map[fileLine]bool // waiver name -> waived file:line
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Waiver directives. A directive comment waives the statement on its own
+// line or on the line directly below, mirroring //nolint and //go:
+// placement conventions.
+const (
+	// WaiverOrdered marks a map iteration whose order the author has made
+	// harmless (sorted afterwards, or provably order-insensitive).
+	WaiverOrdered = "charmvet:ordered"
+	// WaiverWallclock marks deliberate wall-clock or global-rand use
+	// (CLI progress reporting, real network servers).
+	WaiverWallclock = "charmvet:wallclock"
+	// WaiverSpawn marks a deliberate goroutine or select (real-I/O
+	// subsystems that bridge into the simulation).
+	WaiverSpawn = "charmvet:spawn"
+	// WaiverPupSkip marks a struct field deliberately absent from the
+	// type's Pup method (caches, runtime wiring rebuilt after migration).
+	WaiverPupSkip = "pup:skip"
+)
+
+// Waived reports whether a directive comment covers the line of pos: on
+// that same line, or on the line immediately above.
+func (p *Pass) Waived(name string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.waivers[name][fileLine{position.Filename, position.Line}]
+}
+
+type fileLine = struct {
+	file string
+	line int
+}
+
+func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLine]bool {
+	w := map[string]map[fileLine]bool{}
+	add := func(name, file string, line int) {
+		if w[name] == nil {
+			w[name] = map[fileLine]bool{}
+		}
+		w[name][fileLine{file, line}] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverPupSkip} {
+					if text == name || strings.HasPrefix(text, name+" ") {
+						pos := fset.Position(c.Pos())
+						// Waive the directive's own line and the next one,
+						// so both trailing and preceding placement work.
+						add(name, pos.Filename, pos.Line)
+						add(name, pos.Filename, pos.Line+1)
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// Suite binds analyzers to the package sets they police.
+type Suite struct {
+	Analyzers []*Analyzer
+	// Critical maps analyzer name -> import-path prefixes the analyzer is
+	// scoped to. Ignored for unscoped analyzers.
+	Critical map[string][]string
+	// Exclude lists import-path prefixes no analyzer visits (test
+	// fixtures containing deliberate violations).
+	Exclude []string
+}
+
+// DefaultSuite is the charmgo policy: detmap and nospawn guard the
+// packages that produce or order simulation events; walltime guards every
+// internal package (virtual time is the only clock of the simulated
+// machine); pupcheck guards every package that defines a Pup method.
+func DefaultSuite() *Suite {
+	return &Suite{
+		Analyzers: []*Analyzer{DetMap, WallTime, PupCheck, NoSpawn},
+		Critical: map[string][]string{
+			DetMap.Name: {
+				"charmgo/internal/des",
+				"charmgo/internal/charm",
+				"charmgo/internal/machine",
+				"charmgo/internal/lb",
+				"charmgo/internal/tram",
+				"charmgo/internal/ckpt",
+			},
+			NoSpawn.Name: {
+				"charmgo/internal/des",
+				"charmgo/internal/charm",
+				"charmgo/internal/machine",
+				"charmgo/internal/lb",
+				"charmgo/internal/tram",
+				"charmgo/internal/ckpt",
+			},
+			WallTime.Name: {
+				"charmgo/internal",
+			},
+		},
+		Exclude: []string{"charmgo/internal/analysis/fixtures"},
+	}
+}
+
+func hasPrefix(path string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the suite to pkgs and returns all findings in file order.
+func (s *Suite) Run(pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if hasPrefix(pkg.Path, s.Exclude) {
+			continue
+		}
+		for _, a := range s.Analyzers {
+			if a.Scoped && !hasPrefix(pkg.Path, s.Critical[a.Name]) {
+				continue
+			}
+			RunAnalyzer(a, pkg, &findings)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// RunAnalyzer applies a single analyzer to one package, appending to
+// findings. Tests use it to drive an analyzer over a fixture regardless of
+// suite scoping.
+func RunAnalyzer(a *Analyzer, pkg *Package, findings *[]Finding) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Path:     pkg.Path,
+		waivers:  buildWaivers(pkg.Fset, pkg.Files),
+		findings: findings,
+	}
+	a.Run(pass)
+}

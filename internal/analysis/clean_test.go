@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"charmgo/internal/analysis"
+)
+
+// TestCharmvetClean enforces the determinism and PUP-completeness rules on
+// the whole module: reintroducing a violation anywhere fails tier-1
+// `go test ./...`, not just a manual charmvet run.
+func TestCharmvetClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	findings := analysis.DefaultSuite().Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("run `go run ./cmd/charmvet ./...` locally; see the Determinism rules section of DESIGN.md for the waiver comments")
+	}
+}

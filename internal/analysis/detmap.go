@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags `range` over a map in determinism-critical packages. Map
+// iteration order is randomized by the Go runtime, so any event-producing
+// code that ranges over a map makes the simulation's event order — and
+// with it every "bit-for-bit reproducible" claim — depend on the iteration
+// seed. Two shapes are allowed without a waiver:
+//
+//   - a range with no iteration variables (only the count is observed)
+//   - the collect-then-sort idiom: a body consisting solely of
+//     `x = append(x, ...)` statements where each x is later passed to a
+//     sort (or slices) call in the same function
+//
+// Anything else needs keys sorted first or a //charmvet:ordered waiver.
+var DetMap = &Analyzer{
+	Name:   "detmap",
+	Doc:    "flags nondeterministic map iteration in determinism-critical packages",
+	Scoped: true,
+	Run:    runDetMap,
+}
+
+func runDetMap(pass *Pass) {
+	for _, file := range pass.Files {
+		// Collect every function body so the collect-then-sort idiom can
+		// look for the later sort call in the innermost enclosing one.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				pass.checkMapRange(rng, innermost(bodies, rng))
+			}
+			return true
+		})
+	}
+}
+
+// innermost returns the smallest body containing n.
+func innermost(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || b.Pos() >= best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func (p *Pass) checkMapRange(rng *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if rng.Key == nil && rng.Value == nil {
+		return // only the iteration count is observed
+	}
+	if p.Waived(WaiverOrdered, rng.Pos()) {
+		return
+	}
+	if collected := appendTargets(rng.Body); len(collected) > 0 {
+		if allSortedLater(enclosing, rng, collected) {
+			return
+		}
+	}
+	p.Reportf(rng.Pos(), "iteration over map %s has nondeterministic order; sort the keys first or annotate //charmvet:ordered",
+		types.ExprString(rng.X))
+}
+
+// appendTargets returns the printed left-hand sides when every statement in
+// body is an append of the form `x = append(x, ...)`; otherwise nil.
+func appendTargets(body *ast.BlockStmt) []string {
+	if len(body.List) == 0 {
+		return nil
+	}
+	var targets []string
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return nil
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return nil
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(call.Args[0]) != lhs {
+			return nil
+		}
+		targets = append(targets, lhs)
+	}
+	return targets
+}
+
+// allSortedLater reports whether every target is the first argument of a
+// sort.* or slices.* call after the range statement within body.
+func allSortedLater(body *ast.BlockStmt, rng *ast.RangeStmt, targets []string) bool {
+	if body == nil {
+		return false
+	}
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		sorted[types.ExprString(call.Args[0])] = true
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+// Package detmap is a charmvet test fixture. Each `// want` comment marks
+// an expected detmap finding on its line; the package is excluded from the
+// real suite (see analysis.DefaultSuite) and exists only to be loaded by
+// the analyzer unit tests.
+package detmap
+
+import "sort"
+
+// Bad ranges a map directly with an order-sensitive body.
+func Bad(m map[int]float64) []int {
+	var out []int
+	for k, v := range m { // want `iteration over map m`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// BadSum accumulates floats in map order: the bit-reproducibility bug.
+func BadSum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `iteration over map m`
+		s += v
+	}
+	return s
+}
+
+// BadCollectNoSort collects but never sorts, so consumers see map order.
+func BadCollectNoSort(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `iteration over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodCollect is the collect-then-sort idiom: allowed without a waiver.
+func GoodCollect(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// GoodCount observes only the iteration count.
+func GoodCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// GoodWaived carries an explicit waiver.
+func GoodWaived(m map[int]bool) int {
+	n := 0
+	//charmvet:ordered (order-insensitive integer count)
+	for k := range m {
+		if m[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// GoodSlice ranges a slice, which iterates in index order.
+func GoodSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+// Package nospawn is a charmvet test fixture. Each `// want` comment marks
+// an expected nospawn finding on its line; the package is excluded from
+// the real suite and exists only for the analyzer unit tests.
+package nospawn
+
+// Bad spawns a goroutine: the host scheduler becomes an event source.
+func Bad(fn func()) {
+	go fn() // want `go statement`
+}
+
+// BadSelect races goroutines through channel readiness.
+func BadSelect(a, b chan int) int {
+	select { // want `select depends on goroutine scheduling`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// GoodWaived is a deliberate bridge to real I/O.
+func GoodWaived(fn func()) {
+	//charmvet:spawn (fixture: real-I/O bridge)
+	go fn()
+}
+
+// Good hands the closure to the event engine instead of the Go scheduler.
+func Good(schedule func(func())) {
+	schedule(func() {})
+}

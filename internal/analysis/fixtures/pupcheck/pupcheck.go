@@ -1,0 +1,48 @@
+// Package pupcheck is a charmvet test fixture. Each `// want` comment
+// marks an expected pupcheck finding on its line; the package is excluded
+// from the real suite and exists only for the analyzer unit tests.
+package pupcheck
+
+import "charmgo/internal/pup"
+
+// good covers every field: two pupped, one explicitly skipped.
+type good struct {
+	A     int
+	B     []float64
+	cache map[int]int //pup:skip (rebuilt on demand)
+}
+
+func (g *good) Pup(p *pup.Pup) {
+	p.Int(&g.A)
+	p.Float64s(&g.B)
+}
+
+// bad silently drops Lost on migration.
+type bad struct {
+	A    int
+	Lost float64
+}
+
+func (b *bad) Pup(p *pup.Pup) { // want `field Lost is not referenced in Pup`
+	p.Int(&b.A)
+}
+
+// val has a value receiver; coverage is still checked.
+type val struct {
+	N       int
+	Dropped string
+}
+
+func (v val) Pup(p *pup.Pup) { // want `field Dropped is not referenced in Pup`
+	p.Int(&v.N)
+}
+
+// Pup is a decoy type: other's method below has the right shape but the
+// parameter is not the framework's *pup.Pup, so it is ignored.
+type Pup struct{}
+
+type other struct{ X int }
+
+func (o *other) Pup(p *Pup) {}
+
+var _ = (&other{}).Pup

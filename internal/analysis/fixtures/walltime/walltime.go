@@ -1,0 +1,38 @@
+// Package walltime is a charmvet test fixture. Each `// want` comment
+// marks an expected walltime finding on its line; the package is excluded
+// from the real suite and exists only for the analyzer unit tests. The
+// import rename checks that the analyzer resolves packages through the
+// type checker rather than by identifier spelling.
+package walltime
+
+import (
+	"math/rand"
+	stdtime "time"
+)
+
+// Bad reads the wall clock.
+func Bad() stdtime.Time {
+	return stdtime.Now() // want `time.Now`
+}
+
+// BadSince derives a wall-clock duration.
+func BadSince(t stdtime.Time) stdtime.Duration {
+	return stdtime.Since(t) // want `time.Since`
+}
+
+// BadGlobalRand draws from the unseeded process-wide source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `rand.Intn`
+}
+
+// Good uses the explicitly seeded generator idiom; methods on a *rand.Rand
+// are not package-level calls and are not flagged.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// GoodWaived is a deliberate wall-clock read.
+func GoodWaived() stdtime.Time {
+	return stdtime.Now() //charmvet:wallclock (fixture: deliberate)
+}

@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"charmgo/internal/analysis"
+)
+
+// loadFixtures loads every fixture package once for all analyzer tests.
+var loadFixtures = sync.OnceValues(func() (map[string]*analysis.Package, error) {
+	pkgs, err := analysis.Load("../..", "./internal/analysis/fixtures/...")
+	if err != nil {
+		return nil, err
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return byPath, nil
+})
+
+// checkFixture runs one analyzer over its fixture package and compares the
+// findings against the fixture's `// want `backquoted-substring`` marks:
+// every finding must land on a marked line and match its substring, and
+// every mark must be hit — so each fixture proves both the positive and
+// the negative cases.
+func checkFixture(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	fixtures, err := loadFixtures()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	pkg := fixtures[path]
+	if pkg == nil {
+		t.Fatalf("fixture package %s not loaded", path)
+	}
+
+	type mark struct {
+		key  string // file:line
+		want string
+		hit  bool
+	}
+	var marks []*mark
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want `")
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len("want `"):]
+				j := strings.Index(rest, "`")
+				if j < 0 {
+					t.Fatalf("%s: unterminated want mark %q", pkg.Fset.Position(c.Pos()), text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				marks = append(marks, &mark{
+					key:  fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+					want: rest[:j],
+				})
+			}
+		}
+	}
+	if len(marks) == 0 {
+		t.Fatalf("fixture %s has no want marks", path)
+	}
+
+	var findings []analysis.Finding
+	analysis.RunAnalyzer(a, pkg, &findings)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, m := range marks {
+			if !m.hit && m.key == key && strings.Contains(f.Message, m.want) {
+				m.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, m := range marks {
+		if !m.hit {
+			t.Errorf("%s: expected a finding matching %q, got none", m.key, m.want)
+		}
+	}
+}
+
+func TestDetMap(t *testing.T) {
+	checkFixture(t, analysis.DetMap, "charmgo/internal/analysis/fixtures/detmap")
+}
+
+func TestWallTime(t *testing.T) {
+	checkFixture(t, analysis.WallTime, "charmgo/internal/analysis/fixtures/walltime")
+}
+
+func TestPupCheck(t *testing.T) {
+	checkFixture(t, analysis.PupCheck, "charmgo/internal/analysis/fixtures/pupcheck")
+}
+
+func TestNoSpawn(t *testing.T) {
+	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/nospawn")
+}
+
+// TestWaiversAreHonored double-checks the fixture waivers through the
+// suite path as well: running the default suite with the fixture exclusion
+// removed must flag fixture violations, proving the exclusion (not the
+// waivers) is what keeps fixtures out of TestCharmvetClean.
+func TestFixtureExclusion(t *testing.T) {
+	fixtures, err := loadFixtures()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	suite := analysis.DefaultSuite()
+	var all []*analysis.Package
+	for _, p := range fixtures {
+		all = append(all, p)
+	}
+	if got := suite.Run(all); len(got) != 0 {
+		t.Errorf("default suite must exclude fixtures, got %d findings", len(got))
+	}
+	suite.Exclude = nil
+	suite.Critical[analysis.DetMap.Name] = append(suite.Critical[analysis.DetMap.Name], "charmgo/internal/analysis/fixtures")
+	if got := suite.Run(all); len(got) == 0 {
+		t.Errorf("suite with exclusion removed should flag fixture violations")
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "go/ast"
+
+// NoSpawn flags `go` statements and `select` statements inside DES-driven
+// packages. The engine is single-threaded by design: every state change
+// happens inside an event executed at a virtual timestamp. A goroutine (or
+// a channel select racing several goroutines) reintroduces the host
+// scheduler as a hidden source of ordering, which breaks virtual-time
+// determinism and the load database's accounting. Subsystems that bridge
+// real I/O into the simulation (CCS's network server, AMPI's rank threads)
+// live outside these packages; a deliberate exception inside them needs a
+// //charmvet:spawn waiver.
+var NoSpawn = &Analyzer{
+	Name:   "nospawn",
+	Doc:    "flags goroutine spawns and selects in DES-driven packages",
+	Scoped: true,
+	Run:    runNoSpawn,
+}
+
+func runNoSpawn(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !pass.Waived(WaiverSpawn, n.Pos()) {
+					pass.Reportf(n.Pos(), "go statement spawns a goroutine inside a DES-driven package; schedule an event instead or annotate //charmvet:spawn")
+				}
+			case *ast.SelectStmt:
+				if !pass.Waived(WaiverSpawn, n.Pos()) {
+					pass.Reportf(n.Pos(), "select depends on goroutine scheduling inside a DES-driven package; use the event engine or annotate //charmvet:spawn")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PupCheck verifies PUP completeness: for every type with a
+// `Pup(*pup.Pup)` method, each field of the receiver's struct must be
+// referenced somewhere in the method body (directly or through a helper in
+// the same body) or carry a //pup:skip waiver on its declaration. A field
+// missing from Pup is silently zeroed on migration or checkpoint restore —
+// the classic silent-state-loss bug of migratable objects, invisible until
+// a load balancer happens to move the chare.
+var PupCheck = &Analyzer{
+	Name: "pupcheck",
+	Doc:  "flags struct fields not covered by the type's Pup method",
+	Run:  runPupCheck,
+}
+
+func runPupCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pass.checkPupMethod(fn)
+		}
+	}
+}
+
+func (p *Pass) checkPupMethod(fn *ast.FuncDecl) {
+	if fn.Name.Name != "Pup" || fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return
+	}
+	if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 || !isPupPtr(p, fn.Type.Params.List[0].Type) {
+		return
+	}
+	st := receiverStruct(p, fn.Recv.List[0].Type)
+	if st == nil {
+		return
+	}
+
+	// Mark every field of the receiver struct that the body selects,
+	// whatever the base expression: the common `c.Field`, pointer forms,
+	// and selections made on a local alias all resolve to the same field
+	// object through the type checker.
+	covered := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := p.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if f, ok := s.Obj().(*types.Var); ok {
+			covered[f] = true
+		}
+		return true
+	})
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" || covered[f] {
+			continue
+		}
+		if p.Waived(WaiverPupSkip, f.Pos()) {
+			continue
+		}
+		p.Reportf(fn.Name.Pos(), "field %s is not referenced in Pup; migration would silently drop it — pup it or annotate //pup:skip on the field",
+			f.Name())
+	}
+}
+
+// isPupPtr reports whether t denotes *pup.Pup (a pointer to a type named
+// Pup declared in a package named pup — the real framework in the runtime,
+// a stub in fixtures).
+func isPupPtr(p *Pass, t ast.Expr) bool {
+	ptr, ok := p.TypeOf(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pup" && obj.Pkg() != nil && obj.Pkg().Name() == "pup"
+}
+
+// receiverStruct resolves the receiver type expression to its struct
+// definition, or nil when the receiver is not a (pointer to a) struct.
+func receiverStruct(p *Pass, t ast.Expr) *types.Struct {
+	typ := p.TypeOf(t)
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	if typ == nil {
+		return nil
+	}
+	st, _ := typ.Underlying().(*types.Struct)
+	return st
+}

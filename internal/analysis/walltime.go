@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level time functions that read or depend
+// on the machine's real clock. Simulation code must use virtual time
+// (des.Engine.Now / After); a wall-clock read anywhere in an event handler
+// makes results depend on host speed and scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandExempt are the math/rand package-level functions that only
+// construct explicitly-seeded generators — the idiom determinism requires
+// (e.g. rand.New(rand.NewSource(seed)) as in lb.go's WorkStealing).
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// WallTime flags wall-clock reads (time.Now, time.Since, timers) and draws
+// from the global math/rand source in simulation code. The global rand
+// functions share an unseeded process-wide state, so two runs with the
+// same Config.Seed would diverge; methods on an explicitly seeded
+// *rand.Rand are fine and are not flagged.
+var WallTime = &Analyzer{
+	Name:   "walltime",
+	Doc:    "flags wall-clock and global math/rand use in simulation code",
+	Scoped: true,
+	Run:    runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := pass.packageOf(sel.X)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case pkgPath == "time" && wallClockFuncs[name]:
+				if !pass.Waived(WaiverWallclock, call.Pos()) {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation code must use virtual time (des.Engine) or annotate //charmvet:wallclock", name)
+				}
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandExempt[name]:
+				if !pass.Waived(WaiverWallclock, call.Pos()) {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) or annotate //charmvet:wallclock", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// packageOf resolves e to an imported package's path when e names a
+// package (handling import renames via the type checker).
+func (p *Pass) packageOf(e ast.Expr) (string, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -191,7 +191,7 @@ type block struct {
 	// Merge assembly (when acting as a freshly inserted parent).
 	MergeGot int
 
-	app *App
+	app *App //pup:skip (rebound by the array factory on arrival)
 }
 
 func (b *block) Pup(p *pup.Pup) {

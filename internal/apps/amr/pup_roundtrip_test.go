@@ -1,0 +1,33 @@
+package amr
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/pup/puptest"
+)
+
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &block{
+		B: 2, Step: 9, U: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		Want: 2, NbAdv: 1,
+		Topo: topoMsg{
+			SendTo: [3][]nbr{
+				{{Idx: charm.Idx3(1, 0, 0), Rel: 1, Quarter: -1}},
+				nil,
+				{{Idx: charm.Idx3(0, 0, 1), Rel: 0, Quarter: 2}},
+			},
+			RecvFrom: [3][]charm.Index{{charm.Idx3(1, 1, 0)}, nil, nil},
+			Expect:   [3]int{1, 0, 2},
+		},
+		Got:   [3]int{1, 0, 0},
+		Ghost: [3][]float64{{0.5, 0.5, 0.25, 0.25}, nil, nil},
+		Have:  [3][]bool{{true, false, true, false}, nil, nil},
+		Pend: []ghostMsg{
+			{Step: 10, Dim: 1, Data: []float64{9, 8}, Quarter: -1},
+		},
+		AwaitTopo: true, Decided: true,
+		RippleBuf: []int{2, 3},
+		Started:   true, MergeGot: 4,
+	})
+}

@@ -179,18 +179,18 @@ type piece struct {
 	ID   int
 	Step int
 	Ps   []float64 // pstride per particle
-	app  *App
+	app  *App      //pup:skip (rebound by the array factory on arrival)
 
 	// Per-step phase state (rebuilt each step; not serialized beyond
 	// what correctness needs — pieces only migrate between steps, where
 	// this state is reconstructable).
-	tree       *node
-	treeStep   int // step the current tree was built for
-	sums       []summary
-	nearReqs   int   // responses we still owe ourselves
-	nearSent   []int // pieces we asked for near-field work
-	Fs         []float64
-	pendingReq []gravReq
+	tree       *node     //pup:skip (rebuilt when treeStep != Step)
+	treeStep   int       //pup:skip (step the current tree was built for)
+	sums       []summary //pup:skip (per-step scratch)
+	nearReqs   int       //pup:skip (responses we still owe ourselves)
+	nearSent   []int     //pup:skip (pieces we asked for near-field work)
+	Fs         []float64 //pup:skip (recomputed every gravity phase)
+	pendingReq []gravReq //pup:skip (per-step scratch)
 	InSync     bool
 }
 

@@ -1,0 +1,18 @@
+package barnes
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+// TestPupRoundTrip covers the serialized piece state; the per-step phase
+// scratch (//pup:skip fields) is rebuilt after migration and stays zero.
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &piece{
+		ID:     3,
+		Step:   11,
+		Ps:     []float64{0.1, 0.2, 0.3, 0.01, 0.02, 0.03, 0.5},
+		InSync: true,
+	})
+}

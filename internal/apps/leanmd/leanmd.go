@@ -163,7 +163,7 @@ type cell struct {
 	WaitMig bool
 	InSync  bool
 
-	app *App
+	app *App //pup:skip (rebound by the array factory on arrival)
 }
 
 func (c *cell) Pup(p *pup.Pup) {
@@ -201,7 +201,7 @@ type compute struct {
 	GotB   bool
 	InSync bool
 
-	app *App
+	app *App //pup:skip (rebound by the array factory on arrival)
 }
 
 func (cp *compute) Pup(p *pup.Pup) {

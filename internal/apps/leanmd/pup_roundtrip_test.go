@@ -1,0 +1,29 @@
+package leanmd
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+// TestPupRoundTrip verifies the chare Pup methods reconstruct state
+// exactly; the runtime wiring (app, //pup:skip) is left nil so deep
+// equality covers every serialized field.
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t,
+		&cell{
+			I: 1, J: 2, K: 0, Step: 7,
+			Xs: []float64{0.1, 0.2, 0.3}, Vs: []float64{1, -1, 0.5},
+			Fs: []float64{0.01, 0.02, 0.03}, PEacc: -3.5,
+			Got: 4, MigGot: 1,
+			MigXs: []float64{0.9, 0.8, 0.7}, MigVs: []float64{0, 0, 1},
+			Pending: []forceMsg{{Step: 8, Fs: []float64{1, 2, 3}, PE: -0.25}},
+			WaitMig: true, InSync: true,
+		},
+		&compute{
+			A: [3]int{1, 2, 0}, B: [3]int{2, 2, 0}, Self: false, Step: 3,
+			XsA: []float64{0.5, 0.5, 0.5}, XsB: []float64{1.5, 0.5, 0.5},
+			GotA: true, GotB: false, InSync: true,
+		},
+	)
+}

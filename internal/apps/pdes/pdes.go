@@ -114,7 +114,7 @@ type lp struct {
 	RngLo uint64
 	RngHi uint64
 
-	app *App
+	app *App //pup:skip (rebound by the array factory on arrival)
 }
 
 func (l *lp) Pup(p *pup.Pup) {

@@ -1,0 +1,11 @@
+package pingpong
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &pinger{ID: 1, Got: 3, Need: 8, Bytes: 65536})
+}

@@ -53,7 +53,7 @@ type sorter struct {
 	GotSegs       int
 	PendingSegs   [][]uint64
 
-	lib *CharmSortLib
+	lib *CharmSortLib //pup:skip (rebound by the array factory on arrival)
 }
 
 func (s *sorter) Pup(p *pup.Pup) {

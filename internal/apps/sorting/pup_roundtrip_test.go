@@ -1,0 +1,20 @@
+package sorting
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &sorter{
+		ID:            2,
+		Keys:          []uint64{9, 1, 5},
+		Client:        1,
+		HaveSplitters: true,
+		Splitters:     []uint64{4, 8},
+		Runs:          [][]uint64{{1, 2}, {7}},
+		GotSegs:       3,
+		PendingSegs:   [][]uint64{{11, 13}},
+	})
+}

@@ -1,0 +1,21 @@
+package stencil
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &block{
+		BI: 1, BJ: 2, B: 2, NB: 3, Iter: 4,
+		Cur: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		New: []float64{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4},
+		Got: 2,
+		Buffer: []ghostMsg{
+			{Side: 0, Iter: 5, Data: []float64{0.5, 0.25}},
+			{Side: 3, Iter: 5, Data: []float64{-1, 2}},
+		},
+		InSync: true, Started: true,
+	})
+}

@@ -219,7 +219,7 @@ func (s *Server) Drive(slice des.Time, done func() bool) {
 	for !done() {
 		eng.RunUntil(eng.Now() + slice)
 		if s.Pump() == 0 && eng.Pending() == 0 {
-			time.Sleep(time.Millisecond)
+			time.Sleep(time.Millisecond) //charmvet:wallclock (real-I/O yield while awaiting external clients)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -189,12 +190,12 @@ func TestDriveIntegratesPumping(t *testing.T) {
 		defer c.Close()
 		c.Call("ping", "")
 	}()
-	done := false
+	var done atomic.Bool
 	go func() {
 		<-handled
-		done = true
+		done.Store(true)
 	}()
-	srv.Drive(0.01, func() bool { return done })
+	srv.Drive(0.01, done.Load)
 	select {
 	case <-handled:
 	case <-time.After(5 * time.Second):

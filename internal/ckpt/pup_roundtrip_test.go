@@ -1,0 +1,24 @@
+package ckpt
+
+import (
+	"testing"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/pup/puptest"
+)
+
+// TestPupRoundTrip covers the checkpoint container types themselves: a
+// snapshot that loses state while being written is as fatal as a chare
+// that loses state while being captured.
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t,
+		&ElemSnap{Idx: charm.Idx2(3, 4), PE: 2, Data: []byte{1, 2, 3}},
+		&ArraySnap{Name: "cells", Elems: []ElemSnap{
+			{Idx: charm.Idx1(0), PE: 0, Data: []byte{9}},
+			{Idx: charm.Idx1(1), PE: 1, Data: nil},
+		}},
+		&Snapshot{TakenAt: 12.5, NumPEs: 8, Arrays: []ArraySnap{
+			{Name: "a", Elems: []ElemSnap{{Idx: charm.Idx1(7), PE: 3, Data: []byte("state")}}},
+		}},
+	)
+}

@@ -1,0 +1,11 @@
+package figures
+
+import (
+	"testing"
+
+	"charmgo/internal/pup/puptest"
+)
+
+func TestPupRoundTrip(t *testing.T) {
+	puptest.CheckEqual(t, &thermalWorker{Steps: 120, Work: 4.5e-3})
+}

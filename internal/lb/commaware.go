@@ -72,6 +72,21 @@ func (ca CommAware) Balance(objs []charm.LBObject, pes []charm.LBPE) []charm.Mig
 			addEdge(j, i, float64(e.Bytes))
 		}
 	}
+	// Flatten to neighbour lists in ascending-index order: the scoring
+	// loops below accumulate floats, and map-order summation would let
+	// last-bit rounding differences flip placement decisions between
+	// otherwise identical runs.
+	type edge struct {
+		j     int
+		bytes float64
+	}
+	edges := make([][]edge, len(objs))
+	for i, adj := range affinity {
+		for j, b := range adj {
+			edges[i] = append(edges[i], edge{j, b})
+		}
+		sort.Slice(edges[i], func(a, b int) bool { return edges[i][a].j < edges[i][b].j })
+	}
 
 	// Greedy placement, heaviest (load + comm degree) first.
 	order := make([]int, len(objs))
@@ -80,8 +95,8 @@ func (ca CommAware) Balance(objs []charm.LBObject, pes []charm.LBPE) []charm.Mig
 	}
 	weight := func(i int) float64 {
 		s := objs[i].Load
-		for _, b := range affinity[i] {
-			s += w * b / 2
+		for _, e := range edges[i] {
+			s += w * e.bytes / 2
 		}
 		return s
 	}
@@ -111,9 +126,9 @@ func (ca CommAware) Balance(objs []charm.LBObject, pes []charm.LBPE) []charm.Mig
 			}
 			score := (load[p.ID] + objs[oi].Load) / s
 			// Credit communication with objects already on p.
-			for j, bytes := range affinity[oi] {
-				if dest[j] == p.ID {
-					score -= w * bytes
+			for _, e := range edges[oi] {
+				if dest[e.j] == p.ID {
+					score -= w * e.bytes
 				}
 			}
 			if bestPE < 0 || score < bestScore {
