@@ -1,0 +1,130 @@
+// parsimbench measures the parallel (parsim) backend against the
+// sequential engine on a large Stencil2D run and emits BENCH_parsim.json.
+// The two backends are required to produce identical results — the
+// benchmark refuses to report a speedup on diverging runs.
+//
+// Wall-clock speedup depends on the host: with fewer physical CPUs than
+// workers the parallel backend degrades gracefully toward sequential
+// speed. The report therefore also includes host_cpus and the engine's
+// own scheduling counters — phase_parallel_fraction says how much of the
+// event stream the engine proved independent and handed to workers, which
+// is a host-independent measure of the parallelism exposed.
+//
+// Usage:
+//
+//	go run ./cmd/parsimbench -out BENCH_parsim.json   # full benchmark
+//	go run ./cmd/parsimbench -smoke                   # small config for CI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"charmgo/internal/apps/stencil"
+	"charmgo/internal/charm"
+	"charmgo/internal/machine"
+	"charmgo/internal/parsim"
+)
+
+type result struct {
+	Benchmark        string  `json:"benchmark"`
+	Machine          string  `json:"machine"`
+	VirtualPEs       int     `json:"virtual_pes"`
+	GridN            int     `json:"grid_n"`
+	Chares           int     `json:"chares"` // per dimension
+	Iters            int     `json:"iters"`
+	HostCPUs         int     `json:"host_cpus"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Workers          int     `json:"workers"`
+	SequentialNsOp   int64   `json:"sequential_ns_per_op"`
+	ParallelNsOp     int64   `json:"parallel_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	EventsExecuted   uint64  `json:"events_executed"`
+	PhasesLaunched   uint64  `json:"phases_launched"`
+	PhasesInline     uint64  `json:"phases_inline"`
+	GlobalEvents     uint64  `json:"global_events"`
+	MaxInFlight      int     `json:"max_in_flight"`
+	ParallelFraction float64 `json:"phase_parallel_fraction"`
+	DigestsIdentical bool    `json:"digests_identical"`
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "small configuration for CI: validates the harness, not the speedup")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
+	workers := flag.Int("workers", 8, "parsim worker goroutines (and GOMAXPROCS) for the parallel run")
+	flag.Parse()
+
+	pes, grid, chares, iters := 256, 4096, 16, 20
+	if *smoke {
+		pes, grid, chares, iters = 16, 192, 4, 6
+	}
+	cfg := stencil.Config{GridN: grid, Chares: chares, Iters: iters}
+
+	runtime.GOMAXPROCS(*workers)
+
+	seqNs, seqSummary, _ := run(pes, "sequential", 0, cfg)
+	parNs, parSummary, eng := run(pes, "parallel", *workers, cfg)
+	st := eng.(*parsim.Engine).EngineStats()
+
+	r := result{
+		Benchmark:        "Stencil2D/jacobi",
+		Machine:          fmt.Sprintf("Testbed(%d)", pes),
+		VirtualPEs:       pes,
+		GridN:            grid,
+		Chares:           chares,
+		Iters:            iters,
+		HostCPUs:         runtime.NumCPU(),
+		GOMAXPROCS:       *workers,
+		Workers:          *workers,
+		SequentialNsOp:   seqNs,
+		ParallelNsOp:     parNs,
+		Speedup:          float64(seqNs) / float64(parNs),
+		EventsExecuted:   st.Launched + st.Inline + st.Global,
+		PhasesLaunched:   st.Launched,
+		PhasesInline:     st.Inline,
+		GlobalEvents:     st.Global,
+		MaxInFlight:      st.MaxInFlight,
+		ParallelFraction: float64(st.Launched) / float64(st.Launched+st.Inline+st.Global),
+		DigestsIdentical: seqSummary == parSummary,
+	}
+	if !r.DigestsIdentical {
+		fmt.Fprintf(os.Stderr, "parsimbench: backend divergence!\n  sequential: %s\n  parallel:   %s\n", seqSummary, parSummary)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsimbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "parsimbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run executes one Stencil2D simulation and returns wall-clock ns, a
+// result summary for the cross-backend identity check, and the engine.
+func run(pes int, backend string, workers int, cfg stencil.Config) (int64, string, interface{ Executed() uint64 }) {
+	mc := machine.Testbed(pes)
+	mc.Backend = backend
+	mc.ParallelWorkers = workers
+	rt := charm.New(machine.New(mc))
+	start := time.Now()
+	res, err := stencil.Run(rt, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parsimbench: %s run: %v\n", backend, err)
+		os.Exit(1)
+	}
+	ns := time.Since(start).Nanoseconds()
+	summary := fmt.Sprintf("events=%d residuals=%v done=%v", rt.Engine().Executed(), res.Residuals, res.IterDone)
+	return ns, summary, rt.Engine()
+}

@@ -84,6 +84,12 @@ const (
 	// WaiverSpawn marks a deliberate goroutine or select (real-I/O
 	// subsystems that bridge into the simulation).
 	WaiverSpawn = "charmvet:spawn"
+	// WaiverParsim marks the parallel engine's phase-worker spawns. It is
+	// honored only inside parsim packages: the conservative scheduler is
+	// the one place where goroutines provably cannot reorder events (see
+	// internal/parsim's package comment), so the waiver must not leak into
+	// runtime or app code.
+	WaiverParsim = "charmvet:parsim"
 	// WaiverPupSkip marks a struct field deliberately absent from the
 	// type's Pup method (caches, runtime wiring rebuilt after migration).
 	WaiverPupSkip = "pup:skip"
@@ -114,7 +120,7 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverPupSkip} {
+				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim, WaiverPupSkip} {
 					if text == name || strings.HasPrefix(text, name+" ") {
 						pos := fset.Position(c.Pos())
 						// Waive the directive's own line and the next one,
@@ -150,6 +156,7 @@ func DefaultSuite() *Suite {
 		Critical: map[string][]string{
 			DetMap.Name: {
 				"charmgo/internal/des",
+				"charmgo/internal/parsim",
 				"charmgo/internal/charm",
 				"charmgo/internal/machine",
 				"charmgo/internal/lb",
@@ -158,6 +165,7 @@ func DefaultSuite() *Suite {
 			},
 			NoSpawn.Name: {
 				"charmgo/internal/des",
+				"charmgo/internal/parsim",
 				"charmgo/internal/charm",
 				"charmgo/internal/machine",
 				"charmgo/internal/lb",

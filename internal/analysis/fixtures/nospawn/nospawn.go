@@ -24,6 +24,13 @@ func GoodWaived(fn func()) {
 	go fn()
 }
 
+// BadBorrowedParsimWaiver tries to borrow the parallel engine's waiver
+// outside a parsim package; the waiver is scoped and must not apply.
+func BadBorrowedParsimWaiver(fn func()) {
+	//charmvet:parsim (not honored here)
+	go fn() // want `charmvet:parsim waiver is only honored inside the parsim engine`
+}
+
 // Good hands the closure to the event engine instead of the Go scheduler.
 func Good(schedule func(func())) {
 	schedule(func() {})

@@ -1,0 +1,17 @@
+// Package parsim is a charmvet test fixture for the //charmvet:parsim
+// waiver: its import path ends in /parsim, so the waiver is honored here
+// exactly as it is in the real engine package. The unwaived spawn still
+// gets a finding, proving the waiver covers only annotated lines.
+package parsim
+
+// GoodWorkerSpawn mirrors the engine's phase-worker launch: the waiver is
+// honored because this is a parsim package.
+func GoodWorkerSpawn(worker func()) {
+	//charmvet:parsim (phase workers execute provably independent events)
+	go worker()
+}
+
+// BadUnwaivedSpawn has no waiver and is flagged even inside parsim.
+func BadUnwaivedSpawn(fn func()) {
+	go fn() // want `go statement`
+}

@@ -108,6 +108,10 @@ func TestNoSpawn(t *testing.T) {
 	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/nospawn")
 }
 
+func TestNoSpawnParsimWaiver(t *testing.T) {
+	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/parsim")
+}
+
 // TestWaiversAreHonored double-checks the fixture waivers through the
 // suite path as well: running the default suite with the fixture exclusion
 // removed must flag fixture violations, proving the exclusion (not the

@@ -1,6 +1,9 @@
 package analysis
 
-import "go/ast"
+import (
+	"go/ast"
+	"strings"
+)
 
 // NoSpawn flags `go` statements and `select` statements inside DES-driven
 // packages. The engine is single-threaded by design: every state change
@@ -11,6 +14,14 @@ import "go/ast"
 // real I/O into the simulation (CCS's network server, AMPI's rank threads)
 // live outside these packages; a deliberate exception inside them needs a
 // //charmvet:spawn waiver.
+//
+// The parallel engine is the one sanctioned exception to the
+// single-threaded rule: its phase workers execute events the conservative
+// window has proven independent, and its commits stay in sequential order
+// (see internal/parsim). Its spawns carry the //charmvet:parsim waiver,
+// which is honored only inside parsim packages — anywhere else it is
+// ignored, so the engine's license cannot be borrowed by runtime or app
+// code.
 var NoSpawn = &Analyzer{
 	Name:   "nospawn",
 	Doc:    "flags goroutine spawns and selects in DES-driven packages",
@@ -19,13 +30,24 @@ var NoSpawn = &Analyzer{
 }
 
 func runNoSpawn(pass *Pass) {
+	parsimPkg := pass.Path == "charmgo/internal/parsim" ||
+		strings.HasPrefix(pass.Path, "charmgo/internal/parsim/") ||
+		strings.HasSuffix(pass.Path, "/parsim") // fixture package for the waiver tests
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				if !pass.Waived(WaiverSpawn, n.Pos()) {
-					pass.Reportf(n.Pos(), "go statement spawns a goroutine inside a DES-driven package; schedule an event instead or annotate //charmvet:spawn")
+				if pass.Waived(WaiverSpawn, n.Pos()) {
+					break
 				}
+				if pass.Waived(WaiverParsim, n.Pos()) {
+					if parsimPkg {
+						break
+					}
+					pass.Reportf(n.Pos(), "charmvet:parsim waiver is only honored inside the parsim engine; go statement spawns a goroutine inside a DES-driven package")
+					break
+				}
+				pass.Reportf(n.Pos(), "go statement spawns a goroutine inside a DES-driven package; schedule an event instead or annotate //charmvet:spawn")
 			case *ast.SelectStmt:
 				if !pass.Waived(WaiverSpawn, n.Pos()) {
 					pass.Reportf(n.Pos(), "select depends on goroutine scheduling inside a DES-driven package; use the event engine or annotate //charmvet:spawn")

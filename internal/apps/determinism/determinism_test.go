@@ -33,7 +33,7 @@ func digestedRun(t *testing.T, mk func() machine.Config, run func(rt *charm.Runt
 
 	h := sha256.New()
 	fmt.Fprintf(h, "summary %s\n", summary)
-	fmt.Fprintf(h, "events %d\n", rt.Engine().Executed)
+	fmt.Fprintf(h, "events %d\n", rt.Engine().Executed())
 	fmt.Fprintf(h, "stats %+v\n", rt.Stats)
 	if err := tr.WriteJSON(h); err != nil {
 		t.Fatalf("writing trace: %v", err)

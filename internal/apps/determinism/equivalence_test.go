@@ -1,0 +1,101 @@
+package determinism
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
+	"charmgo/internal/apps/stencil"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+)
+
+// The cross-backend equivalence suite: every app must produce a
+// bit-identical run digest on the sequential engine and on the parsim
+// parallel engine, at several GOMAXPROCS settings. The digest covers the
+// full utilization/message trace, the executed-event count, and the
+// runtime statistics, so "identical" here means the parallel backend
+// reproduced the sequential run event for event.
+
+// withBackend overlays a backend selection on a machine config factory.
+func withBackend(mk func() machine.Config, backend string) func() machine.Config {
+	return func() machine.Config {
+		c := mk()
+		c.Backend = backend
+		return c
+	}
+}
+
+func assertCrossBackend(t *testing.T, name string, mk func() machine.Config, run func(rt *charm.Runtime) string) {
+	t.Helper()
+	seq := digestedRun(t, withBackend(mk, "sequential"), run)
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			par := digestedRun(t, withBackend(mk, "parallel"), run)
+			if par != seq {
+				t.Errorf("%s: parallel backend diverged from sequential at GOMAXPROCS=%d:\n  sequential: %s\n  parallel:   %s",
+					name, procs, seq, par)
+			}
+		})
+	}
+}
+
+// Testbed machines put one PE per node, which maximizes sharding: every PE
+// is its own conservative-window shard, so these runs exercise the widest
+// possible parallelism in the engine.
+
+func TestLeanMDCrossBackend(t *testing.T) {
+	cfg := leanmd.Config{
+		CellsX: 3, CellsY: 3, CellsZ: 3,
+		AtomsPerCell: 20, Steps: 8, Seed: 42,
+		LBPeriod: 3, Gaussian: 0.35, // imbalance + migrations in the loop
+	}
+	assertCrossBackend(t, "leanmd",
+		func() machine.Config { return machine.Testbed(8) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Greedy{})
+			res, err := leanmd.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("atoms=%d energy=%v stepdone=%v", res.Atoms, res.Energy, res.StepDone)
+		})
+}
+
+func TestPDESCrossBackend(t *testing.T) {
+	cfg := pdes.Config{
+		LPs: 64, EventsPerLP: 8, TargetEvents: 4000, Seed: 42,
+		UseTram: true, LBPeriodWindows: 4,
+	}
+	assertCrossBackend(t, "pdes",
+		func() machine.Config { return machine.Testbed(16) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Greedy{})
+			res, err := pdes.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("committed=%d windows=%d maxvt=%v", res.Committed, res.Windows, res.MaxVT)
+		})
+}
+
+func TestStencilCrossBackend(t *testing.T) {
+	cfg := stencil.Config{
+		GridN: 96, Chares: 12, Iters: 12, LBPeriod: 4,
+	}
+	assertCrossBackend(t, "stencil",
+		func() machine.Config { return machine.Testbed(16) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Greedy{})
+			res, err := stencil.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("iters=%d residuals=%v done=%v", len(res.Residuals), res.Residuals, res.IterDone)
+		})
+}

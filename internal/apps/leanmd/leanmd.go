@@ -562,8 +562,9 @@ func (a *App) beginStep(c *cell, ctx *charm.Ctx) {
 		c.Pending = nil
 		for _, f := range pend {
 			if f.Step != c.Step {
-				a.err = fmt.Errorf("leanmd: cell (%d,%d,%d) got force for step %d at step %d",
+				err := fmt.Errorf("leanmd: cell (%d,%d,%d) got force for step %d at step %d",
 					c.I, c.J, c.K, f.Step, c.Step)
+				ctx.Defer(func() { a.err = err }) // app-global latch: publish at commit
 				ctx.Exit()
 				return
 			}
@@ -587,7 +588,8 @@ func (a *App) exchangeAtoms(c *cell, ctx *charm.Ctx) {
 	for i := 0; i < c.n(); i++ {
 		x, y, z := c.Xs[3*i], c.Xs[3*i+1], c.Xs[3*i+2]
 		if !finite(x) || !finite(y) || !finite(z) {
-			a.err = fmt.Errorf("leanmd: non-finite position at cell (%d,%d,%d); integration blew up", c.I, c.J, c.K)
+			err := fmt.Errorf("leanmd: non-finite position at cell (%d,%d,%d); integration blew up", c.I, c.J, c.K)
+			ctx.Defer(func() { a.err = err })
 			ctx.Exit()
 			return
 		}
@@ -624,7 +626,8 @@ func (a *App) exchangeAtoms(c *cell, ctx *charm.Ctx) {
 		lost++
 	}
 	if lost > 0 {
-		a.err = fmt.Errorf("leanmd: %d atoms crossed more than one cell; reduce Dt", lost)
+		err := fmt.Errorf("leanmd: %d atoms crossed more than one cell; reduce Dt", lost)
+		ctx.Defer(func() { a.err = err })
 		ctx.Exit()
 	}
 	a.maybeFinishExchange(c, ctx)
@@ -680,8 +683,9 @@ func (a *App) onComputePos(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	cp.app = a
 	m := msg.(posMsg)
 	if m.Step != cp.Step {
-		a.err = fmt.Errorf("leanmd: compute %v/%v got positions for step %d at step %d",
+		err := fmt.Errorf("leanmd: compute %v/%v got positions for step %d at step %d",
 			cp.A, cp.B, m.Step, cp.Step)
+		ctx.Defer(func() { a.err = err })
 		ctx.Exit()
 		return
 	}

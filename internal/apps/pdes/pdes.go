@@ -281,14 +281,20 @@ func (a *App) onExecute(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	l := obj.(*lp)
 	l.app = a
 	w := msg.(float64)
+	// App-level aggregates (committed count, max virtual time) are shared
+	// across LPs, so the handler accumulates locally and publishes via
+	// Defer; max and sum merges are order-insensitive, so the result is
+	// identical on both backends.
+	var done int64
+	localMax := math.Inf(-1)
 	for len(l.Q) > 0 && l.Q[0] < w {
 		ts := heap.Pop(&l.Q).(float64)
-		if ts > a.res.MaxVT {
-			a.res.MaxVT = ts
+		if ts > localMax {
+			localMax = ts
 		}
 		ctx.Charge(a.cfg.EventWork)
 		l.Exec++
-		a.committed++
+		done++
 		// Successor: random LP, random future time (conservative:
 		// at least Lookahead away).
 		nts := ts + a.cfg.Lookahead + l.expo(a.cfg.MeanDelay)
@@ -304,6 +310,14 @@ func (a *App) onExecute(obj charm.Chare, ctx *charm.Ctx, msg any) {
 				&charm.SendOpts{Bytes: 32})
 		}
 	}
+	if done > 0 {
+		ctx.Defer(func() {
+			a.committed += done
+			if localMax > a.res.MaxVT {
+				a.res.MaxVT = localMax
+			}
+		})
+	}
 }
 
 // onEvent enqueues an incoming event.
@@ -312,8 +326,11 @@ func (a *App) onEvent(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	l.app = a
 	ts := msg.(float64)
 	if ts < a.window {
-		// Conservative protocol violated — fail loudly.
-		a.err = fmt.Errorf("pdes: event at %v arrived inside open window %v", ts, a.window)
+		// Conservative protocol violated — fail loudly. The error latch is
+		// app-global, so it is published at commit time.
+		ctx.Defer(func() {
+			a.err = fmt.Errorf("pdes: event at %v arrived inside open window %v", ts, a.window)
+		})
 		ctx.Exit()
 		return
 	}

@@ -388,8 +388,9 @@ func (a *App) advance(b *block, ctx *charm.Ctx) {
 		b.Buffer = nil
 		for _, g := range buf {
 			if g.Iter != b.Iter {
-				a.err = fmt.Errorf("stencil: block (%d,%d) buffered ghost for iter %d at iter %d",
+				err := fmt.Errorf("stencil: block (%d,%d) buffered ghost for iter %d at iter %d",
 					b.BI, b.BJ, g.Iter, b.Iter)
+				ctx.Defer(func() { a.err = err }) // app-global latch: publish at commit
 				ctx.Exit()
 				return
 			}

@@ -123,7 +123,6 @@ func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
 		if el.key.array != bm.arr {
 			continue
 		}
-		rt.inflight++
 		m := &message{
 			dest:    el.key,
 			destPE:  -1,
@@ -133,7 +132,10 @@ func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
 			size:    bm.size,
 			srcPE:   p,
 		}
-		rt.enqueue(m, p)
+		ctx.emit(func() {
+			rt.inflight++
+			rt.enqueue(m, p)
+		})
 	}
 	_ = arr
 }
@@ -176,33 +178,39 @@ func (c *Ctx) Contribute(value any, reducer Reducer, cb Callback) {
 	gen := el.redGen
 	el.redGen++
 	key := redKey{arr: el.key.array, gen: gen}
-	run, ok := rt.reductions[key]
-	if !ok {
-		expected := rt.arrays[key.arr].Len()
-		if expected == 0 {
-			panic("charm: reduction over empty array")
-		}
-		run = &redRun{key: key, expected: expected, reducer: reducer, cb: cb}
-		rt.reductions[key] = run
-	}
-	if run.has {
-		run.val = reducer.Merge(run.val, value)
-	} else {
-		run.val, run.has = value, true
-	}
-	run.got++
 	c.Charge(2e-7) // contribution bookkeeping
-	if run.got < run.expected {
-		return
-	}
-	// Complete: deliver the result after the combining tree's latency.
-	result := run.val
-	fireCB := run.cb
-	delete(rt.reductions, key)
-	rt.eng.At(c.Now()+rt.barrierLatency(), func() {
-		ctx := rt.newCtx(0, nil)
-		fireCB.fire(ctx, result)
-		rt.finishExec(ctx, nil)
+	at := c.Now()
+	// The merge touches the runtime's global reduction table, so it is a
+	// deferred effect; the contribution's timestamp is captured now, at
+	// the virtual moment the element contributed.
+	c.emit(func() {
+		run, ok := rt.reductions[key]
+		if !ok {
+			expected := rt.arrays[key.arr].Len()
+			if expected == 0 {
+				panic("charm: reduction over empty array")
+			}
+			run = &redRun{key: key, expected: expected, reducer: reducer, cb: cb}
+			rt.reductions[key] = run
+		}
+		if run.has {
+			run.val = reducer.Merge(run.val, value)
+		} else {
+			run.val, run.has = value, true
+		}
+		run.got++
+		if run.got < run.expected {
+			return
+		}
+		// Complete: deliver the result after the combining tree's latency.
+		result := run.val
+		fireCB := run.cb
+		delete(rt.reductions, key)
+		rt.eng.At(at+rt.barrierLatency(), func() {
+			ctx := rt.newCtx(0, nil)
+			fireCB.fire(ctx, result)
+			rt.finishExec(ctx, nil)
+		})
 	})
 }
 

@@ -5,6 +5,15 @@ import (
 	"charmgo/internal/pup"
 )
 
+// fxList is an ordered buffer of deferred global effects. Element-handler
+// contexts on the parallel backend collect their globally visible actions
+// (sends, reduction merges, statistics) here during the concurrent phase;
+// the commit replays them in call order, exactly reproducing the
+// sequential interleaving.
+type fxList struct {
+	fns []func()
+}
+
 // Ctx is the execution context of a running entry method (or PE handler).
 // It accumulates the method's modeled compute cost and stamps outgoing
 // messages at the virtual moment they are sent.
@@ -12,12 +21,53 @@ type Ctx struct {
 	rt      *Runtime
 	pe      int
 	elem    *element // nil in PE handlers and the main chare
+	start   des.Time // event start time (the engine clock when created)
 	elapsed des.Time // cost accumulated so far in this execution
 	exitReq bool
+	fx      *fxList // nil: immediate mode; non-nil: buffered (parallel phase)
 }
 
 func (rt *Runtime) newCtx(pe int, el *element) *Ctx {
-	return &Ctx{rt: rt, pe: pe, elem: el}
+	return rt.newCtxAt(pe, el, rt.eng.Now())
+}
+
+// newCtxAt creates a context with an explicit event start time; the
+// parallel backend uses it because the engine clock reads as the window
+// start while phases run concurrently.
+func (rt *Runtime) newCtxAt(pe int, el *element, at des.Time) *Ctx {
+	return &Ctx{rt: rt, pe: pe, elem: el, start: at}
+}
+
+// emit runs fn now in immediate mode, or appends it to the effect buffer
+// in buffered mode.
+func (c *Ctx) emit(fn func()) {
+	if c.fx == nil {
+		fn()
+		return
+	}
+	c.fx.fns = append(c.fx.fns, fn)
+}
+
+// Defer runs fn after the current entry method's effects become globally
+// visible: immediately after the handler on the sequential backend, and in
+// the event's commit on the parallel backend. Handlers that mutate state
+// shared beyond their element (driver-level aggregates, error latches)
+// must route those writes through Defer so the parallel backend can run
+// handler bodies concurrently.
+func (c *Ctx) Defer(fn func()) { c.emit(fn) }
+
+// flushFX replays the buffered effects in call order and switches the
+// context to immediate mode first, so an effect that defers further work
+// runs it inline at its own position in the order.
+func (c *Ctx) flushFX() {
+	if c.fx == nil {
+		return
+	}
+	fx := c.fx
+	c.fx = nil
+	for i := 0; i < len(fx.fns); i++ {
+		fx.fns[i]()
+	}
 }
 
 // Runtime returns the owning runtime.
@@ -39,7 +89,7 @@ func (c *Ctx) Index() Index {
 
 // Now returns the virtual time at the current point of the execution
 // (event start plus cost charged so far).
-func (c *Ctx) Now() des.Time { return c.rt.eng.Now() + c.elapsed }
+func (c *Ctx) Now() des.Time { return c.start + c.elapsed }
 
 // Charge adds compute cost: work is seconds on a dedicated PE at base
 // frequency, scaled by the PE's current speed (DVFS, interference).
@@ -120,7 +170,8 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 			c.elem.comm[m.dest] += uint64(size)
 		}
 	}
-	c.rt.send(m, c.Now())
+	at := c.Now()
+	c.emit(func() { c.rt.send(m, at) })
 }
 
 // SendPE invokes a PE-level handler on the destination PE.
@@ -139,7 +190,8 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 		size:    size,
 		srcPE:   c.pe,
 	}
-	c.rt.send(m, c.Now())
+	at := c.Now()
+	c.emit(func() { c.rt.send(m, at) })
 }
 
 // LocalInvoke runs an entry method on a local element synchronously within
@@ -152,7 +204,8 @@ func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
 	if !ok {
 		panic("charm: LocalInvoke on non-local element " + key.String())
 	}
-	sub := c.rt.newCtx(c.pe, el)
+	sub := c.rt.newCtxAt(c.pe, el, c.start)
+	sub.fx = c.fx // share the caller's effect buffer (and its mode)
 	arr.handlers[ep](el.obj, sub, payload)
 	c.elapsed += sub.elapsed
 	if sub.exitReq {
@@ -180,8 +233,10 @@ func (c *Ctx) AtSync() {
 		return
 	}
 	el.atSync = true
-	c.rt.lbArrived++
-	c.rt.maybeStartLB()
+	c.emit(func() {
+		c.rt.lbArrived++
+		c.rt.maybeStartLB()
+	})
 }
 
 // Migrate requests migration of the executing element to a specific PE
@@ -196,7 +251,8 @@ func (c *Ctx) Migrate(toPE int) {
 	if toPE == from {
 		return
 	}
-	rt.eng.At(c.Now(), func() { rt.moveElement(el, toPE, true) })
+	at := c.Now()
+	c.emit(func() { rt.eng.At(at, func() { rt.moveElement(el, toPE, true) }) })
 }
 
 // Insert creates a new element of arr with the given initial state on this
@@ -205,12 +261,18 @@ func (c *Ctx) Migrate(toPE int) {
 // the creating element's current reduction generation, so in-progress and
 // future reductions stay aligned across restructuring.
 func (c *Ctx) Insert(arr *Array, idx Index, obj Chare) {
-	c.rt.insertElement(arr, idx, obj, c.pe, true)
+	gen, haveGen := uint64(0), false
 	if c.elem != nil {
-		if el, ok := c.rt.pes[c.pe].elems[elemKey{array: arr.id, idx: idx}]; ok {
-			el.redGen = c.elem.redGen
-		}
+		gen, haveGen = c.elem.redGen, true
 	}
+	c.emit(func() {
+		c.rt.insertElement(arr, idx, obj, c.pe, true)
+		if haveGen {
+			if el, ok := c.rt.pes[c.pe].elems[elemKey{array: arr.id, idx: idx}]; ok {
+				el.redGen = gen
+			}
+		}
+	})
 }
 
 // Destroy removes element idx of arr, which must live on this PE (used by
@@ -222,5 +284,5 @@ func (c *Ctx) Destroy(arr *Array, idx Index) {
 	if !ok {
 		panic("charm: Destroy of non-local element " + key.String())
 	}
-	c.rt.removeElement(el)
+	c.emit(func() { c.rt.removeElement(el) })
 }

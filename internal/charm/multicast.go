@@ -49,7 +49,8 @@ func (c *Ctx) Multicast(arr *Array, idxs []Index, ep EP, payload any, opts *Send
 			size: size, prio: prio,
 		}, &SendOpts{Bytes: size + 16*len(group), Prio: prio})
 		// Each element in the section is one logical application message.
-		c.rt.inflight += len(group)
+		n := len(group)
+		c.emit(func() { c.rt.inflight += n })
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"charmgo/internal/des"
 	"charmgo/internal/machine"
+	"charmgo/internal/parsim"
 	"charmgo/internal/pup"
 )
 
@@ -96,8 +97,14 @@ func (p *peState) removeSorted(el *element) {
 // Runtime is the adaptive RTS: it owns the machine, the event engine, the
 // chare arrays, and the location manager.
 type Runtime struct {
-	eng  *des.Engine
+	eng  des.Engine
 	mach *machine.Machine
+
+	// parallel marks the parsim backend: element-handler contexts buffer
+	// their global effects (see Ctx.fx) so handler bodies can run
+	// concurrently, and PE→shard mapping follows the node layout.
+	parallel bool
+	peShard  []int // PE id -> shard (node) id
 
 	pes        []*peState
 	arrays     []*Array
@@ -150,10 +157,29 @@ type RuntimeStats struct {
 	EntryTime     des.Time // total virtual compute across PEs
 }
 
-// New creates a runtime over a machine.
+// New creates a runtime over a machine. The machine config's Backend field
+// selects the event engine: sequential (the default) or the conservative
+// parallel engine of internal/parsim; both produce bit-identical runs.
 func New(m *machine.Machine) *Runtime {
+	cfg := m.Config()
+	var eng des.Engine
+	parallel := false
+	switch cfg.Backend {
+	case "", "sequential":
+		eng = des.NewEngine()
+	case "parallel", "parsim":
+		eng = parsim.New(parsim.Options{
+			Lookahead: des.Time(cfg.Alpha),
+			Shards:    m.NumNodes(),
+			Workers:   cfg.ParallelWorkers,
+		})
+		parallel = true
+	default:
+		panic(fmt.Sprintf("charm: unknown backend %q (want \"sequential\" or \"parallel\")", cfg.Backend))
+	}
 	rt := &Runtime{
-		eng:        des.NewEngine(),
+		eng:        eng,
+		parallel:   parallel,
 		mach:       m,
 		arrayNames: map[string]*Array{},
 		owner:      map[elemKey]int{},
@@ -165,6 +191,7 @@ func New(m *machine.Machine) *Runtime {
 	rt.funcPEH = rt.DeclarePEHandler(rt.funcHandler)
 	rt.mcastPEH = rt.DeclarePEHandler(rt.mcastHandler)
 	rt.pes = make([]*peState, m.NumPEs())
+	rt.peShard = make([]int, m.NumPEs())
 	for i := range rt.pes {
 		rt.pes[i] = &peState{
 			id:       i,
@@ -172,13 +199,19 @@ func New(m *machine.Machine) *Runtime {
 			elems:    map[elemKey]*element{},
 			locCache: map[elemKey]int{},
 		}
+		rt.peShard[i] = i / cfg.PEsPerNode
 	}
 	return rt
 }
 
 // Engine exposes the event engine (for timers, the power controller, and
 // tests).
-func (rt *Runtime) Engine() *des.Engine { return rt.eng }
+func (rt *Runtime) Engine() des.Engine { return rt.eng }
+
+// shardOf maps a PE to its engine shard (its node): intra-node interactions
+// may be instantaneous, so a node is the smallest unit the parallel backend
+// can execute independently.
+func (rt *Runtime) shardOf(pe int) int { return rt.peShard[pe] }
 
 // Machine returns the machine the runtime executes on.
 func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
@@ -278,9 +311,13 @@ func (rt *Runtime) resolve(srcPE int, k elemKey) int {
 }
 
 // transmit moves m from PE src to PE dst over the network and enqueues it.
+// Arrival is a sharded event on the destination's node; arrive touches the
+// location manager and quiescence state, so it runs entirely in the commit.
 func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
 	arrival := rt.mach.Transmit(src, dst, m.size, t)
-	rt.eng.At(arrival, func() { rt.arrive(m, dst) })
+	rt.eng.AtShard(rt.shardOf(dst), arrival, func() func() {
+		return func() { rt.arrive(m, dst) }
+	})
 }
 
 // arrive lands m on PE dst: element messages that miss are forwarded via
@@ -309,12 +346,26 @@ func (rt *Runtime) arrive(m *message, dst int) {
 		// future sends go direct.
 		m.hops++
 		rt.Stats.MsgsForwarded++
-		rt.pes[m.srcPE].locCache[m.dest] = ownerPE
+		rt.updateLocCache(m.srcPE, m.dest, ownerPE, dst)
 		rt.transmit(m, dst, ownerPE, rt.eng.Now())
 		return
 	}
 	// Element does not exist yet: buffer at home until insertion.
 	rt.pending[m.dest] = append(rt.pending[m.dest], m)
+}
+
+// updateLocCache ships the owner hint from the home PE back to the sender
+// as a zero-cost control event that lands after the home→sender network
+// latency. An instantaneous cross-PE cache write would let information
+// travel faster than the network's minimum latency — unphysical, and fatal
+// to the parallel backend's lookahead reasoning — so the hint arrives like
+// any other message and the cache stays strictly shard-local state.
+func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int) {
+	at := rt.eng.Now() + rt.mach.NetDelay(homePE, srcPE, 24)
+	rt.eng.AtShard(rt.shardOf(srcPE), at, func() func() {
+		rt.pes[srcPE].locCache[key] = ownerPE
+		return nil
+	})
 }
 
 // enqueue places m in dst's scheduler queue and pumps the PE.
@@ -336,25 +387,35 @@ func (rt *Runtime) pump(p *peState) {
 		t = p.busy
 	}
 	p.pumpAt = t
-	rt.eng.At(t, func() { rt.runOne(p) })
+	rt.eng.AtShard(rt.shardOf(p.id), t, func() func() { return rt.runOne(p, t) })
 }
 
-// runOne executes the highest-priority queued message on p.
-func (rt *Runtime) runOne(p *peState) {
+// runOne executes the highest-priority queued message on p. It is the
+// phase half of a sharded event: element entry methods — the app's real
+// compute — run here, touching only this PE's state, and the returned
+// commit closure applies the global effects (statistics, quiescence,
+// rescheduling) in deterministic order. On the sequential backend the
+// engine runs phase and commit back to back, reproducing the historical
+// single-pass behaviour exactly.
+func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 	p.pumpAt = -1
 	if len(p.q) == 0 {
-		return
+		return nil
 	}
 	m := p.q.pop()
-	ctx := rt.newCtx(p.id, nil)
-	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
 
 	if m.destPE >= 0 {
-		rt.peHandlers[m.ep](ctx, m.payload)
-		rt.finishExec(ctx, nil)
-		rt.checkQD()
-		rt.pump(p)
-		return
+		// PE-level handlers (collective fan-out, TRAM batch unpacking,
+		// shipped functions) reach global state freely, so the whole
+		// execution belongs in the commit.
+		return func() {
+			ctx := rt.newCtx(p.id, nil)
+			ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
+			rt.peHandlers[m.ep](ctx, m.payload)
+			rt.finishExec(ctx, nil)
+			rt.checkQD()
+			rt.pump(p)
+		}
 	}
 
 	el, ok := p.elems[m.dest]
@@ -362,29 +423,37 @@ func (rt *Runtime) runOne(p *peState) {
 		// The element migrated away between enqueue and execution:
 		// re-route through the location manager. The message stays
 		// in flight, so quiescence counters are untouched.
-		m.hops++
-		rt.Stats.MsgsForwarded++
-		rt.transmit(m, p.id, rt.homePE(m.dest), rt.eng.Now())
-		rt.pump(p)
-		return
+		return func() {
+			m.hops++
+			rt.Stats.MsgsForwarded++
+			rt.transmit(m, p.id, rt.homePE(m.dest), rt.eng.Now())
+			rt.pump(p)
+		}
 	}
-	ctx.elem = el
+	ctx := rt.newCtxAt(p.id, el, at)
+	if rt.parallel {
+		ctx.fx = &fxList{}
+	}
+	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
 	arr := rt.arrays[m.dest.array]
 	handler := arr.handlers[m.ep]
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				panic(fmt.Sprintf("charm: entry method %d of %s%v on PE %d at t=%.6fs: %v",
-					m.ep, arr.name, m.dest.idx, p.id, float64(rt.eng.Now()), r))
+					m.ep, arr.name, m.dest.idx, p.id, float64(at), r))
 			}
 		}()
 		handler(el.obj, ctx, m.payload)
 	}()
-	rt.inflight--
-	rt.Stats.MsgsDelivered++
-	rt.finishExec(ctx, el)
-	rt.checkQD()
-	rt.pump(p)
+	return func() {
+		ctx.flushFX()
+		rt.inflight--
+		rt.Stats.MsgsDelivered++
+		rt.finishExec(ctx, el)
+		rt.checkQD()
+		rt.pump(p)
+	}
 }
 
 // finishExec charges the context's accumulated cost to the PE and element.
@@ -442,16 +511,21 @@ func (rt *Runtime) DecInflight(n int) {
 // scheduler message (it queues behind the PE's current work). Transport
 // libraries use it for flush timers.
 func (rt *Runtime) ExecuteOnPE(pe int, delay des.Time, fn func(ctx *Ctx)) {
-	rt.eng.After(delay, func() {
-		m := &message{
-			destPE:  pe,
-			ep:      EP(rt.funcPEH),
-			payload: funcMsg{fn: func(ctx *Ctx, _ any) { fn(ctx) }},
-			prio:    prioControl,
-			size:    16,
-			srcPE:   pe,
+	if delay < 0 {
+		panic(fmt.Sprintf("charm: ExecuteOnPE with negative delay %v", delay))
+	}
+	rt.eng.AtShard(rt.shardOf(pe), rt.eng.Now()+delay, func() func() {
+		return func() {
+			m := &message{
+				destPE:  pe,
+				ep:      EP(rt.funcPEH),
+				payload: funcMsg{fn: func(ctx *Ctx, _ any) { fn(ctx) }},
+				prio:    prioControl,
+				size:    16,
+				srcPE:   pe,
+			}
+			rt.enqueue(m, pe)
 		}
-		rt.enqueue(m, pe)
 	})
 }
 

@@ -5,6 +5,11 @@
 // is an event with a virtual timestamp. Events at equal timestamps are
 // ordered by an insertion sequence number, which makes every simulation run
 // bit-for-bit reproducible.
+//
+// Two implementations exist: Sequential (this package) executes every event
+// on the calling goroutine, and internal/parsim executes provably
+// independent events on worker goroutines while preserving the exact
+// (timestamp, sequence) commit order. Both satisfy the Engine interface.
 package des
 
 import (
@@ -19,20 +24,72 @@ type Time float64
 // Forever is a timestamp later than any event the engine will execute.
 const Forever Time = Time(math.MaxFloat64)
 
+// Engine is the scheduling interface the runtime depends on. All methods
+// must be called from the simulation's driving goroutine (or from within an
+// event's commit); engines are not thread-safe by design — parallelism, where
+// available, lives inside the engine.
+type Engine interface {
+	// Now returns the current virtual time.
+	Now() Time
+	// Pending returns the number of scheduled, uncancelled events.
+	Pending() int
+	// Executed counts events that have run, for introspection and tests.
+	Executed() uint64
+	// At schedules fn to run at absolute virtual time t as a global event:
+	// fn may touch any simulation state, so a parallel engine runs it alone.
+	At(t Time, fn func()) Handle
+	// AtShard schedules a two-phase event bound to a shard (a virtual
+	// node). The phase function fn may touch only shard-local state and
+	// must not call back into the engine; it returns a commit closure (or
+	// nil) that the engine runs with global state exclusively held, in
+	// exact (timestamp, sequence) order. A sequential engine runs phase
+	// and commit back to back.
+	AtShard(shard int, t Time, fn func() func()) Handle
+	// After schedules fn to run d seconds from now as a global event.
+	After(d Time, fn func()) Handle
+	// Cancel removes a scheduled event. Cancelling an already-fired or
+	// already-cancelled event is a no-op.
+	Cancel(h Handle)
+	// Stop makes Run return after the currently executing event completes.
+	Stop()
+	// Run executes events until the queue drains or Stop is called.
+	Run()
+	// RunUntil executes events with timestamps <= t, then advances the
+	// clock to t (if it is ahead of the last event).
+	RunUntil(t Time)
+}
+
+// Ref is an engine-internal event reference held by a Handle.
+type Ref interface {
+	// Live reports whether the event is still scheduled.
+	Live() bool
+}
+
+// Handle allows a scheduled event to be cancelled before it fires.
+type Handle struct{ ev Ref }
+
+// HandleFor wraps an engine's event reference; engine implementations use
+// it to mint handles.
+func HandleFor(r Ref) Handle { return Handle{ev: r} }
+
+// EventRef returns the wrapped reference (nil for the zero Handle).
+func (h Handle) EventRef() Ref { return h.ev }
+
+// Cancelled reports whether Cancel was called on the handle's event, or the
+// event already fired.
+func (h Handle) Cancelled() bool { return h.ev == nil || !h.ev.Live() }
+
 // Event is a closure scheduled to run at a virtual time.
 type Event struct {
 	At  Time
 	Fn  func()
+	sfn func() func() // sharded two-phase body (nil for global events)
 	seq uint64
 	pos int // heap index, -1 when popped or cancelled
 }
 
-// Handle allows a scheduled event to be cancelled before it fires.
-type Handle struct{ ev *Event }
-
-// Cancelled reports whether Cancel was called on the handle's event, or the
-// event already fired.
-func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.pos < 0 }
+// Live reports whether the event is still scheduled.
+func (ev *Event) Live() bool { return ev.pos >= 0 }
 
 type eventHeap []*Event
 
@@ -63,42 +120,57 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Engine is a single-threaded deterministic event executor.
+// Sequential is the single-threaded deterministic event executor.
 // The zero value is not usable; call NewEngine.
-type Engine struct {
-	now     Time
-	seq     uint64
-	heap    eventHeap
-	stopped bool
-	// Executed counts events that have run, for introspection and tests.
-	Executed uint64
+type Sequential struct {
+	now      Time
+	seq      uint64
+	heap     eventHeap
+	stopped  bool
+	executed uint64
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns a sequential engine with the clock at zero.
+func NewEngine() *Sequential {
+	return &Sequential{}
 }
 
 // Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+func (e *Sequential) Now() Time { return e.now }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Sequential) Pending() int { return len(e.heap) }
+
+// Executed counts events that have run.
+func (e *Sequential) Executed() uint64 { return e.executed }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) Handle {
+func (e *Sequential) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := &Event{At: t, Fn: fn, seq: e.seq}
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return Handle{ev: ev}
+	return HandleFor(ev)
+}
+
+// AtShard schedules a two-phase event; the sequential engine ignores the
+// shard and runs phase and commit back to back, which makes the sharded
+// path behaviourally identical to a plain At.
+func (e *Sequential) AtShard(shard int, t Time, fn func() func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{At: t, sfn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return HandleFor(ev)
 }
 
 // After schedules fn to run d seconds from now.
-func (e *Engine) After(d Time, fn func()) Handle {
+func (e *Sequential) After(d Time, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative delay %v", d))
 	}
@@ -107,31 +179,38 @@ func (e *Engine) After(d Time, fn func()) Handle {
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (e *Engine) Cancel(h Handle) {
-	if h.ev == nil || h.ev.pos < 0 {
+func (e *Sequential) Cancel(h Handle) {
+	ev, ok := h.ev.(*Event)
+	if !ok || ev == nil || ev.pos < 0 {
 		return
 	}
-	heap.Remove(&e.heap, h.ev.pos)
+	heap.Remove(&e.heap, ev.pos)
 }
 
 // Stop makes Run return after the currently executing event completes.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *Sequential) Stop() { e.stopped = true }
 
 // Step executes the single earliest event. It reports false when no events
 // remain.
-func (e *Engine) Step() bool {
+func (e *Sequential) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
 	ev := heap.Pop(&e.heap).(*Event)
 	e.now = ev.At
-	e.Executed++
+	e.executed++
+	if ev.sfn != nil {
+		if commit := ev.sfn(); commit != nil {
+			commit()
+		}
+		return true
+	}
 	ev.Fn()
 	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
-func (e *Engine) Run() {
+func (e *Sequential) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
@@ -140,7 +219,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t (if it is ahead of the last event). Events scheduled during execution
 // are honoured if they fall within the horizon.
-func (e *Engine) RunUntil(t Time) {
+func (e *Sequential) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped && len(e.heap) > 0 && e.heap[0].At <= t {
 		e.Step()

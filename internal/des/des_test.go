@@ -196,8 +196,8 @@ func TestExecutedCounter(t *testing.T) {
 		e.At(Time(i), func() {})
 	}
 	e.Run()
-	if e.Executed != 7 {
-		t.Fatalf("Executed=%d, want 7", e.Executed)
+	if e.Executed() != 7 {
+		t.Fatalf("Executed=%d, want 7", e.Executed())
 	}
 }
 

@@ -91,6 +91,17 @@ type Config struct {
 	NICBandwidth        float64
 	PacketOverheadBytes int
 
+	// Backend selects the event-engine implementation driving the
+	// simulation: "" or "sequential" is the single-threaded engine of
+	// internal/des; "parallel" (alias "parsim") is the conservative
+	// parallel engine of internal/parsim, which shards the virtual PEs by
+	// node and uses Alpha (the minimum cross-node latency) as the
+	// lookahead bound. Both produce bit-identical runs.
+	Backend string
+	// ParallelWorkers caps the parallel backend's worker goroutines;
+	// 0 means GOMAXPROCS.
+	ParallelWorkers int
+
 	Thermal ThermalParams
 }
 

@@ -200,10 +200,14 @@ func (c *Client) newPEBuffers(pe int) *peBuffers {
 // application work until final delivery, so quiescence detection covers
 // TRAM traffic.
 func (c *Client) Submit(ctx *charm.Ctx, idx charm.Index, payload any) {
-	c.Stats.ItemsSubmitted++
+	// Stats and the quiescence counter are global state: deferred so the
+	// parallel backend can run submitting handlers concurrently.
+	ctx.Defer(func() {
+		c.Stats.ItemsSubmitted++
+		c.rt.IncInflight(1)
+	})
 	dest := c.rt.ProbablePE(c.arr, idx, ctx.MyPE())
 	it := item{destPE: dest, idx: idx, payload: payload}
-	c.rt.IncInflight(1)
 	c.route(ctx, it)
 }
 
@@ -224,18 +228,23 @@ func (c *Client) route(ctx *charm.Ctx, it item) {
 	}
 	pb.bufs[pi] = append(pb.bufs[pi], it)
 	if len(pb.bufs[pi]) >= c.opts.BufItems {
-		c.Stats.FullFlushes++
+		ctx.Defer(func() { c.Stats.FullFlushes++ })
 		c.flushPeer(ctx, me, pi)
 		return
 	}
 	if c.opts.FlushTimeout > 0 && !pb.armed[pi] {
 		pb.armed[pi] = true
-		c.rt.ExecuteOnPE(me, c.opts.FlushTimeout, func(ctx *charm.Ctx) {
-			pb.armed[pi] = false
-			if len(pb.bufs[pi]) > 0 {
-				c.Stats.TimedFlushes++
-				c.flushPeer(ctx, me, pi)
-			}
+		// Arming the timer schedules an engine event — a global effect.
+		// The timer body itself runs as a PE-handler message, where the
+		// context is always in immediate mode.
+		ctx.Defer(func() {
+			c.rt.ExecuteOnPE(me, c.opts.FlushTimeout, func(ctx *charm.Ctx) {
+				pb.armed[pi] = false
+				if len(pb.bufs[pi]) > 0 {
+					c.Stats.TimedFlushes++
+					c.flushPeer(ctx, me, pi)
+				}
+			})
 		})
 	}
 }
@@ -248,7 +257,7 @@ func (c *Client) flushPeer(ctx *charm.Ctx, pe, pi int) {
 }
 
 func (c *Client) sendBatch(ctx *charm.Ctx, to int, items []item) {
-	c.Stats.MsgsSent++
+	ctx.Defer(func() { c.Stats.MsgsSent++ })
 	size := 48 + len(items)*c.opts.ItemBytes
 	ctx.SendPE(to, c.peh, batch{items: items}, &charm.SendOpts{Bytes: size})
 }
@@ -278,10 +287,12 @@ func (c *Client) deliver(ctx *charm.Ctx, it item) {
 	ctx.Charge(c.opts.PerItemCost)
 	if c.arr.PEOf(it.idx) == ctx.MyPE() {
 		ctx.LocalInvoke(c.arr, it.idx, c.ep, it.payload)
-		c.Stats.ItemsDelivered++
-		c.rt.DecInflight(1)
+		ctx.Defer(func() {
+			c.Stats.ItemsDelivered++
+			c.rt.DecInflight(1)
+		})
 		return
 	}
-	c.rt.DecInflight(1) // hand back to the regular path, which re-counts
+	ctx.Defer(func() { c.rt.DecInflight(1) }) // regular path re-counts
 	ctx.Send(c.arr, it.idx, c.ep, it.payload)
 }

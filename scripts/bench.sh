@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# bench.sh — parallel-backend benchmark harness.
+#
+# Default mode runs the full Stencil2D benchmark (256 virtual PEs) on both
+# backends, verifies the digests are bit-identical, and writes the committed
+# BENCH_parsim.json (ns/op per backend, speedup, GOMAXPROCS, host CPU count,
+# and the engine's parallelism counters — see DESIGN.md "Parallel backend").
+#
+#   scripts/bench.sh            # full run, rewrites BENCH_parsim.json
+#   scripts/bench.sh --smoke    # small config, no file written; CI gate
+#   scripts/bench.sh --workers 4
+set -eu
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+workers=8
+while [ $# -gt 0 ]; do
+	case "$1" in
+	--smoke) smoke=1 ;;
+	--workers)
+		shift
+		workers="$1"
+		;;
+	*)
+		echo "usage: scripts/bench.sh [--smoke] [--workers N]" >&2
+		exit 2
+		;;
+	esac
+	shift
+done
+
+if [ "$smoke" = 1 ]; then
+	exec go run ./cmd/parsimbench -smoke -workers "$workers"
+fi
+exec go run ./cmd/parsimbench -out BENCH_parsim.json -workers "$workers"

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # check.sh — the full local gate: build, go vet, charmvet (determinism &
-# PUP-completeness rules, see DESIGN.md "Determinism rules"), then the test
-# suite under the race detector. CI runs exactly this.
+# PUP-completeness rules, see DESIGN.md "Determinism rules"), the test
+# suite under the race detector, the cross-backend equivalence tests at
+# several GOMAXPROCS values, and a smoke run of the parallel benchmark.
+# CI runs exactly this.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +12,11 @@ go build ./...
 go vet ./...
 go run ./cmd/charmvet ./...
 go test -race ./...
+
+# Sequential vs parallel backend must produce bit-identical digests no
+# matter how many host threads the phase workers are spread over.
+for procs in 1 2 8; do
+	GOMAXPROCS=$procs go test -race -count=1 -run 'CrossBackend' ./internal/apps/determinism/
+done
+
+scripts/bench.sh --smoke
