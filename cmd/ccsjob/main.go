@@ -6,7 +6,8 @@
 // Server:  ccsjob -listen 127.0.0.1:7777
 // Client:  ccsjob -connect 127.0.0.1:7777 -cmd shrink -args 32
 //
-// Handlers: pes, shrink <n>, expand <n>, stats, timeline, ckpt <path>,
+// Handlers: pes, shrink <n>, expand <n>, stats, timeline, trace [query],
+// ckpt <path>,
 // stop.
 package main
 
@@ -22,6 +23,7 @@ import (
 	"charmgo/internal/lb"
 	"charmgo/internal/machine"
 	"charmgo/internal/malleable"
+	"charmgo/internal/projections"
 	"charmgo/internal/pup"
 	"charmgo/internal/trace"
 )
@@ -78,6 +80,7 @@ func serve(addr string, pes, objs int) {
 	rt.SetBalancer(lb.Greedy{})
 	tr := trace.New(rt, 0.05)
 	tr.Start()
+	events := projections.Attach(rt, projections.Options{})
 
 	var arr *charm.Array
 	stopped := false
@@ -128,6 +131,7 @@ func serve(addr string, pes, objs int) {
 	srv.Register("timeline", func(string) (string, error) {
 		return tr.Timeline(16), nil
 	})
+	projections.InstallCCS(srv, events)
 	srv.Register("ckpt", func(path string) (string, error) {
 		if path == "" {
 			return "", fmt.Errorf("ckpt needs a file path argument")
@@ -150,7 +154,7 @@ func serve(addr string, pes, objs int) {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("steerable job on %s (%d PEs, %d chares); commands: pes shrink expand stats timeline ckpt stop\n",
+	fmt.Printf("steerable job on %s (%d PEs, %d chares); commands: pes shrink expand stats timeline trace ckpt stop\n",
 		bound, rt.NumPEs(), arr.Len())
 	srv.Drive(0.05, func() bool { return stopped && rt.Engine().Pending() == 0 })
 	fmt.Printf("job stopped at t=%.2fs (virtual)\n", float64(rt.Now()))

@@ -20,7 +20,13 @@ import (
 func main() {
 	figID := flag.String("fig", "", "run only the figure with this id (e.g. 9, 8L, 15b)")
 	list := flag.Bool("list", false, "list available figures")
+	backend := flag.String("backend", "sequential", "engine backend: sequential, parallel")
 	flag.Parse()
+
+	if *backend != "sequential" && *backend != "parallel" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want sequential or parallel)\n", *backend)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, f := range figures.All() {
@@ -30,6 +36,12 @@ func main() {
 	}
 
 	run := func(f figures.Fig) {
+		be := *backend
+		if f.SeqOnly && be == "parallel" {
+			fmt.Printf("(figure %s drives AMPI rank threads; running on the sequential engine)\n", f.ID)
+			be = "sequential"
+		}
+		figures.SetBackend(be)
 		fmt.Printf("== Figure %s: %s ==\n", f.ID, f.Title)
 		start := time.Now()
 		if err := f.Run(os.Stdout); err != nil {

@@ -13,6 +13,7 @@ import (
 	"charmgo/internal/lb"
 	"charmgo/internal/machine"
 	"charmgo/internal/malleable"
+	"charmgo/internal/projections"
 	"charmgo/internal/trace"
 
 	"charmgo/internal/apps/leanmd"
@@ -32,6 +33,9 @@ func main() {
 	mach := flag.String("machine", "vesta", "machine: vesta, bluewaters, stampede, hopper, cloud")
 	multicast := flag.Bool("multicast", false, "send cell positions via section multicast")
 	traceOut := flag.String("trace", "", "write a utilization trace (JSON) to this file")
+	perfetto := flag.String("perfetto", "", "record an event trace and write Chrome trace-event JSON here")
+	eventsOut := flag.String("events", "", "record an event trace and write the raw event log here")
+	profile := flag.Bool("profile", false, "record an event trace and print the projections summary")
 	flag.Parse()
 
 	rt := charm.New(machine.New(pickMachine(*mach, *pes)))
@@ -44,6 +48,10 @@ func main() {
 	if *traceOut != "" {
 		tr = trace.New(rt, 1e-4)
 		tr.Start()
+	}
+	var events *projections.Tracer
+	if *perfetto != "" || *eventsOut != "" || *profile {
+		events = projections.Attach(rt, projections.Options{EngineEvents: true})
 	}
 	if s := pickStrategy(*balancer); s != nil {
 		rt.SetBalancer(s)
@@ -102,6 +110,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %d samples to %s\n", len(tr.Samples()), *traceOut)
+	}
+	if events != nil {
+		if *profile {
+			fmt.Println()
+			if err := events.WriteSummary(os.Stdout, 10); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		writeEvents := func(path string, fn func(*os.File) error, what string) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := fn(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d events to %s\n", what, events.Recorded(), path)
+		}
+		if *perfetto != "" {
+			writeEvents(*perfetto, func(f *os.File) error {
+				return projections.WritePerfetto(f, events.Events())
+			}, "perfetto trace")
+		}
+		if *eventsOut != "" {
+			writeEvents(*eventsOut, func(f *os.File) error {
+				return projections.WriteLog(f, events.Events())
+			}, "event log")
+		}
 	}
 }
 

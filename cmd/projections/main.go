@@ -1,0 +1,206 @@
+// Command projections traces a mini-app run and renders Projections-style
+// analyses: the per-entry usage profile, message-latency histogram,
+// critical path, and phase-parallelism timeline, with optional Chrome
+// trace-event (Perfetto) and raw event-log exports.
+//
+// Modes:
+//
+//	projections -app leanmd -perfetto out.json     trace a run, export
+//	projections -in run.log                        analyze a saved log
+//	projections -selfbench [-smoke] [-out f.json]  tracing-overhead bench
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/projections"
+)
+
+func main() {
+	app := flag.String("app", "leanmd", "app to trace: leanmd, pdes")
+	pes := flag.Int("pes", 16, "processing elements")
+	backend := flag.String("backend", "sequential", "engine backend: sequential, parallel")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	top := flag.Int("top", 10, "profile rows to print")
+	perfetto := flag.String("perfetto", "", "write Chrome trace-event JSON here (load at ui.perfetto.dev)")
+	logOut := flag.String("log", "", "write the raw event log (JSON lines) here")
+	in := flag.String("in", "", "analyze a saved event log instead of running an app")
+	selfbench := flag.Bool("selfbench", false, "measure tracing overhead instead of tracing a run")
+	smoke := flag.Bool("smoke", false, "selfbench: fewer reps, smaller run")
+	out := flag.String("out", "", "selfbench: write the result JSON here")
+	flag.Parse()
+
+	switch {
+	case *selfbench:
+		runSelfbench(*smoke, *out)
+	case *in != "":
+		analyzeFile(*in, *top, *perfetto)
+	default:
+		traceRun(*app, *pes, *backend, *scale, *top, *perfetto, *logOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// runApp executes the selected app on a fresh runtime and returns it.
+func runApp(app string, pes, scale int, backend string) (*charm.Runtime, *projections.Tracer) {
+	cfg := machine.Testbed(pes)
+	cfg.Backend = backend
+	rt := charm.New(machine.New(cfg))
+	tr := projections.Attach(rt, projections.Options{EngineEvents: true})
+	rt.SetBalancer(lb.Greedy{})
+	runAppOn(rt, app, scale)
+	return rt, tr
+}
+
+// runAppOn drives one app execution on an existing runtime.
+func runAppOn(rt *charm.Runtime, app string, scale int) {
+	switch app {
+	case "leanmd":
+		cfg := leanmd.Config{
+			CellsX: 3 * scale, CellsY: 3, CellsZ: 3,
+			AtomsPerCell: 20, Steps: 8, Seed: 42,
+			LBPeriod: 3, Gaussian: 0.35,
+		}
+		if _, err := leanmd.Run(rt, cfg); err != nil {
+			fatal(err)
+		}
+	case "pdes":
+		cfg := pdes.Config{
+			LPs: 64 * scale, EventsPerLP: 8, TargetEvents: 4000 * scale,
+			Seed: 42, UseTram: true, LBPeriodWindows: 4,
+		}
+		if _, err := pdes.Run(rt, cfg); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q (want leanmd or pdes)\n", app)
+		os.Exit(2)
+	}
+}
+
+func traceRun(app string, pes int, backend string, scale, top int, perfetto, logOut string) {
+	_, tr := runApp(app, pes, scale, backend)
+	if err := tr.WriteSummary(os.Stdout, top); err != nil {
+		fatal(err)
+	}
+	events := tr.Events()
+	if perfetto != "" {
+		writeTo(perfetto, func(f *os.File) error { return projections.WritePerfetto(f, events) })
+		fmt.Printf("\nperfetto trace: %d events to %s\n", len(events), perfetto)
+	}
+	if logOut != "" {
+		writeTo(logOut, func(f *os.File) error { return projections.WriteLog(f, events) })
+		fmt.Printf("event log: %d events to %s\n", len(events), logOut)
+	}
+}
+
+func analyzeFile(path string, top int, perfetto string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := projections.ReadLog(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := projections.WriteSummaryEvents(os.Stdout, events, top); err != nil {
+		fatal(err)
+	}
+	if perfetto != "" {
+		writeTo(perfetto, func(f *os.File) error { return projections.WritePerfetto(f, events) })
+		fmt.Printf("\nperfetto trace: %d events to %s\n", len(events), perfetto)
+	}
+}
+
+func writeTo(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// benchResult is the BENCH_projections.json payload.
+type benchResult struct {
+	Bench       string  `json:"bench"`
+	App         string  `json:"app"`
+	Smoke       bool    `json:"smoke"`
+	Reps        int     `json:"reps"`
+	DisabledNs  int64   `json:"disabled_ns"`  // median wall time, no tracer attached
+	EnabledNs   int64   `json:"enabled_ns"`   // median wall time, tracer + engine events
+	OverheadPct float64 `json:"overhead_pct"` // enabled vs disabled
+	Events      uint64  `json:"events"`       // events recorded per traced run
+}
+
+// runSelfbench measures the wall-clock cost of tracing: the same LeanMD
+// run with no tracer attached (the nil-hook fast path) and with the full
+// tracer recording engine events. Virtual results are identical by
+// construction; only wall time differs.
+func runSelfbench(smoke bool, out string) {
+	reps, scale := 7, 2
+	if smoke {
+		reps, scale = 3, 1
+	}
+	run := func(traced bool) (int64, uint64) {
+		times := make([]int64, 0, reps)
+		var events uint64
+		for i := 0; i < reps; i++ {
+			cfg := machine.Testbed(16)
+			rt := charm.New(machine.New(cfg))
+			rt.SetBalancer(lb.Greedy{})
+			var tr *projections.Tracer
+			if traced {
+				tr = projections.Attach(rt, projections.Options{EngineEvents: true})
+			}
+			t0 := time.Now()
+			runAppOn(rt, "leanmd", scale)
+			times = append(times, time.Since(t0).Nanoseconds())
+			if tr != nil {
+				events = tr.Recorded()
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2], events
+	}
+	disabled, _ := run(false)
+	enabled, events := run(true)
+	res := benchResult{
+		Bench: "projections_overhead", App: "leanmd", Smoke: smoke, Reps: reps,
+		DisabledNs: disabled, EnabledNs: enabled,
+		OverheadPct: 100 * (float64(enabled) - float64(disabled)) / float64(disabled),
+		Events:      events,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		writeTo(out, func(f *os.File) error {
+			e := json.NewEncoder(f)
+			e.SetIndent("", "  ")
+			return e.Encode(res)
+		})
+	}
+}

@@ -162,6 +162,7 @@ func DefaultSuite() *Suite {
 				"charmgo/internal/lb",
 				"charmgo/internal/tram",
 				"charmgo/internal/ckpt",
+				"charmgo/internal/projections",
 			},
 			NoSpawn.Name: {
 				"charmgo/internal/des",
@@ -171,6 +172,7 @@ func DefaultSuite() *Suite {
 				"charmgo/internal/lb",
 				"charmgo/internal/tram",
 				"charmgo/internal/ckpt",
+				"charmgo/internal/projections",
 			},
 			WallTime.Name: {
 				"charmgo/internal",

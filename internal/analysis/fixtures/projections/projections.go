@@ -1,0 +1,52 @@
+// Package projections is a charmvet test fixture shaped like the event
+// tracer in charmgo/internal/projections: per-PE rings merged into one
+// ordered log. Each `// want` comment marks an expected detmap finding —
+// the exact class of bug that would silently break the tracer's
+// cross-backend byte-identity guarantee. The package is excluded from the
+// real suite and exists only for the analyzer unit tests.
+package projections
+
+import "sort"
+
+// event is a trimmed-down trace record.
+type event struct {
+	ID uint64
+	PE int
+}
+
+// BadMergeRings emits events in map order: the merged log would differ
+// run to run even on one backend.
+func BadMergeRings(rings map[int][]event) []event {
+	var out []event
+	for _, ring := range rings { // want `iteration over map rings`
+		out = append(out, ring...)
+	}
+	return out
+}
+
+// BadProfile accumulates per-entry totals in map order; float addition is
+// not associative, so the profile would not be bit-reproducible.
+func BadProfile(times map[string]float64) float64 {
+	total := 0.0
+	for _, t := range times { // want `iteration over map times`
+		total += t
+	}
+	return total
+}
+
+// GoodMergeRings is the tracer's actual idiom: collect, then order by the
+// monotone event ID.
+func GoodMergeRings(rings map[int][]event) []event {
+	var out []event
+	for _, ring := range rings {
+		out = append(out, ring...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GoodDistinctCount observes only the map's size, as the
+// phase-parallelism bucketing does.
+func GoodDistinctCount(shards map[int]bool) int {
+	return len(shards)
+}

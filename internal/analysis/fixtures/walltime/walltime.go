@@ -36,3 +36,10 @@ func Good(seed int64) float64 {
 func GoodWaived() stdtime.Time {
 	return stdtime.Now() //charmvet:wallclock (fixture: deliberate)
 }
+
+// BadEventStamp is the tracer mistake walltime exists to catch: stamping a
+// trace event with the wall clock instead of virtual time, which would
+// break byte-identity across backends (and across machines).
+func BadEventStamp() int64 {
+	return stdtime.Now().UnixNano() // want `time.Now`
+}

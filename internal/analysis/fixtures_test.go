@@ -112,6 +112,30 @@ func TestNoSpawnParsimWaiver(t *testing.T) {
 	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/parsim")
 }
 
+func TestDetMapProjectionsFixture(t *testing.T) {
+	checkFixture(t, analysis.DetMap, "charmgo/internal/analysis/fixtures/projections")
+}
+
+// The event tracer's whole value rests on deterministic, virtual-time-only
+// recording, so internal/projections must sit inside every determinism
+// analyzer's scope.
+func TestProjectionsOnCriticalLists(t *testing.T) {
+	suite := analysis.DefaultSuite()
+	const pkg = "charmgo/internal/projections"
+	for _, name := range []string{analysis.DetMap.Name, analysis.NoSpawn.Name, analysis.WallTime.Name} {
+		prefixes := suite.Critical[name]
+		covered := false
+		for _, pre := range prefixes {
+			if pkg == pre || strings.HasPrefix(pkg, pre+"/") {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("%s's critical list %v does not cover %s", name, prefixes, pkg)
+		}
+	}
+}
+
 // TestWaiversAreHonored double-checks the fixture waivers through the
 // suite path as well: running the default suite with the fixture exclusion
 // removed must flag fixture violations, proving the exclusion (not the

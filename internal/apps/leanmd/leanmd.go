@@ -276,6 +276,12 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 			Migratable: true,
 			ResumeEP:   epCellResume,
 			HomeMap:    cellMap,
+			EntryNames: []string{
+				epCellStart:  "start",
+				epCellForces: "forces",
+				epCellAtoms:  "atoms",
+				epCellResume: "resume",
+			},
 		})
 	computeHandlers := []charm.Handler{
 		epComputePos:    a.onComputePos,
@@ -287,6 +293,10 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 			Migratable: true,
 			ResumeEP:   epComputeResume,
 			HomeMap:    computeMap,
+			EntryNames: []string{
+				epComputePos:    "positions",
+				epComputeResume: "resume",
+			},
 		})
 
 	rng := rand.New(rand.NewSource(cfg.Seed*31 + 17))

@@ -175,6 +175,11 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 			HomeMap: func(idx charm.Index, numPEs int) int {
 				return idx.I() * numPEs / cfg.LPs // block map: LPs/PE contiguity
 			},
+			EntryNames: []string{
+				epExecute:   "execute",
+				epEvent:     "event",
+				epReportMin: "report_min",
+			},
 		})
 	rng := rand.New(rand.NewSource(cfg.Seed*1619 + 11))
 	for i := 0; i < cfg.LPs; i++ {

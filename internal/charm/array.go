@@ -27,6 +27,9 @@ type ArrayOpts struct {
 	// ResumeEP is the entry method invoked on every element when load
 	// balancing completes (ResumeFromSync).
 	ResumeEP EP
+	// EntryNames labels the entry methods (parallel to the handlers
+	// slice) for traces and profiles; missing names render as "ep<N>".
+	EntryNames []string
 }
 
 // Array is a chare array: an indexed collection of migratable objects.
@@ -73,6 +76,14 @@ func (rt *Runtime) Arrays() []*Array { return rt.arrays }
 
 // Name returns the array's name.
 func (a *Array) Name() string { return a.name }
+
+// EntryName returns the trace name of entry method ep.
+func (a *Array) EntryName(ep EP) string {
+	if int(ep) < len(a.opts.EntryNames) && a.opts.EntryNames[ep] != "" {
+		return a.opts.EntryNames[ep]
+	}
+	return fmt.Sprintf("ep%d", ep)
+}
 
 // Len returns the number of live elements.
 func (a *Array) Len() int { return len(a.elems) }
@@ -249,4 +260,7 @@ func (rt *Runtime) moveElement(el *element, toPE int, charge bool) {
 
 	rt.owner[el.key] = toPE // home PE updated during migration (§II-D)
 	rt.Stats.Migrations++
+	if rt.hooks != nil {
+		rt.hooks.Migration(rt.eng.Now(), rt.arrays[el.key.array].name, el.key.idx, from, toPE)
+	}
 }

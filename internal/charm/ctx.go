@@ -25,6 +25,7 @@ type Ctx struct {
 	elapsed des.Time // cost accumulated so far in this execution
 	exitReq bool
 	fx      *fxList // nil: immediate mode; non-nil: buffered (parallel phase)
+	cause   uint64  // trace ID of the send that triggered this execution
 }
 
 func (rt *Runtime) newCtx(pe int, el *element) *Ctx {
@@ -159,6 +160,7 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 		prio:    prio,
 		size:    size,
 		srcPE:   c.pe,
+		cause:   c.cause,
 	}
 	if c.elem != nil {
 		c.elem.msgsSent++
@@ -189,6 +191,7 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 		prio:    prio,
 		size:    size,
 		srcPE:   c.pe,
+		cause:   c.cause,
 	}
 	at := c.Now()
 	c.emit(func() { c.rt.send(m, at) })
@@ -206,6 +209,7 @@ func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
 	}
 	sub := c.rt.newCtxAt(c.pe, el, c.start)
 	sub.fx = c.fx // share the caller's effect buffer (and its mode)
+	sub.cause = c.cause
 	arr.handlers[ep](el.obj, sub, payload)
 	c.elapsed += sub.elapsed
 	if sub.exitReq {

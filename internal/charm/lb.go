@@ -114,6 +114,9 @@ func (rt *Runtime) StallActivePEs(t des.Time) {
 func (rt *Runtime) Rebalance() LBReport {
 	objs, pes := rt.LBView()
 	start := rt.MaxBusy()
+	if rt.hooks != nil {
+		rt.hooks.LBStart(start, rt.lbCount, len(objs))
+	}
 	decision := 0.0
 	var migs []Migration
 	if rt.balancer != nil {
@@ -124,6 +127,9 @@ func (rt *Runtime) Rebalance() LBReport {
 			n := float64(len(objs))
 			decision = 2e-4 + 2e-7*n*float64(log2ceil(len(objs)+1))
 		}
+	}
+	if rt.hooks != nil {
+		rt.hooks.LBDecision(start+des.Time(decision), rt.strategyName(), len(migs))
 	}
 	maxXfer := des.Time(0)
 	moved := 0
@@ -144,8 +150,13 @@ func (rt *Runtime) Rebalance() LBReport {
 	dur := des.Time(decision) + maxXfer + rt.barrierLatency()
 	rt.StallActivePEs(start + dur)
 	rep := rt.summarize(objs, pes, start, dur, moved)
+	if rt.hooks != nil {
+		rt.hooks.LBDone(start+dur, rt.lbCount, moved, dur)
+	}
 	rt.lbCount++
 	rt.Stats.LBInvocations++
+	rt.metrics.Counter("lb.rounds").Inc()
+	rt.metrics.Counter("lb.migrations").Add(uint64(moved))
 	for p := 0; p < rt.activePEs; p++ {
 		for _, el := range rt.pes[p].sorted {
 			el.load = 0
@@ -168,6 +179,14 @@ func (rt *Runtime) ResetLoadStats() {
 			el.comm = nil
 		}
 	}
+}
+
+// strategyName names the installed balancer for traces ("none" when nil).
+func (rt *Runtime) strategyName() string {
+	if rt.balancer == nil {
+		return "none"
+	}
+	return rt.balancer.Name()
 }
 
 // maybeStartLB fires the LB step once every AtSync element has arrived.
@@ -233,6 +252,9 @@ func (rt *Runtime) LBView() ([]LBObject, []LBPE) {
 func (rt *Runtime) runLB() {
 	objs, pes := rt.LBView()
 	start := rt.eng.Now()
+	if rt.hooks != nil {
+		rt.hooks.LBStart(start, rt.lbCount, len(objs))
+	}
 
 	var migs []Migration
 	decision := 0.0
@@ -244,6 +266,9 @@ func (rt *Runtime) runLB() {
 			n := float64(len(objs))
 			decision = 2e-4 + 2e-7*n*float64(log2ceil(len(objs)+1))
 		}
+	}
+	if rt.hooks != nil {
+		rt.hooks.LBDecision(start+des.Time(decision), rt.strategyName(), len(migs))
 	}
 
 	// Apply migrations; the span of the transfer phase is the max cost of
@@ -270,8 +295,13 @@ func (rt *Runtime) runLB() {
 	resumeAt := start + des.Time(decision) + maxXfer + rt.barrierLatency()
 	rt.eng.At(resumeAt, func() {
 		rt.lbInProgress = false
+		if rt.hooks != nil {
+			rt.hooks.LBDone(resumeAt, rt.lbCount, moved, resumeAt-start)
+		}
 		rt.lbCount++
 		rt.Stats.LBInvocations++
+		rt.metrics.Counter("lb.rounds").Inc()
+		rt.metrics.Counter("lb.migrations").Add(uint64(moved))
 		// Reset instrumentation for the next interval and resume.
 		for p := 0; p < rt.activePEs; p++ {
 			pe := rt.pes[p]

@@ -13,6 +13,12 @@ type message struct {
 	srcPE   int
 	seq     uint64 // FIFO tie-break within a priority level
 	hops    int    // location-manager forwarding hops taken so far
+
+	// Tracing (internal/projections): traceID is the send event's ID
+	// (0 = untraced), cause the ID of the send that triggered the sending
+	// execution.
+	traceID uint64
+	cause   uint64
 }
 
 // msgQueue is a priority queue ordered by (prio, seq): the PE scheduler

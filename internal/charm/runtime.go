@@ -7,6 +7,7 @@ import (
 	"charmgo/internal/des"
 	"charmgo/internal/machine"
 	"charmgo/internal/parsim"
+	"charmgo/internal/projections/metrics"
 	"charmgo/internal/pup"
 )
 
@@ -106,10 +107,11 @@ type Runtime struct {
 	parallel bool
 	peShard  []int // PE id -> shard (node) id
 
-	pes        []*peState
-	arrays     []*Array
-	arrayNames map[string]*Array
-	peHandlers []PEHandler
+	pes            []*peState
+	arrays         []*Array
+	arrayNames     map[string]*Array
+	peHandlers     []PEHandler
+	peHandlerNames []string
 
 	// Location authority: the home PE of key k is homePE(k); the runtime
 	// keeps global truth in owner (what the home PE "knows") and buffers
@@ -142,6 +144,11 @@ type Runtime struct {
 	exited bool
 	booted bool
 	Stats  RuntimeStats
+
+	// Observability (internal/projections): nil hooks is the untraced
+	// fast path; metrics is always present.
+	hooks   TraceHooks
+	metrics *metrics.Registry
 }
 
 // RuntimeStats aggregates counters for introspection, tests, and the
@@ -186,10 +193,15 @@ func New(m *machine.Machine) *Runtime {
 		pending:    map[elemKey][]*message{},
 		reductions: map[redKey]*redRun{},
 		activePEs:  m.NumPEs(),
+		metrics:    metrics.NewRegistry(),
 	}
-	rt.bcastPEH = rt.DeclarePEHandler(rt.bcastHandler)
-	rt.funcPEH = rt.DeclarePEHandler(rt.funcHandler)
-	rt.mcastPEH = rt.DeclarePEHandler(rt.mcastHandler)
+	rt.bcastPEH = rt.DeclareNamedPEHandler("rts:bcast", rt.bcastHandler)
+	rt.funcPEH = rt.DeclareNamedPEHandler("rts:func", rt.funcHandler)
+	rt.mcastPEH = rt.DeclareNamedPEHandler("rts:mcast", rt.mcastHandler)
+	rt.registerRuntimeMetrics()
+	if pe, ok := eng.(*parsim.Engine); ok {
+		pe.RegisterMetrics(rt.metrics)
+	}
 	rt.pes = make([]*peState, m.NumPEs())
 	rt.peShard = make([]int, m.NumPEs())
 	for i := range rt.pes {
@@ -236,11 +248,22 @@ func (rt *Runtime) homePE(k elemKey) int {
 	return int(k.idx.Hash() % uint64(rt.activePEs))
 }
 
-// DeclarePEHandler registers a PE-level handler and returns its id.
+// DeclarePEHandler registers a PE-level handler and returns its id. The
+// handler traces under a generated "peh<N>" name; libraries that want
+// readable traces use DeclareNamedPEHandler.
 func (rt *Runtime) DeclarePEHandler(h PEHandler) PEH {
+	return rt.DeclareNamedPEHandler(fmt.Sprintf("peh%d", len(rt.peHandlers)), h)
+}
+
+// DeclareNamedPEHandler registers a PE-level handler under a trace name.
+func (rt *Runtime) DeclareNamedPEHandler(name string, h PEHandler) PEH {
 	rt.peHandlers = append(rt.peHandlers, h)
+	rt.peHandlerNames = append(rt.peHandlerNames, name)
 	return PEH(len(rt.peHandlers) - 1)
 }
+
+// PEHandlerName returns the trace name of a registered PE handler.
+func (rt *Runtime) PEHandlerName(h PEH) string { return rt.peHandlerNames[h] }
 
 // Boot runs fn as the main chare on PE 0 at the current virtual time,
 // before or during execution.
@@ -291,8 +314,14 @@ func (rt *Runtime) send(m *message, t des.Time) {
 	if m.destPE < 0 {
 		rt.inflight++ // element-targeted app message: QD-counted
 		dst := rt.resolve(m.srcPE, m.dest)
+		if rt.hooks != nil {
+			m.traceID = rt.hooks.MsgSend(t, m.srcPE, dst, m.size, m.cause)
+		}
 		rt.transmit(m, m.srcPE, dst, t)
 		return
+	}
+	if rt.hooks != nil {
+		m.traceID = rt.hooks.MsgSend(t, m.srcPE, m.destPE, m.size, m.cause)
 	}
 	rt.transmit(m, m.srcPE, m.destPE, t)
 }
@@ -370,6 +399,9 @@ func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int) {
 
 // enqueue places m in dst's scheduler queue and pumps the PE.
 func (rt *Runtime) enqueue(m *message, dst int) {
+	if rt.hooks != nil && m.traceID != 0 {
+		rt.hooks.MsgRecv(rt.eng.Now(), dst, m.traceID, m.hops)
+	}
 	p := rt.pes[dst]
 	m.seq = p.seq
 	p.seq++
@@ -410,8 +442,15 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		// execution belongs in the commit.
 		return func() {
 			ctx := rt.newCtx(p.id, nil)
+			ctx.cause = m.traceID
 			ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
+			if rt.hooks != nil {
+				rt.hooks.EntryBegin(at, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
+			}
 			rt.peHandlers[m.ep](ctx, m.payload)
+			if rt.hooks != nil {
+				rt.hooks.EntryEnd(at+ctx.elapsed, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
+			}
 			rt.finishExec(ctx, nil)
 			rt.checkQD()
 			rt.pump(p)
@@ -434,6 +473,7 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 	if rt.parallel {
 		ctx.fx = &fxList{}
 	}
+	ctx.cause = m.traceID
 	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
 	arr := rt.arrays[m.dest.array]
 	handler := arr.handlers[m.ep]
@@ -450,6 +490,14 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		ctx.flushFX()
 		rt.inflight--
 		rt.Stats.MsgsDelivered++
+		if rt.hooks != nil {
+			// After flushFX, so the execution's sends (inline on the
+			// sequential backend, replayed here on the parallel one) hold
+			// the same log positions on both backends.
+			name := arr.EntryName(m.ep)
+			rt.hooks.EntryBegin(at, p.id, arr.name, name, m.dest.idx, m.traceID)
+			rt.hooks.EntryEnd(at+ctx.elapsed, p.id, arr.name, name, m.dest.idx, m.traceID)
+		}
 		rt.finishExec(ctx, el)
 		rt.checkQD()
 		rt.pump(p)

@@ -1,0 +1,74 @@
+package charm
+
+import (
+	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
+)
+
+// TraceHooks is the runtime-side tracing interface: a Projections-style
+// recorder (internal/projections) implements it and the runtime calls it at
+// every traceable action. The nil interface is the fast path — every call
+// site is guarded by a single pointer check, so an untraced run pays no
+// measurable overhead.
+//
+// Determinism contract: the runtime invokes every hook from driver, commit,
+// or global-event context — never from a concurrently executing handler
+// phase — and at positions that coincide between the sequential and
+// parallel backends. A recorder that logs calls in arrival order and
+// assigns IDs from a single counter therefore produces bit-identical
+// traces on both backends. All timestamps are virtual.
+type TraceHooks interface {
+	// MsgSend records a message stamped onto the wire and returns the
+	// event ID the runtime attaches to the message, linking the matching
+	// MsgRecv and the EntryBegin it causes. cause is the ID of the send
+	// that triggered the sending execution (0 for driver/boot sends).
+	MsgSend(at des.Time, srcPE, dstPE, size int, cause uint64) uint64
+	// MsgRecv records a traced message entering a PE's scheduler queue.
+	MsgRecv(at des.Time, pe int, sendID uint64, hops int)
+	// EntryBegin/EntryEnd bracket one entry-method execution. array is ""
+	// for PE-level handlers, whose name appears in entry.
+	EntryBegin(at des.Time, pe int, array, entry string, idx Index, cause uint64)
+	EntryEnd(at des.Time, pe int, array, entry string, idx Index, cause uint64)
+	// Migration records one element move.
+	Migration(at des.Time, array string, idx Index, fromPE, toPE int)
+	// LBStart/LBDecision/LBDone bracket one load-balancing round.
+	LBStart(at des.Time, round, numObjs int)
+	LBDecision(at des.Time, strategy string, numMigrations int)
+	LBDone(at des.Time, round, moved int, duration des.Time)
+	// Checkpoint records one checkpoint capture (kind "memory", "disk", ...).
+	Checkpoint(at des.Time, kind string, bytes int)
+	// TramBuffer records an item buffered by TRAM (depth = buffer fill
+	// after the append); TramFlush records a batch leaving a PE.
+	TramBuffer(at des.Time, pe, depth int)
+	TramFlush(at des.Time, pe, items int, timed bool)
+}
+
+// SetTraceHooks installs (or, with nil, removes) the tracing recorder.
+// Install before Run; swapping recorders mid-run is allowed but the new
+// recorder sees causes minted by the old one.
+func (rt *Runtime) SetTraceHooks(h TraceHooks) { rt.hooks = h }
+
+// Trace returns the installed recorder, or nil. Libraries outside the
+// runtime (TRAM, the checkpoint layer) emit their events through it.
+func (rt *Runtime) Trace() TraceHooks { return rt.hooks }
+
+// Metrics returns the runtime's named-metric registry. Subsystems register
+// counters and gauges into it; exporters read it uniformly. Mutate metrics
+// only from driver or commit context (Ctx.Defer from a handler).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
+
+// registerRuntimeMetrics exposes the RuntimeStats counters and engine
+// figures through the registry without mirroring writes.
+func (rt *Runtime) registerRuntimeMetrics() {
+	reg := rt.metrics
+	reg.GaugeFunc("rts.msgs_sent", func() float64 { return float64(rt.Stats.MsgsSent) })
+	reg.GaugeFunc("rts.bytes_sent", func() float64 { return float64(rt.Stats.BytesSent) })
+	reg.GaugeFunc("rts.msgs_forwarded", func() float64 { return float64(rt.Stats.MsgsForwarded) })
+	reg.GaugeFunc("rts.msgs_delivered", func() float64 { return float64(rt.Stats.MsgsDelivered) })
+	reg.GaugeFunc("rts.migrations", func() float64 { return float64(rt.Stats.Migrations) })
+	reg.GaugeFunc("rts.lb_invocations", func() float64 { return float64(rt.Stats.LBInvocations) })
+	reg.GaugeFunc("rts.qd_rounds", func() float64 { return float64(rt.Stats.QDRounds) })
+	reg.GaugeFunc("rts.entry_time_s", func() float64 { return float64(rt.Stats.EntryTime) })
+	reg.GaugeFunc("rts.events_executed", func() float64 { return float64(rt.eng.Executed()) })
+	reg.GaugeFunc("rts.active_pes", func() float64 { return float64(rt.activePEs) })
+}

@@ -73,6 +73,11 @@ func Capture(rt *charm.Runtime) *Snapshot {
 		}
 		s.Arrays = append(s.Arrays, as)
 	}
+	rt.Metrics().Counter("ckpt.captures").Inc()
+	rt.Metrics().Counter("ckpt.bytes").Add(uint64(s.TotalBytes()))
+	if h := rt.Trace(); h != nil {
+		h.Checkpoint(rt.Now(), "capture", int(s.TotalBytes()))
+	}
 	return s
 }
 

@@ -41,6 +41,7 @@ func (m *Mem) Buddy(pe int) int { return (pe + 1) % m.rt.NumPEs() }
 func (m *Mem) Checkpoint() des.Time {
 	m.snap = Capture(m.rt)
 	m.Checkpoints++
+	m.rt.Metrics().Counter("ckpt.mem_checkpoints").Inc()
 	per := m.snap.perPEBytes(m.rt.NumPEs())
 	var worst float64
 	for _, b := range per {
@@ -70,6 +71,10 @@ func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
 		return 0, fmt.Errorf("ckpt: failed PE %d out of range", failedPE)
 	}
 	m.Restarts++
+	m.rt.Metrics().Counter("ckpt.mem_restarts").Inc()
+	if h := m.rt.Trace(); h != nil {
+		h.Checkpoint(m.rt.Now(), "restore", int(m.snap.TotalBytes()))
+	}
 
 	// Roll every element back to the checkpoint, placing it on its
 	// checkpoint-time PE (the replacement inherits the failed PE's id).

@@ -59,6 +59,24 @@ type Engine interface {
 	RunUntil(t Time)
 }
 
+// TraceSink receives engine-level execution events: the pop of each
+// sharded event (PhaseStart) and the completion of its commit (PhaseDone).
+// Engines call the sink only from the driving goroutine, in exact
+// (timestamp, sequence) pop order — the same order on the sequential and
+// parallel engines — so a recorder that logs calls as they arrive produces
+// bit-identical traces on both backends. The projections tracer uses these
+// events to measure how much phase parallelism a run exposes.
+type TraceSink interface {
+	PhaseStart(shard int, at Time)
+	PhaseDone(shard int, at Time)
+}
+
+// SinkSetter is implemented by engines that can report phase events to a
+// TraceSink. A nil sink (the default) disables reporting.
+type SinkSetter interface {
+	SetTraceSink(TraceSink)
+}
+
 // Ref is an engine-internal event reference held by a Handle.
 type Ref interface {
 	// Live reports whether the event is still scheduled.
@@ -81,11 +99,12 @@ func (h Handle) Cancelled() bool { return h.ev == nil || !h.ev.Live() }
 
 // Event is a closure scheduled to run at a virtual time.
 type Event struct {
-	At  Time
-	Fn  func()
-	sfn func() func() // sharded two-phase body (nil for global events)
-	seq uint64
-	pos int // heap index, -1 when popped or cancelled
+	At    Time
+	Fn    func()
+	sfn   func() func() // sharded two-phase body (nil for global events)
+	shard int           // shard id of a sharded event (unused for globals)
+	seq   uint64
+	pos   int // heap index, -1 when popped or cancelled
 }
 
 // Live reports whether the event is still scheduled.
@@ -128,6 +147,7 @@ type Sequential struct {
 	heap     eventHeap
 	stopped  bool
 	executed uint64
+	sink     TraceSink
 }
 
 // NewEngine returns a sequential engine with the clock at zero.
@@ -163,7 +183,7 @@ func (e *Sequential) AtShard(shard int, t Time, fn func() func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{At: t, sfn: fn, seq: e.seq}
+	ev := &Event{At: t, sfn: fn, shard: shard, seq: e.seq}
 	e.seq++
 	heap.Push(&e.heap, ev)
 	return HandleFor(ev)
@@ -190,6 +210,10 @@ func (e *Sequential) Cancel(h Handle) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Sequential) Stop() { e.stopped = true }
 
+// SetTraceSink installs (or, with nil, removes) the engine's phase-event
+// sink. Install it before Run; the zero-sink path is a nil check.
+func (e *Sequential) SetTraceSink(s TraceSink) { e.sink = s }
+
 // Step executes the single earliest event. It reports false when no events
 // remain.
 func (e *Sequential) Step() bool {
@@ -200,8 +224,14 @@ func (e *Sequential) Step() bool {
 	e.now = ev.At
 	e.executed++
 	if ev.sfn != nil {
+		if e.sink != nil {
+			e.sink.PhaseStart(ev.shard, ev.At)
+		}
 		if commit := ev.sfn(); commit != nil {
 			commit()
+		}
+		if e.sink != nil {
+			e.sink.PhaseDone(ev.shard, ev.At)
 		}
 		return true
 	}

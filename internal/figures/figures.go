@@ -35,27 +35,52 @@ type Fig struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer) error
+	// SeqOnly marks figures whose apps drive AMPI rank goroutines, which
+	// park inside handlers and so only run on the sequential engine.
+	SeqOnly bool
+}
+
+// backend overrides the engine every figure runtime uses; see SetBackend.
+var backend string
+
+// SetBackend routes subsequent figure runs onto the chosen engine
+// ("sequential" or "parallel"); the empty string keeps each machine
+// config's default. Figure output is virtual-time only, so a figure's
+// table is byte-identical across backends.
+func SetBackend(b string) { backend = b }
+
+// newMachine applies the backend selection to a machine config.
+func newMachine(cfg machine.Config) *machine.Machine {
+	if backend != "" {
+		cfg.Backend = backend
+	}
+	return machine.New(cfg)
+}
+
+// newRuntime is the common construction path for figure runtimes.
+func newRuntime(cfg machine.Config) *charm.Runtime {
+	return charm.New(newMachine(cfg))
 }
 
 // All returns every figure in order.
 func All() []Fig {
 	return []Fig{
-		{"4", "Temperature-aware DVFS: exec time and max temp per policy", Fig04Thermal},
-		{"5", "LeanMD shrink/expand: per-step times across reconfigurations", Fig05ShrinkExpand},
-		{"6", "Control system tunes pipelined-ping message count", Fig06ControlPoint},
-		{"7", "CHARM interop: MPI multiway-merge sort vs Charm++ HistSort", Fig07Interop},
-		{"8L", "AMR3D strong scaling: NoLB vs DistributedLB", Fig08AMRScaling},
-		{"8R", "AMR3D checkpoint/restart time vs PEs", Fig08AMRCheckpoint},
-		{"9", "LeanMD strong scaling: with vs without HybridLB", Fig09LeanMDScaling},
-		{"10", "LeanMD in-memory checkpoint/restart vs PEs", Fig10LeanMDCheckpoint},
-		{"11", "NAMD-style strong scaling on Titan and Jaguar models", Fig11NAMDScaling},
-		{"12", "Barnes-Hut: over-decomposition and ORB LB", Fig12BarnesHut},
-		{"13", "ChaNGa-style phase breakdown vs PEs", Fig13ChaNGaPhases},
-		{"14", "LULESH: MPI vs AMPI virtualization, cache and LB", Fig14Lulesh},
-		{"15a", "PHOLD event rate vs LPs per PE", Fig15aPholdLPs},
-		{"15b", "PHOLD with and without TRAM", Fig15bPholdTram},
-		{"16", "Stencil2D under cloud interference, with and without LB", Fig16CloudStencil},
-		{"17", "LeanMD in a heterogeneous cloud", Fig17CloudLeanMD},
+		{ID: "4", Title: "Temperature-aware DVFS: exec time and max temp per policy", Run: Fig04Thermal},
+		{ID: "5", Title: "LeanMD shrink/expand: per-step times across reconfigurations", Run: Fig05ShrinkExpand},
+		{ID: "6", Title: "Control system tunes pipelined-ping message count", Run: Fig06ControlPoint},
+		{ID: "7", Title: "CHARM interop: MPI multiway-merge sort vs Charm++ HistSort", Run: Fig07Interop, SeqOnly: true},
+		{ID: "8L", Title: "AMR3D strong scaling: NoLB vs DistributedLB", Run: Fig08AMRScaling},
+		{ID: "8R", Title: "AMR3D checkpoint/restart time vs PEs", Run: Fig08AMRCheckpoint},
+		{ID: "9", Title: "LeanMD strong scaling: with vs without HybridLB", Run: Fig09LeanMDScaling},
+		{ID: "10", Title: "LeanMD in-memory checkpoint/restart vs PEs", Run: Fig10LeanMDCheckpoint},
+		{ID: "11", Title: "NAMD-style strong scaling on Titan and Jaguar models", Run: Fig11NAMDScaling},
+		{ID: "12", Title: "Barnes-Hut: over-decomposition and ORB LB", Run: Fig12BarnesHut},
+		{ID: "13", Title: "ChaNGa-style phase breakdown vs PEs", Run: Fig13ChaNGaPhases},
+		{ID: "14", Title: "LULESH: MPI vs AMPI virtualization, cache and LB", Run: Fig14Lulesh, SeqOnly: true},
+		{ID: "15a", Title: "PHOLD event rate vs LPs per PE", Run: Fig15aPholdLPs},
+		{ID: "15b", Title: "PHOLD with and without TRAM", Run: Fig15bPholdTram},
+		{ID: "16", Title: "Stencil2D under cloud interference, with and without LB", Run: Fig16CloudStencil},
+		{ID: "17", Title: "LeanMD in a heterogeneous cloud", Run: Fig17CloudLeanMD},
 	}
 }
 
@@ -97,8 +122,8 @@ func Fig04Thermal(w io.Writer) error {
 		energy float64
 	}
 	runPolicy := func(pol power.Policy, lbPeriod float64) row {
-		m := machine.New(machine.ThermalTestbed(8)) // 32 PEs
-		m.SpreadCooling(0.8, 1.35)                  // rack-position variation
+		m := newMachine(machine.ThermalTestbed(8)) // 32 PEs
+		m.SpreadCooling(0.8, 1.35)                 // rack-position variation
 		rt := charm.New(m)
 		var arr *charm.Array
 		remaining := 0
@@ -161,7 +186,7 @@ func Fig04Thermal(w io.Writer) error {
 // shrink (256→128 PEs) and a later expand (128→256), with the
 // reconfiguration spikes visible.
 func Fig05ShrinkExpand(w io.Writer) error {
-	rt := charm.New(machine.New(machine.Stampede(256)))
+	rt := newRuntime(machine.Stampede(256))
 	rt.SetBalancer(lb.Greedy{})
 	mgr := malleable.NewManager(rt)
 	cfg := leanmd.Config{
@@ -216,7 +241,7 @@ func Fig05ShrinkExpand(w io.Writer) error {
 // Fig06ControlPoint reproduces Fig 6: the underlying time-vs-pipelining
 // curve and the control system's tuning trajectory converging onto it.
 func Fig06ControlPoint(w io.Writer) error {
-	mk := func() *charm.Runtime { return charm.New(machine.New(machine.Stampede(32))) }
+	mk := func() *charm.Runtime { return newRuntime(machine.Stampede(32)) }
 	counts := []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 40}
 	curve, err := pingpong.Sweep(mk, pingpong.Config{}, counts)
 	if err != nil {
@@ -256,7 +281,7 @@ func Fig07Interop(w io.Writer) error {
 	for _, p := range []int{8, 32, 128, 512} {
 		keys := totalKeys / p
 		run := func(algo sorting.Algo) *sorting.Result {
-			rt := charm.New(machine.New(machine.Testbed(p)))
+			rt := newRuntime(machine.Testbed(p))
 			res, err := sorting.Run(rt, sorting.Config{
 				Ranks: p, KeysPerRank: keys, Algo: algo, Seed: 7,
 				ComputePerKey: 2e-6,
@@ -281,7 +306,7 @@ func Fig07Interop(w io.Writer) error {
 // scaling with and without the distributed load balancer.
 func Fig08AMRScaling(w io.Writer) error {
 	run := func(pes int, balance bool) float64 {
-		rt := charm.New(machine.New(machine.Vesta(pes)))
+		rt := newRuntime(machine.Vesta(pes))
 		if balance {
 			rt.SetBalancer(lb.Distributed{Seed: 11})
 		}
@@ -321,7 +346,7 @@ func Fig08AMRCheckpoint(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tcheckpoint_s\trestart_s")
 	for _, pes := range []int{256, 512, 1024, 2048, 4096} {
-		rt := charm.New(machine.New(machine.Vesta(pes)))
+		rt := newRuntime(machine.Vesta(pes))
 		app, err := amr.New(rt, amr.Config{
 			MinDepth: 4, MaxDepth: 4, StartDepth: 4, BlockSize: 8,
 			Steps: 1, RemeshPeriod: 0,
@@ -349,7 +374,7 @@ func Fig08AMRCheckpoint(w io.Writer) error {
 func Fig16CloudStencil(w io.Writer) error {
 	const iters = 200
 	run := func(withLB bool) *stencil.Result {
-		rt := charm.New(machine.New(machine.Cloud(32)))
+		rt := newRuntime(machine.Cloud(32))
 		lbPeriod := 0
 		if withLB {
 			rt.SetBalancer(lb.Refine{Tolerance: 1.1})
@@ -367,7 +392,7 @@ func Fig16CloudStencil(w io.Writer) error {
 		// unnecessary: inject at a fixed virtual time chosen inside the
 		// run (≈ iteration 100 of the unperturbed run).
 		probe := func() float64 {
-			rt2 := charm.New(machine.New(machine.Cloud(32)))
+			rt2 := newRuntime(machine.Cloud(32))
 			r, err := stencil.Run(rt2, stencil.Config{GridN: 576, Chares: 16,
 				Iters: 10, PerPointWork: 60e-9})
 			if err != nil {
@@ -394,7 +419,7 @@ func Fig16CloudStencil(w io.Writer) error {
 
 	// §IV-F.1: 1 chare/process vs 8 chares/process on 32 VMs.
 	over := func(chares int) float64 {
-		rt := charm.New(machine.New(machine.Cloud(32)))
+		rt := newRuntime(machine.Cloud(32))
 		res, err := stencil.Run(rt, stencil.Config{GridN: 576, Chares: chares,
 			Iters: 10, PerPointWork: 60e-9})
 		if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"charmgo/internal/charm"
 	"charmgo/internal/ckpt"
 	"charmgo/internal/cloud"
 	"charmgo/internal/lb"
@@ -36,7 +35,7 @@ func leanmdSteady(res *leanmd.Result, k int) float64 {
 // 2.8M-atom system scaled down ~100×, Gaussian-skewed for imbalance).
 func Fig09LeanMDScaling(w io.Writer) error {
 	run := func(pes int, balance bool) float64 {
-		rt := charm.New(machine.New(machine.Vesta(pes)))
+		rt := newRuntime(machine.Vesta(pes))
 		cfg := leanmd.Config{
 			CellsX: 6, CellsY: 6, CellsZ: 6,
 			AtomsPerCell: 27, Gaussian: 6, Steps: 10, Seed: 5,
@@ -78,7 +77,7 @@ func Fig10LeanMDCheckpoint(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tbig_ckpt_s\tbig_restart_s\tsmall_ckpt_s\tsmall_restart_s")
 	measure := func(pes, cellSide int) (float64, float64) {
-		rt := charm.New(machine.New(machine.Vesta(pes)))
+		rt := newRuntime(machine.Vesta(pes))
 		app, err := leanmd.New(rt, leanmd.Config{
 			CellsX: cellSide, CellsY: cellSide, CellsZ: cellSide,
 			AtomsPerCell: 27, Steps: 1, Seed: 6,
@@ -113,7 +112,7 @@ func Fig10LeanMDCheckpoint(w io.Writer) error {
 // 100M-atom benchmark scaled down ~7000×).
 func Fig11NAMDScaling(w io.Writer) error {
 	run := func(cfgMachine machine.Config) float64 {
-		rt := charm.New(machine.New(cfgMachine))
+		rt := newRuntime(cfgMachine)
 		rt.SetBalancer(lb.Hybrid{})
 		res, err := leanmd.Run(rt, leanmd.Config{
 			CellsX: 8, CellsY: 8, CellsZ: 8, AtomsPerCell: 27,
@@ -142,7 +141,7 @@ func Fig11NAMDScaling(w io.Writer) error {
 func Fig12BarnesHut(w io.Writer) error {
 	center := [3]float64{0.30, 0.34, 0.62}
 	run := func(pes, depth int, balance bool) float64 {
-		rt := charm.New(machine.New(machine.BlueWaters(pes)))
+		rt := newRuntime(machine.BlueWaters(pes))
 		cfg := barnes.Config{
 			Particles: 48000, Depth: depth, Steps: 3, Seed: 8, Center: center,
 		}
@@ -188,7 +187,7 @@ func Fig13ChaNGaPhases(w io.Writer) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tGravity_s\tDD_s\tTB_s\tLB_s\tTotal_s")
 	for _, pes := range []int{64, 128, 256, 512} {
-		rt := charm.New(machine.New(machine.BlueWaters(pes)))
+		rt := newRuntime(machine.BlueWaters(pes))
 		rt.SetBalancer(lb.ORB{})
 		res, err := barnes.Run(rt, barnes.Config{
 			Particles: 50000, Depth: 3, Steps: 4, Seed: 9,
@@ -223,7 +222,7 @@ func Fig14Lulesh(w io.Writer) error {
 		return c
 	}
 	run := func(pes, rankSide, elemSide int, native bool, lbPeriod int) float64 {
-		rt := charm.New(machine.New(hopper8(pes)))
+		rt := newRuntime(hopper8(pes))
 		res, err := lulesh.Run(rt, lulesh.Config{
 			RankSide: rankSide, ElemSide: elemSide, Iters: iters,
 			Native: native, LBPeriod: lbPeriod, Seed: 10,
@@ -263,7 +262,7 @@ func Fig15aPholdLPs(w io.Writer) error {
 	fmt.Fprintln(tw, "PEs\tLPs_per_PE\tevents_per_sec")
 	for _, pes := range []int{16, 32, 64} {
 		for _, lpsPerPE := range []int{16, 64, 256} {
-			rt := charm.New(machine.New(machine.Stampede(pes)))
+			rt := newRuntime(machine.Stampede(pes))
 			lps := pes * lpsPerPE
 			res, err := pdes.Run(rt, pdes.Config{
 				LPs: lps, EventsPerLP: 8, TargetEvents: lps * 16, Seed: 11,
@@ -286,7 +285,7 @@ func Fig15bPholdTram(w io.Writer) error {
 		for _, epl := range []int{2, 24} {
 			lps := pes * 64
 			rate := func(useTram bool) float64 {
-				rt := charm.New(machine.New(machine.Stampede(pes)))
+				rt := newRuntime(machine.Stampede(pes))
 				res, err := pdes.Run(rt, pdes.Config{
 					LPs: lps, EventsPerLP: epl, TargetEvents: lps * epl * 2,
 					UseTram: useTram, Seed: 12,
@@ -309,7 +308,7 @@ func Fig15bPholdTram(w io.Writer) error {
 // and on the homogeneous cluster for reference.
 func Fig17CloudLeanMD(w io.Writer) error {
 	run := func(pes int, hetero, balance bool) float64 {
-		rt := charm.New(machine.New(machine.Cloud(pes)))
+		rt := newRuntime(machine.Cloud(pes))
 		if hetero {
 			cloud.SlowNode(rt, 0, 0.7)
 		}

@@ -44,6 +44,30 @@ func TestFastFiguresProduceTables(t *testing.T) {
 	}
 }
 
+// A figure's table is a pure function of virtual time, so it must be
+// byte-identical whichever engine computed it. Fig 8R is the fastest
+// figure that still exercises arrays, checkpointing, and reductions.
+func TestFigureCrossBackend(t *testing.T) {
+	f, _ := ByID("8R")
+	render := func(be string) string {
+		SetBackend(be)
+		defer SetBackend("")
+		var buf bytes.Buffer
+		if err := f.Run(&buf); err != nil {
+			t.Fatalf("%s backend: %v", be, err)
+		}
+		return buf.String()
+	}
+	seq := render("sequential")
+	par := render("parallel")
+	if seq != par {
+		t.Fatalf("figure %s output diverged across backends:\nsequential:\n%s\nparallel:\n%s", f.ID, seq, par)
+	}
+	if len(strings.Split(seq, "\n")) < 4 {
+		t.Fatalf("figure %s produced a trivial table:\n%s", f.ID, seq)
+	}
+}
+
 func TestFig04Ordering(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Fig04Thermal(&buf); err != nil {

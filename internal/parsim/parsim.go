@@ -62,6 +62,7 @@ import (
 	"sync"
 
 	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
 )
 
 // Options configures an engine.
@@ -165,6 +166,7 @@ type Engine struct {
 	touched   []int
 
 	stats Stats
+	sink  des.TraceSink
 }
 
 // Stats aggregates scheduling counters over the engine's lifetime; useful
@@ -178,6 +180,21 @@ type Stats struct {
 
 // EngineStats returns the scheduling counters accumulated so far.
 func (e *Engine) EngineStats() Stats { return e.stats }
+
+// SetTraceSink installs (or, with nil, removes) the engine's phase-event
+// sink. The sink is called only from the driving goroutine, at the pop of
+// each sharded event and after its commit — the same positions, in the
+// same total order, as the sequential engine.
+func (e *Engine) SetTraceSink(s des.TraceSink) { e.sink = s }
+
+// RegisterMetrics exposes the engine's scheduling counters through a
+// metrics registry.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("parsim.phases_launched", func() float64 { return float64(e.stats.Launched) })
+	reg.GaugeFunc("parsim.phases_inline", func() float64 { return float64(e.stats.Inline) })
+	reg.GaugeFunc("parsim.global_events", func() float64 { return float64(e.stats.Global) })
+	reg.GaugeFunc("parsim.max_in_flight", func() float64 { return float64(e.stats.MaxInFlight) })
+}
 
 // New returns a parallel engine with the clock at zero.
 func New(opts Options) *Engine {
@@ -334,6 +351,9 @@ func (e *Engine) step(horizon des.Time) {
 		return
 	}
 
+	if e.sink != nil {
+		e.sink.PhaseStart(ev.shard, ev.at)
+	}
 	var commit func()
 	if ev.launched {
 		e.launchedOn[ev.shard] = nil
@@ -345,6 +365,8 @@ func (e *Engine) step(horizon des.Time) {
 		e.stats.Launched++
 		if ev.panicked {
 			// Re-raise deterministically in pop order, not worker order.
+			// No PhaseDone: the sequential engine panics out of sfn()
+			// before reaching its PhaseDone too.
 			e.drainLaunched()
 			panic(ev.pval)
 		}
@@ -355,6 +377,9 @@ func (e *Engine) step(horizon des.Time) {
 	}
 	if commit != nil {
 		commit()
+	}
+	if e.sink != nil {
+		e.sink.PhaseDone(ev.shard, ev.at)
 	}
 }
 

@@ -1,0 +1,138 @@
+// Package projections implements the Projections-style tracing and
+// analysis layer: a deterministic event log of everything the RTS does —
+// entry-method executions, message sends and receives linked by causal
+// event IDs, migrations, load-balancing rounds, checkpoints, TRAM
+// aggregation, and the parallel engine's phase pipeline — plus the
+// analyses (usage profile, message-latency histogram, critical path,
+// phase-parallelism timeline) and exporters (Chrome trace-event JSON for
+// Perfetto, text summary, CCS live queries) built on it.
+//
+// All timestamps are virtual (des.Time); the recorder never consults the
+// wall clock or iterates a map, so a traced run is bit-for-bit
+// reproducible and the log of a sequential run is byte-identical to the
+// log of the same run on the parallel backend.
+package projections
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"charmgo/internal/des"
+)
+
+// Kind classifies one trace event.
+type Kind uint8
+
+const (
+	// KMsgSend: PE = source, A = destination PE, B = bytes, Ref = cause.
+	KMsgSend Kind = iota + 1
+	// KMsgRecv: PE = destination, Ref = the send's ID, A = hops.
+	KMsgRecv
+	// KEntryBegin / KEntryEnd bracket one entry-method execution:
+	// Arr/Entry/Idx name it, Ref is the triggering send's ID.
+	KEntryBegin
+	KEntryEnd
+	// KMigration: Arr/Idx name the element, A = from PE, B = to PE.
+	KMigration
+	// KLBStart: A = round, B = objects. KLBDecision: Entry = strategy,
+	// A = proposed migrations. KLBDone: A = round, B = moved, Dur = span.
+	KLBStart
+	KLBDecision
+	KLBDone
+	// KCheckpoint: Entry = kind ("capture", "restore"), A = bytes.
+	KCheckpoint
+	// KTramBuffer: A = buffer depth after the append.
+	// KTramFlush: A = items in the batch, B = 1 for a timed flush.
+	KTramBuffer
+	KTramFlush
+	// KPhaseStart / KPhaseCommit are engine pipeline events: PE = shard.
+	KPhaseStart
+	KPhaseCommit
+)
+
+var kindNames = [...]string{
+	KMsgSend:    "send",
+	KMsgRecv:    "recv",
+	KEntryBegin: "begin",
+	KEntryEnd:   "end",
+	KMigration:  "migrate",
+	KLBStart:    "lb-start",
+	KLBDecision: "lb-decision",
+	KLBDone:     "lb-done",
+	KCheckpoint: "checkpoint",
+	KTramBuffer: "tram-buffer",
+	KTramFlush:  "tram-flush",
+	KPhaseStart: "phase-start",
+	KPhaseCommit: "phase-commit",
+}
+
+// String returns the kind's log token.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// Event is one record of the trace. IDs are assigned from a single
+// monotone counter in emission order, so sorting a trace by ID
+// reconstructs the exact global order of the run.
+type Event struct {
+	ID    uint64   `json:"id"`
+	Kind  Kind     `json:"k"`
+	At    des.Time `json:"t"`
+	PE    int      `json:"pe"`              // -1 for driver-context events
+	Ref   uint64   `json:"ref,omitempty"`   // causal link (see Kind docs)
+	Arr   string   `json:"arr,omitempty"`   // chare array name
+	Entry string   `json:"ep,omitempty"`    // entry/handler/strategy name
+	Idx   string   `json:"idx,omitempty"`   // element index, rendered
+	A     int64    `json:"a,omitempty"`     // kind-specific
+	B     int64    `json:"b,omitempty"`     // kind-specific
+	Dur   des.Time `json:"dur,omitempty"`   // kind-specific span
+}
+
+// Name renders the event's subject: "array.entry" for entry events, the
+// bare entry/kind token otherwise.
+func (e Event) Name() string {
+	if e.Arr != "" {
+		return e.Arr + "." + e.Entry
+	}
+	if e.Entry != "" {
+		return e.Entry
+	}
+	return e.Kind.String()
+}
+
+// WriteLog writes events as JSON lines — the trace's canonical on-disk
+// form. Two runs are equivalent exactly when their WriteLog bytes match.
+func WriteLog(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a JSON-lines trace written by WriteLog.
+func ReadLog(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("projections: bad trace line %q: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,128 @@
+// Package metrics implements the runtime's named-metric registry: counters
+// and gauges that subsystems (the charm RTS, TRAM, the checkpoint layer,
+// load balancing, the parsim engine, and applications) register into and
+// that exporters — the projections tracer, the text summary, the CCS
+// "trace" handler — read uniformly. It replaces ad-hoc growth of
+// charm.RuntimeStats with a flat, sorted, name-addressed table.
+//
+// The package is deliberately dependency-free so every layer of the system
+// (including internal/parsim, which internal/charm imports) can use it
+// without cycles.
+//
+// Concurrency discipline: metrics follow the same rule as every other
+// piece of global simulation state — mutate them only from driver or
+// commit context (or via Ctx.Defer from an entry method), never from a
+// concurrently executing handler phase. In exchange they need no atomics
+// and stay deterministic.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ v float64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.v = x }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Sample is one (name, value) pair of a registry snapshot.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Registry is a flat name → metric table. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The
+// get-or-create contract lets call sites increment without a registration
+// step: reg.Counter("ckpt.captures").Inc().
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a derived gauge computed at snapshot time; the last
+// registration under a name wins. Subsystems use it to expose existing
+// stat structs without mirroring writes.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.funcs[name] = fn
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	return len(r.counters) + len(r.gauges) + len(r.funcs)
+}
+
+// Snapshot evaluates every metric and returns the samples sorted by name,
+// so exports are deterministic regardless of registration order.
+func (r *Registry) Snapshot() []Sample {
+	out := make([]Sample, 0, r.Len())
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: float64(c.v)})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: g.v})
+	}
+	for name, fn := range r.funcs {
+		out = append(out, Sample{Name: name, Value: fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot as a two-column table.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%-40s %g\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

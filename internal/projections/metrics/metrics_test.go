@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	if r.Gauge("a.gauge") != g {
+		t.Fatal("Gauge is not get-or-create")
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(3)
+	r.Gauge("m.mid").Set(7)
+	r.GaugeFunc("a.first", func() float64 { return 1 })
+	snap := r.Snapshot()
+	if len(snap) != 3 || r.Len() != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(snap))
+	}
+	names := []string{snap[0].Name, snap[1].Name, snap[2].Name}
+	if names[0] != "a.first" || names[1] != "m.mid" || names[2] != "z.last" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	if snap[0].Value != 1 || snap[1].Value != 7 || snap[2].Value != 3 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+}
+
+func TestGaugeFuncLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("x", func() float64 { return 1 })
+	r.GaugeFunc("x", func() float64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 2 {
+		t.Fatalf("last registration should win: %+v", snap)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs").Add(10)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "msgs") || !strings.Contains(b.String(), "10") {
+		t.Fatalf("text render missing data:\n%s", b.String())
+	}
+}

@@ -1,0 +1,240 @@
+package projections
+
+import (
+	"sort"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// RingCap bounds each per-PE event ring; the oldest events are
+	// dropped when a ring overflows (the drop count is reported by
+	// Dropped). Default 1<<15 events per ring.
+	RingCap int
+	// EngineEvents also records the engine's phase-start/commit pipeline
+	// events (needed for the phase-parallelism timeline). Off by default:
+	// they roughly double the event volume.
+	EngineEvents bool
+}
+
+// ring is a bounded circular event buffer.
+type ring struct {
+	buf     []Event
+	next    int // write cursor
+	full    bool
+	dropped uint64
+}
+
+func (r *ring) add(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	// Overwrite the oldest event.
+	r.full = true
+	r.dropped++
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// events returns the ring's contents oldest-first.
+func (r *ring) events() []Event {
+	if !r.full {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Tracer records runtime and engine events into per-PE rings. It
+// implements charm.TraceHooks and des.TraceSink; the runtime calls every
+// hook from driver or commit context, so the tracer needs no locks and a
+// single monotone ID counter is deterministic.
+type Tracer struct {
+	rt     *charm.Runtime
+	rings  []ring // one per physical PE, plus one driver ring at the end
+	nextID uint64
+	opts   Options
+}
+
+// Attach installs a tracer on a runtime (and, with EngineEvents, on its
+// engine). Attach before Run.
+func Attach(rt *charm.Runtime, opts Options) *Tracer {
+	if opts.RingCap == 0 {
+		opts.RingCap = 1 << 15
+	}
+	t := &Tracer{rt: rt, opts: opts}
+	t.rings = make([]ring, rt.MaxPEs()+1)
+	for i := range t.rings {
+		t.rings[i].buf = make([]Event, 0, opts.RingCap)
+	}
+	rt.SetTraceHooks(t)
+	if opts.EngineEvents {
+		if ss, ok := rt.Engine().(des.SinkSetter); ok {
+			ss.SetTraceSink(t)
+		}
+	}
+	return t
+}
+
+// Detach removes the tracer's hooks from the runtime and engine; the
+// recorded events remain readable.
+func (t *Tracer) Detach() {
+	t.rt.SetTraceHooks(nil)
+	if ss, ok := t.rt.Engine().(des.SinkSetter); ok {
+		ss.SetTraceSink(nil)
+	}
+}
+
+// Runtime returns the traced runtime.
+func (t *Tracer) Runtime() *charm.Runtime { return t.rt }
+
+// driverRing indexes the ring for events with no PE affinity.
+func (t *Tracer) driverRing() int { return len(t.rings) - 1 }
+
+func (t *Tracer) record(ringIdx int, e Event) uint64 {
+	t.nextID++
+	e.ID = t.nextID
+	t.rings[ringIdx].add(e)
+	return e.ID
+}
+
+// Events returns every recorded event in global emission order (by ID).
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for i := range t.rings {
+		out = append(out, t.rings[i].events()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Dropped returns how many events ring overflow discarded.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for i := range t.rings {
+		n += t.rings[i].dropped
+	}
+	return n
+}
+
+// Recorded returns how many events were assigned IDs (kept + dropped).
+func (t *Tracer) Recorded() uint64 { return t.nextID }
+
+// Metrics returns the traced runtime's registry.
+func (t *Tracer) Metrics() *metrics.Registry { return t.rt.Metrics() }
+
+// ---- charm.TraceHooks ----
+
+// MsgSend records a send and returns its event ID for causal linking.
+func (t *Tracer) MsgSend(at des.Time, srcPE, dstPE, size int, cause uint64) uint64 {
+	return t.record(srcPE, Event{
+		Kind: KMsgSend, At: at, PE: srcPE, Ref: cause,
+		A: int64(dstPE), B: int64(size),
+	})
+}
+
+// MsgRecv records a traced message entering a PE's scheduler queue.
+func (t *Tracer) MsgRecv(at des.Time, pe int, sendID uint64, hops int) {
+	t.record(pe, Event{Kind: KMsgRecv, At: at, PE: pe, Ref: sendID, A: int64(hops)})
+}
+
+// EntryBegin records the start of an entry-method execution.
+func (t *Tracer) EntryBegin(at des.Time, pe int, array, entry string, idx charm.Index, cause uint64) {
+	t.record(pe, Event{
+		Kind: KEntryBegin, At: at, PE: pe, Ref: cause,
+		Arr: array, Entry: entry, Idx: idxString(array, idx),
+	})
+}
+
+// EntryEnd records the completion of an entry-method execution.
+func (t *Tracer) EntryEnd(at des.Time, pe int, array, entry string, idx charm.Index, cause uint64) {
+	t.record(pe, Event{
+		Kind: KEntryEnd, At: at, PE: pe, Ref: cause,
+		Arr: array, Entry: entry, Idx: idxString(array, idx),
+	})
+}
+
+// Migration records one element move.
+func (t *Tracer) Migration(at des.Time, array string, idx charm.Index, fromPE, toPE int) {
+	t.record(fromPE, Event{
+		Kind: KMigration, At: at, PE: fromPE,
+		Arr: array, Idx: idx.String(), A: int64(fromPE), B: int64(toPE),
+	})
+}
+
+// LBStart records the start of a load-balancing round.
+func (t *Tracer) LBStart(at des.Time, round, numObjs int) {
+	t.record(t.driverRing(), Event{
+		Kind: KLBStart, At: at, PE: -1, A: int64(round), B: int64(numObjs),
+	})
+}
+
+// LBDecision records the strategy's verdict.
+func (t *Tracer) LBDecision(at des.Time, strategy string, numMigrations int) {
+	t.record(t.driverRing(), Event{
+		Kind: KLBDecision, At: at, PE: -1, Entry: strategy, A: int64(numMigrations),
+	})
+}
+
+// LBDone records the completion of a load-balancing round.
+func (t *Tracer) LBDone(at des.Time, round, moved int, duration des.Time) {
+	t.record(t.driverRing(), Event{
+		Kind: KLBDone, At: at, PE: -1, A: int64(round), B: int64(moved), Dur: duration,
+	})
+}
+
+// Checkpoint records a checkpoint capture or restore.
+func (t *Tracer) Checkpoint(at des.Time, kind string, bytes int) {
+	t.record(t.driverRing(), Event{
+		Kind: KCheckpoint, At: at, PE: -1, Entry: kind, A: int64(bytes),
+	})
+}
+
+// TramBuffer records an item buffered by TRAM.
+func (t *Tracer) TramBuffer(at des.Time, pe, depth int) {
+	t.record(pe, Event{Kind: KTramBuffer, At: at, PE: pe, A: int64(depth)})
+}
+
+// TramFlush records an aggregated batch leaving a PE.
+func (t *Tracer) TramFlush(at des.Time, pe, items int, timed bool) {
+	e := Event{Kind: KTramFlush, At: at, PE: pe, A: int64(items)}
+	if timed {
+		e.B = 1
+	}
+	t.record(pe, e)
+}
+
+// ---- des.TraceSink ----
+
+// PhaseStart records the pop of a sharded engine event.
+func (t *Tracer) PhaseStart(shard int, at des.Time) {
+	t.record(t.shardRing(shard), Event{Kind: KPhaseStart, At: at, PE: shard})
+}
+
+// PhaseDone records the completion of a sharded event's commit.
+func (t *Tracer) PhaseDone(shard int, at des.Time) {
+	t.record(t.shardRing(shard), Event{Kind: KPhaseCommit, At: at, PE: shard})
+}
+
+// shardRing stores a shard's pipeline events alongside the PEs; shard ids
+// never exceed the PE count (a shard is a node).
+func (t *Tracer) shardRing(shard int) int {
+	if shard >= 0 && shard < len(t.rings)-1 {
+		return shard
+	}
+	return t.driverRing()
+}
+
+// idxString renders an element index, empty for PE handlers (array "").
+func idxString(array string, idx charm.Index) string {
+	if array == "" {
+		return ""
+	}
+	return idx.String()
+}

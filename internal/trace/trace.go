@@ -62,8 +62,13 @@ func (t *Tracer) tick() {
 	if t.stopped || t.rt.Exited() {
 		return
 	}
+	// Sample every physical PE, not just the currently active ones: the
+	// active count changes across a malleability shrink/expand, and a
+	// mid-trace change would leave lastBusy misaligned with the sampled
+	// window (and samples with inconsistent Util lengths). Inactive PEs
+	// accumulate no busy time, so they simply read as 0.
 	m := t.rt.Machine()
-	n := t.rt.NumPEs()
+	n := len(t.lastBusy)
 	util := make([]float64, n)
 	for p := 0; p < n; p++ {
 		busy := m.PE(p).BusyTime

@@ -7,6 +7,7 @@ import (
 
 	"charmgo/internal/charm"
 	"charmgo/internal/machine"
+	"charmgo/internal/malleable"
 	"charmgo/internal/pup"
 )
 
@@ -131,6 +132,93 @@ func TestEmptyTracer(t *testing.T) {
 	}
 	if tr.Timeline(0) == "" || tr.MeanUtilization() != 0 {
 		t.Fatal("empty tracer rendering broken")
+	}
+}
+
+// A shrink mid-trace must not change the shape of subsequent samples: the
+// tracer samples every physical PE, so Util stays MaxPEs wide before and
+// after the reconfiguration and lastBusy never misaligns with the window.
+func TestShrinkMidTrace(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(8)))
+	var arr *charm.Array
+	handlers := []charm.Handler{
+		func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			w := obj.(*worker)
+			ctx.Charge(0.05)
+			w.Steps--
+			if w.Steps > 0 {
+				ctx.Send(arr, ctx.Index(), 0, nil)
+			} else {
+				ctx.Exit()
+			}
+		},
+	}
+	arr = rt.DeclareArray("w", func() charm.Chare { return &worker{} }, handlers,
+		charm.ArrayOpts{Migratable: true})
+	arr.InsertOn(charm.Idx1(0), &worker{Steps: 20}, 0)
+	tr := New(rt, 0.1)
+	tr.Start()
+	malleable.NewManager(rt).RequestAt(0.42, 4)
+	arr.Send(charm.Idx1(0), 0, nil)
+	rt.Run()
+
+	if rt.NumPEs() != 4 {
+		t.Fatalf("shrink did not take: %d active PEs", rt.NumPEs())
+	}
+	samples := tr.Samples()
+	if len(samples) < 8 {
+		t.Fatalf("only %d samples across the shrink", len(samples))
+	}
+	for i, s := range samples {
+		if len(s.Util) != rt.MaxPEs() {
+			t.Fatalf("sample %d has %d PEs, want MaxPEs=%d (shape changed mid-trace)",
+				i, len(s.Util), rt.MaxPEs())
+		}
+		for p, u := range s.Util {
+			if u < 0 || u > 1 {
+				t.Fatalf("sample %d PE %d utilization %v out of range", i, p, u)
+			}
+		}
+	}
+	// Evacuated PEs read as idle after the shrink.
+	last := samples[len(samples)-1]
+	for p := 4; p < 8; p++ {
+		if last.Util[p] != 0 {
+			t.Errorf("evacuated PE %d shows %v utilization after shrink", p, last.Util[p])
+		}
+	}
+}
+
+// Golden renders: Summary and Timeline are consumed by scripts and eyes
+// alike, so their exact shape is locked here against a hand-built trace.
+func goldenTracer() *Tracer {
+	return &Tracer{
+		interval: 0.1,
+		samples: []Sample{
+			{At: 0.1, Util: []float64{1.0, 0.0}, Msgs: 7},
+			{At: 0.2, Util: []float64{0.5, 0.25}, Msgs: 3},
+			{At: 0.3, Util: []float64{0.0, 1.0}, Msgs: 0},
+		},
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	got := goldenTracer().Summary()
+	want := "t(s)       mean     min      max      msgs\n" +
+		"0.1000     0.50     0.00     1.00     7\n" +
+		"0.2000     0.38     0.25     0.50     3\n" +
+		"0.3000     0.50     0.00     1.00     0\n"
+	if got != want {
+		t.Fatalf("summary drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTimelineGolden(t *testing.T) {
+	got := goldenTracer().Timeline(0)
+	want := "PE   0      |@= |\n" +
+		"PE   1      | :@|\n"
+	if got != want {
+		t.Fatalf("timeline drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

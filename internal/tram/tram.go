@@ -151,7 +151,14 @@ func New(rt *charm.Runtime, arr *charm.Array, ep charm.EP, opts Options) *Client
 	for p := range c.pes {
 		c.pes[p] = c.newPEBuffers(p)
 	}
-	c.peh = rt.DeclarePEHandler(c.onBatch)
+	c.peh = rt.DeclareNamedPEHandler("tram:"+arr.Name(), c.onBatch)
+	reg := rt.Metrics()
+	pre := "tram." + arr.Name() + "."
+	reg.GaugeFunc(pre+"items_submitted", func() float64 { return float64(c.Stats.ItemsSubmitted) })
+	reg.GaugeFunc(pre+"items_delivered", func() float64 { return float64(c.Stats.ItemsDelivered) })
+	reg.GaugeFunc(pre+"msgs_sent", func() float64 { return float64(c.Stats.MsgsSent) })
+	reg.GaugeFunc(pre+"timed_flushes", func() float64 { return float64(c.Stats.TimedFlushes) })
+	reg.GaugeFunc(pre+"full_flushes", func() float64 { return float64(c.Stats.FullFlushes) })
 	return c
 }
 
@@ -223,13 +230,20 @@ func (c *Client) route(ctx *charm.Ctx, it item) {
 	pi, ok := pb.peerOf[hop]
 	if !ok {
 		// Shrunken PE set or irregular grid: send directly.
-		c.sendBatch(ctx, hop, []item{it})
+		c.sendBatch(ctx, hop, []item{it}, false)
 		return
 	}
 	pb.bufs[pi] = append(pb.bufs[pi], it)
+	if h := c.rt.Trace(); h != nil {
+		// Capture the virtual time before deferring: elapsed keeps
+		// advancing during the handler, and the hook must see the same
+		// timestamp on both backends.
+		at, depth := ctx.Now(), len(pb.bufs[pi])
+		ctx.Defer(func() { h.TramBuffer(at, me, depth) })
+	}
 	if len(pb.bufs[pi]) >= c.opts.BufItems {
 		ctx.Defer(func() { c.Stats.FullFlushes++ })
-		c.flushPeer(ctx, me, pi)
+		c.flushPeer(ctx, me, pi, false)
 		return
 	}
 	if c.opts.FlushTimeout > 0 && !pb.armed[pi] {
@@ -242,22 +256,26 @@ func (c *Client) route(ctx *charm.Ctx, it item) {
 				pb.armed[pi] = false
 				if len(pb.bufs[pi]) > 0 {
 					c.Stats.TimedFlushes++
-					c.flushPeer(ctx, me, pi)
+					c.flushPeer(ctx, me, pi, true)
 				}
 			})
 		})
 	}
 }
 
-func (c *Client) flushPeer(ctx *charm.Ctx, pe, pi int) {
+func (c *Client) flushPeer(ctx *charm.Ctx, pe, pi int, timed bool) {
 	pb := c.pes[pe]
 	items := pb.bufs[pi]
 	pb.bufs[pi] = nil
-	c.sendBatch(ctx, pb.peers[pi], items)
+	c.sendBatch(ctx, pb.peers[pi], items, timed)
 }
 
-func (c *Client) sendBatch(ctx *charm.Ctx, to int, items []item) {
+func (c *Client) sendBatch(ctx *charm.Ctx, to int, items []item, timed bool) {
 	ctx.Defer(func() { c.Stats.MsgsSent++ })
+	if h := c.rt.Trace(); h != nil {
+		at, n, pe := ctx.Now(), len(items), ctx.MyPE()
+		ctx.Defer(func() { h.TramFlush(at, pe, n, timed) })
+	}
 	size := 48 + len(items)*c.opts.ItemBytes
 	ctx.SendPE(to, c.peh, batch{items: items}, &charm.SendOpts{Bytes: size})
 }
@@ -268,7 +286,7 @@ func (c *Client) FlushAll(ctx *charm.Ctx) {
 	pb := c.pes[me]
 	for pi := range pb.bufs {
 		if len(pb.bufs[pi]) > 0 {
-			c.flushPeer(ctx, me, pi)
+			c.flushPeer(ctx, me, pi, false)
 		}
 	}
 }

@@ -14,9 +14,15 @@ go run ./cmd/charmvet ./...
 go test -race ./...
 
 # Sequential vs parallel backend must produce bit-identical digests no
-# matter how many host threads the phase workers are spread over.
+# matter how many host threads the phase workers are spread over. The
+# projections suite holds the event-log flavor of the same guarantee:
+# byte-identical traces across backends.
 for procs in 1 2 8; do
-	GOMAXPROCS=$procs go test -race -count=1 -run 'CrossBackend' ./internal/apps/determinism/
+	GOMAXPROCS=$procs go test -race -count=1 -run 'CrossBackend' ./internal/apps/determinism/ ./internal/projections/
 done
 
 scripts/bench.sh --smoke
+
+# Tracing overhead: the same LeanMD run untraced vs fully traced, recorded
+# for the PR record. The untraced path must stay a nil check.
+go run ./cmd/projections -selfbench -smoke -out BENCH_projections.json
