@@ -1,0 +1,84 @@
+// chaos runs deterministic fault-injection campaigns: for each app it
+// probes a failure-free run, derives a seeded crash plan spread over the
+// mid-run, and re-executes under injected crashes on both backends,
+// asserting that the surviving run's final application results and full
+// state digest are byte-identical to the failure-free run's. The report
+// (BENCH_chaos.json) carries detection latency, recovery time, and the
+// modeled buddy-restore cost set against restarting from scratch.
+//
+// The same -seed and -crashes always produce the same plan, the same
+// virtual-time fault schedule, and a byte-identical report — determinism
+// of the injector itself is part of the contract (and is what makes a
+// failing campaign replayable).
+//
+// Usage:
+//
+//	go run ./cmd/chaos -out BENCH_chaos.json          # all apps, 3 crashes
+//	go run ./cmd/chaos -app stencil -crashes 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"charmgo/internal/chaos"
+)
+
+func main() {
+	app := flag.String("app", "all", "campaign app: leanmd, stencil, pdes, or all")
+	crashes := flag.Int("crashes", 3, "number of PE crashes to inject per run")
+	seed := flag.Int64("seed", 42, "plan seed: same seed, same faults, same report")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
+	flag.Parse()
+
+	apps := chaos.Apps()
+	if *app != "all" {
+		apps = []string{*app}
+	}
+	var report []*chaos.Bench
+	failed := false
+	for _, a := range apps {
+		b, err := chaos.RunCampaign(a, *crashes, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %s campaign: %v\n", a, err)
+			os.Exit(1)
+		}
+		report = append(report, b)
+		for _, r := range b.Results {
+			status := "ok"
+			if !r.ValuesMatch || !r.DigestMatch || r.Survived != *crashes {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-8s %-10s survived %d/%d  values_match=%-5v digest_match=%-5v  det %.0fµs  rec %.0fµs  restore %.0fµs vs scratch %.0fµs  [%s]\n",
+				a, r.Backend, r.Survived, *crashes, r.ValuesMatch, r.DigestMatch,
+				r.MeanDetectionLatency*1e6, r.MeanRecoveryTime*1e6,
+				r.TotalRestartCost*1e6, r.RestartFromScratch*1e6, status)
+		}
+		if !b.CrossBackendMatch {
+			fmt.Printf("%-8s cross-backend digests DIVERGE\n", a)
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

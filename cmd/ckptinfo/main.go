@@ -2,22 +2,34 @@
 // checkpoint layer (Snapshot.Save / cmd/amr3d -ckpt / ccsjob's ckpt
 // handler): the job-level metadata, per-array element counts and sizes,
 // and optionally the per-PE data distribution at capture time.
+//
+// With -buddies it prints the double in-memory scheme's buddy map and the
+// bytes each buddy would stream back if its partner failed; with
+// -plan <file> it reads a chaos fault plan (the "plan" object of
+// BENCH_chaos.json, or a hand-written one) and prints the blast radius of
+// every planned crash — which PE dies, who restores it, and how many
+// checkpoint bytes that restore streams — so an operator can judge a
+// campaign before running it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"charmgo/internal/chaos"
 	"charmgo/internal/ckpt"
 )
 
 func main() {
 	perPE := flag.Bool("pe", false, "show the per-PE byte distribution")
+	buddies := flag.Bool("buddies", false, "show the in-memory checkpoint buddy map and restore volumes")
+	planFile := flag.String("plan", "", "chaos plan JSON: show each planned crash's blast radius")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ckptinfo [-pe] <checkpoint-file>")
+		fmt.Fprintln(os.Stderr, "usage: ckptinfo [-pe] [-buddies] [-plan plan.json] <checkpoint-file>")
 		os.Exit(2)
 	}
 	snap, err := ckpt.Load(flag.Arg(0))
@@ -43,6 +55,46 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", a.Name, len(a.Elems), bytes, avg)
 	}
 	tw.Flush()
+
+	if *buddies || *planFile != "" {
+		per := snap.PerPEBytes(snap.NumPEs)
+		if *buddies {
+			fmt.Println()
+			tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "PE\tbuddy\tbytes_restored_on_failure")
+			for pe := 0; pe < snap.NumPEs; pe++ {
+				fmt.Fprintf(tw, "%d\t%d\t%d\n", pe, ckpt.BuddyOf(pe, snap.NumPEs), per[pe])
+			}
+			tw.Flush()
+		}
+		if *planFile != "" {
+			data, err := os.ReadFile(*planFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var plan chaos.Plan
+			if err := json.Unmarshal(data, &plan); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptinfo: parsing %s: %v\n", *planFile, err)
+				os.Exit(1)
+			}
+			if err := plan.Validate(snap.NumPEs); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptinfo: plan does not fit this %d-PE checkpoint: %v\n", snap.NumPEs, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nplan seed %d: %d faults, %d crashes\n", plan.Seed, len(plan.Faults), plan.Crashes())
+			tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "t_virtual\tcrash_pe\tbuddy\tbytes_streamed")
+			for _, f := range plan.Faults {
+				if f.Kind != chaos.FaultCrash {
+					continue
+				}
+				fmt.Fprintf(tw, "%.6f\t%d\t%d\t%d\n",
+					f.At, f.PE, ckpt.BuddyOf(f.PE, snap.NumPEs), per[f.PE])
+			}
+			tw.Flush()
+		}
+	}
 
 	if *perPE {
 		counts := make(map[int]int)

@@ -1,0 +1,58 @@
+package ampi
+
+import (
+	"errors"
+	"testing"
+
+	"charmgo/internal/chaos"
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/machine"
+)
+
+// TestSinglePEFailureDetection injects one hard PE crash into a running
+// AMPI job and verifies the failure-tolerance machinery's supported half:
+// the virtual-time heartbeat detector notices the dead PE and recovery is
+// attempted. Full rollback is then skipped with the reason on record —
+// AMPI ranks execute on goroutine stacks, which the PUP layer cannot
+// capture mid-blocking-call, so there is never a chare checkpoint to
+// restore from. Until ranks get thread-level checkpointing (isomalloc in
+// real AMPI), a crash is detected but not survivable, and this test keeps
+// that gap visible.
+func TestSinglePEFailureDetection(t *testing.T) {
+	prog := func(r *Rank) {
+		for i := 0; i < 120; i++ {
+			r.Charge(40e-6)
+			r.AllreduceSum(1)
+		}
+	}
+	// Probe the failure-free span to place the crash mid-run.
+	probe := charm.New(machine.New(machine.Testbed(4)))
+	if err := Run(probe, 8, prog, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mid := 0.5 * float64(probe.Now())
+
+	rt := charm.New(machine.New(machine.Testbed(4)))
+	plan := chaos.Plan{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.FaultCrash, At: mid, PE: 2, SrcPE: -1},
+	}}
+	ctrl, err := chaos.Enable(rt, plan, chaos.Options{
+		HeartbeatPeriod: 2e-4, HeartbeatTimeout: 1.5e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(rt, 8, prog, Options{}) // stalls at the crash; Finish aborts parked ranks
+
+	if got := rt.Metrics().Counter("chaos.detections").Value(); got == 0 {
+		t.Fatal("heartbeat detector never noticed the crashed PE")
+	}
+	if ctrl.Err() == nil {
+		t.Fatal("recovery unexpectedly proceeded without a checkpoint — if AMPI grew rank checkpointing, promote this test to a survivability assertion")
+	}
+	if !errors.Is(ctrl.Err(), ckpt.ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint (detection worked, nothing to restore), got %v", ctrl.Err())
+	}
+	t.Skipf("recovery unsupported: AMPI ranks hold state on goroutine stacks that PUP cannot capture mid-call; detection verified (crash at t=%.4fs detected, controller reported %v)", mid, ctrl.Err())
+}

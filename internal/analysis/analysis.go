@@ -163,6 +163,7 @@ func DefaultSuite() *Suite {
 				"charmgo/internal/tram",
 				"charmgo/internal/ckpt",
 				"charmgo/internal/projections",
+				"charmgo/internal/chaos",
 			},
 			NoSpawn.Name: {
 				"charmgo/internal/des",
@@ -173,6 +174,7 @@ func DefaultSuite() *Suite {
 				"charmgo/internal/tram",
 				"charmgo/internal/ckpt",
 				"charmgo/internal/projections",
+				"charmgo/internal/chaos",
 			},
 			WallTime.Name: {
 				"charmgo/internal",

@@ -1,0 +1,47 @@
+// Package chaos is a charmvet test fixture mirroring the fault injector's
+// seeded-RNG contract (internal/chaos): every random choice the injector
+// makes — crash instants, victim PEs, per-message drop decisions — must be
+// drawn from an explicitly seeded *rand.Rand, never the process-global
+// source, or the same plan seed would stop reproducing the same fault
+// schedule. Each `// want` comment marks an expected walltime finding; the
+// package is excluded from the real suite and exists only for the analyzer
+// unit tests.
+package chaos
+
+import "math/rand"
+
+type fault struct {
+	at float64
+	pe int
+}
+
+// GoodPlan is the injector's idiom: one seeded source, derived from the
+// plan seed alone, drives every choice in schedule order.
+func GoodPlan(seed int64, n, numPEs int) []fault {
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	out := make([]fault, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fault{at: float64(i) + rng.Float64(), pe: 1 + rng.Intn(numPEs-1)})
+	}
+	return out
+}
+
+// BadPlan draws from the process-global source: two runs with the same
+// nominal seed produce different schedules, so a failing campaign cannot
+// be replayed.
+func BadPlan(n, numPEs int) []fault {
+	out := make([]fault, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fault{
+			at: float64(i) + rand.Float64(), // want `rand.Float64`
+			pe: 1 + rand.Intn(numPEs-1),     // want `rand.Intn`
+		})
+	}
+	return out
+}
+
+// BadDropDecision makes the per-message coin flip nondeterministic — the
+// exact mistake that would let a chaos run diverge between backends.
+func BadDropDecision(prob float64) bool {
+	return rand.Float64() < prob // want `rand.Float64`
+}

@@ -136,6 +136,30 @@ func TestProjectionsOnCriticalLists(t *testing.T) {
 	}
 }
 
+func TestWallTimeChaosFixture(t *testing.T) {
+	checkFixture(t, analysis.WallTime, "charmgo/internal/analysis/fixtures/chaos")
+}
+
+// The fault injector's reproducibility contract (same seed, same faults,
+// same report) is a determinism property, so internal/chaos must sit
+// inside every determinism analyzer's scope.
+func TestChaosOnCriticalLists(t *testing.T) {
+	suite := analysis.DefaultSuite()
+	const pkg = "charmgo/internal/chaos"
+	for _, name := range []string{analysis.DetMap.Name, analysis.NoSpawn.Name, analysis.WallTime.Name} {
+		prefixes := suite.Critical[name]
+		covered := false
+		for _, pre := range prefixes {
+			if pkg == pre || strings.HasPrefix(pkg, pre+"/") {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("%s's critical list %v does not cover %s", name, prefixes, pkg)
+		}
+	}
+}
+
 // TestWaiversAreHonored double-checks the fixture waivers through the
 // suite path as well: running the default suite with the fixture exclusion
 // removed must flag fixture violations, proving the exclusion (not the

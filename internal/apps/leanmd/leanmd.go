@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"charmgo/internal/charm"
 	"charmgo/internal/des"
@@ -136,8 +137,14 @@ type posMsg struct {
 
 type forceMsg struct {
 	Step int
-	Fs   []float64
-	PE   float64 // pair potential, reported once per compute (to cell A)
+	// Src is the sending compute's canonical (A,B) identity. Forces are
+	// accumulated in Src order, not arrival order, so the floating-point
+	// sum is independent of message timing — which keeps a rolled-back
+	// replay (a time-shifted re-execution whose arrival times re-round)
+	// bit-identical to the failure-free run.
+	Src [6]int
+	Fs  []float64
+	PE  float64 // pair potential, reported once per compute (to cell A)
 }
 
 type atomsMsg struct {
@@ -152,9 +159,11 @@ type cell struct {
 	Step    int
 	Xs, Vs  []float64 // 3 per atom
 	Fs      []float64
-	PEacc   float64
-	Got     int
-	MigGot  int
+	// Recv buffers this step's force messages; they are summed in
+	// canonical Src order only once all computes have reported, keeping
+	// the accumulation independent of arrival order.
+	Recv   []forceMsg
+	MigGot int
 	// MigXs/MigVs buffer inbound exchanged atoms until this cell has
 	// finished its own step and compacted its arrays.
 	MigXs   []float64
@@ -174,16 +183,19 @@ func (c *cell) Pup(p *pup.Pup) {
 	p.Float64s(&c.Xs)
 	p.Float64s(&c.Vs)
 	p.Float64s(&c.Fs)
-	p.Float64(&c.PEacc)
-	p.Int(&c.Got)
+	pupForces := func(p *pup.Pup, f *forceMsg) {
+		p.Int(&f.Step)
+		for i := range f.Src {
+			p.Int(&f.Src[i])
+		}
+		p.Float64s(&f.Fs)
+		p.Float64(&f.PE)
+	}
+	pup.Slice(p, &c.Recv, pupForces)
 	p.Int(&c.MigGot)
 	p.Float64s(&c.MigXs)
 	p.Float64s(&c.MigVs)
-	pup.Slice(p, &c.Pending, func(p *pup.Pup, f *forceMsg) {
-		p.Int(&f.Step)
-		p.Float64s(&f.Fs)
-		p.Float64(&f.PE)
-	})
+	pup.Slice(p, &c.Pending, pupForces)
 	p.Bool(&c.WaitMig)
 	p.Bool(&c.InSync)
 }
@@ -432,6 +444,21 @@ func (a *App) computeIdx(x, y [3]int) charm.Index {
 func (a *App) Cells() *charm.Array    { return a.cells }
 func (a *App) Computes() *charm.Array { return a.computes }
 
+// Steps returns the number of steps whose energy reduction has landed.
+// Fault-tolerance drivers save it at a checkpoint cut.
+func (a *App) Steps() int { return len(a.res.StepDone) }
+
+// TruncateResult rolls the result accumulators back to n completed steps,
+// discarding entries appended during a segment being rolled back after a
+// failure.
+func (a *App) TruncateResult(n int) {
+	if n < 0 || n > len(a.res.StepDone) {
+		return
+	}
+	a.res.StepDone = a.res.StepDone[:n]
+	a.res.Energy = a.res.Energy[:n]
+}
+
 // Run executes the configured number of steps.
 func (a *App) Run() (*Result, error) {
 	a.cells.Broadcast(epCellStart, nil)
@@ -502,23 +529,34 @@ func (a *App) onCellForces(obj charm.Chare, ctx *charm.Ctx, msg any) {
 		c.Pending = append(c.Pending, f)
 		return
 	}
-	a.applyForces(c, f)
+	c.Recv = append(c.Recv, f)
 	a.maybeIntegrate(c, ctx)
 }
 
-func (a *App) applyForces(c *cell, f forceMsg) {
-	for i := range f.Fs {
-		c.Fs[i] += f.Fs[i]
-	}
-	c.PEacc += f.PE
-	c.Got++
-}
-
-// maybeIntegrate advances the cell once every compute has reported.
+// maybeIntegrate advances the cell once every compute has reported. The
+// buffered forces are summed in canonical compute order — never arrival
+// order — so the result is bit-identical however the messages interleave.
 func (a *App) maybeIntegrate(c *cell, ctx *charm.Ctx) {
-	if c.InSync || c.WaitMig || c.Got < a.expectedForces(c) {
+	if c.InSync || c.WaitMig || len(c.Recv) < a.expectedForces(c) {
 		return
 	}
+	sort.Slice(c.Recv, func(i, j int) bool {
+		si, sj := &c.Recv[i].Src, &c.Recv[j].Src
+		for d := 0; d < 6; d++ {
+			if si[d] != sj[d] {
+				return si[d] < sj[d]
+			}
+		}
+		return false
+	})
+	var peAcc float64
+	for _, f := range c.Recv {
+		for i := range f.Fs {
+			c.Fs[i] += f.Fs[i]
+		}
+		peAcc += f.PE
+	}
+	c.Recv = nil
 	// Velocity-Verlet (kick-drift-kick): complete the previous half-kick
 	// with the freshly computed forces, measure kinetic energy at the
 	// full step, half-kick again, and drift.
@@ -535,9 +573,7 @@ func (a *App) maybeIntegrate(c *cell, ctx *charm.Ctx) {
 		}
 	}
 	ctx.Charge(float64(c.n()) * 25e-9) // integration pass
-	energy := ke + c.PEacc
-	c.PEacc = 0
-	c.Got = 0
+	energy := ke + peAcc
 	for i := range c.Fs {
 		c.Fs[i] = 0
 	}
@@ -578,7 +614,7 @@ func (a *App) beginStep(c *cell, ctx *charm.Ctx) {
 				ctx.Exit()
 				return
 			}
-			a.applyForces(c, f)
+			c.Recv = append(c.Recv, f)
 		}
 	}
 	a.maybeIntegrate(c, ctx)
@@ -774,11 +810,12 @@ func (a *App) runInteractions(cp *compute, ctx *charm.Ctx) {
 	ctx.Charge(float64(checked)*6e-9 + float64(interactions)*a.cfg.PerInteractionWork)
 
 	sz := func(fs []float64) int { return len(fs)*8 + 48 }
+	src := [6]int{cp.A[0], cp.A[1], cp.A[2], cp.B[0], cp.B[1], cp.B[2]}
 	ctx.SendOpt(a.cells, charm.Idx3(cp.A[0], cp.A[1], cp.A[2]), epCellForces,
-		forceMsg{Step: cp.Step, Fs: fa, PE: pe}, &charm.SendOpts{Bytes: sz(fa)})
+		forceMsg{Step: cp.Step, Src: src, Fs: fa, PE: pe}, &charm.SendOpts{Bytes: sz(fa)})
 	if !cp.Self {
 		ctx.SendOpt(a.cells, charm.Idx3(cp.B[0], cp.B[1], cp.B[2]), epCellForces,
-			forceMsg{Step: cp.Step, Fs: fb}, &charm.SendOpts{Bytes: sz(fb)})
+			forceMsg{Step: cp.Step, Src: src, Fs: fb}, &charm.SendOpts{Bytes: sz(fb)})
 	}
 	cp.XsA, cp.XsB = nil, nil
 	cp.GotA, cp.GotB = false, false

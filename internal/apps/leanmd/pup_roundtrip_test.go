@@ -14,10 +14,12 @@ func TestPupRoundTrip(t *testing.T) {
 		&cell{
 			I: 1, J: 2, K: 0, Step: 7,
 			Xs: []float64{0.1, 0.2, 0.3}, Vs: []float64{1, -1, 0.5},
-			Fs: []float64{0.01, 0.02, 0.03}, PEacc: -3.5,
-			Got: 4, MigGot: 1,
+			Fs: []float64{0.01, 0.02, 0.03}, MigGot: 1,
 			MigXs: []float64{0.9, 0.8, 0.7}, MigVs: []float64{0, 0, 1},
-			Pending: []forceMsg{{Step: 8, Fs: []float64{1, 2, 3}, PE: -0.25}},
+			Recv: []forceMsg{{Step: 7, Src: [6]int{1, 2, 0, 2, 2, 0},
+				Fs: []float64{-1, 0, 1}, PE: -3.5}},
+			Pending: []forceMsg{{Step: 8, Src: [6]int{0, 1, 2, 1, 2, 0},
+				Fs: []float64{1, 2, 3}, PE: -0.25}},
 			WaitMig: true, InSync: true,
 		},
 		&compute{

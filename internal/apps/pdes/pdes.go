@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"charmgo/internal/charm"
 	"charmgo/internal/des"
@@ -49,6 +50,11 @@ type Config struct {
 	// points, so migration is always safe there.
 	LBPeriodWindows int
 	Seed            int64
+	// WindowHook, when set, runs on PE 0 at each window boundary (after
+	// the exit check, before the next window opens) with the number of
+	// completed windows. The boundary is quiescent — no events in flight —
+	// so fault-tolerance drivers checkpoint here.
+	WindowHook func(windows int)
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,13 @@ type lp struct {
 
 func (l *lp) Pup(p *pup.Pup) {
 	p.Int(&l.ID)
+	// A binary heap's array layout depends on insertion order even when
+	// the multiset of pending timestamps does not. Sort before
+	// serializing: a sorted ascending array is itself a valid min-heap,
+	// so this canonicalizes the bytes — checkpoints and state digests
+	// become independent of message arrival order — without changing the
+	// LP's behaviour.
+	sort.Float64s(l.Q)
 	pup.Slice(p, (*[]float64)(&l.Q), (*pup.Pup).Float64)
 	p.Int64(&l.Exec)
 	p.Uint64(&l.RngLo)
@@ -247,6 +260,37 @@ func (a *App) askMin() {
 	a.lps.Broadcast(epReportMin, nil)
 }
 
+// AskMin restarts the YAWNS protocol from a quiescent cut: every LP
+// reports its earliest pending timestamp and the next window opens from
+// the resulting reduction. Fault-tolerance drivers use it as the replay
+// kick after a rollback; the extra window-min round mutates no LP state,
+// so the replayed execution commits exactly the failure-free values.
+func (a *App) AskMin() { a.askMin() }
+
+// DriverState is the app-global driver state paired with a chare
+// checkpoint: the counters live outside the LP chares, so rollback must
+// restore them explicitly.
+type DriverState struct {
+	Committed int64
+	Window    float64
+	Windows   int
+	MaxVT     float64
+}
+
+// DriverState snapshots the driver counters at a checkpoint cut.
+func (a *App) DriverState() DriverState {
+	return DriverState{Committed: a.committed, Window: a.window,
+		Windows: a.res.Windows, MaxVT: a.res.MaxVT}
+}
+
+// RestoreDriverState rolls the driver counters back to a checkpoint cut.
+func (a *App) RestoreDriverState(s DriverState) {
+	a.committed = s.Committed
+	a.window = s.Window
+	a.res.Windows = s.Windows
+	a.res.MaxVT = s.MaxVT
+}
+
 func (a *App) onReportMin(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	l := obj.(*lp)
 	l.app = a
@@ -265,6 +309,9 @@ func (a *App) onWindow(ctx *charm.Ctx, result any) {
 		a.res.MaxVT = gmin
 		ctx.Exit()
 		return
+	}
+	if a.cfg.WindowHook != nil {
+		a.cfg.WindowHook(a.res.Windows)
 	}
 	a.res.Windows++
 	if a.cfg.LBPeriodWindows > 0 && a.res.Windows%a.cfg.LBPeriodWindows == 0 &&

@@ -234,6 +234,21 @@ func (a *App) factory() charm.Chare { return &block{app: a} }
 // Array exposes the block array (for checkpoint/LB tooling).
 func (a *App) Array() *charm.Array { return a.arr }
 
+// Iters returns the number of iterations whose residual reduction has
+// landed. Fault-tolerance drivers save it at a checkpoint cut.
+func (a *App) Iters() int { return len(a.res.IterDone) }
+
+// TruncateResult rolls the result accumulators back to n completed
+// iterations, discarding entries appended during a segment being rolled
+// back after a failure.
+func (a *App) TruncateResult(n int) {
+	if n < 0 || n > len(a.res.IterDone) {
+		return
+	}
+	a.res.IterDone = a.res.IterDone[:n]
+	a.res.Residuals = a.res.Residuals[:n]
+}
+
 // Start kicks off iteration 0.
 func (a *App) Start() { a.arr.Broadcast(epStart, nil) }
 

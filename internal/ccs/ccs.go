@@ -29,6 +29,7 @@ import (
 
 	"charmgo/internal/charm"
 	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
 )
 
 // Handler executes one external command on the simulation goroutine.
@@ -40,16 +41,48 @@ type Request struct {
 	Args    string `json:"args"`
 }
 
-// Response is the wire format of a reply.
+// Response is the wire format of a reply. Retryable marks transient
+// failures (queue full, serving PE dead) the client may simply re-issue.
 type Response struct {
-	OK     bool   `json:"ok"`
-	Result string `json:"result,omitempty"`
-	Error  string `json:"error,omitempty"`
+	OK        bool   `json:"ok"`
+	Result    string `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
 }
 
 type pending struct {
 	req  Request
 	resp chan Response
+}
+
+// deferred is a request waiting out a backoff interval in virtual time
+// because its serving PE is dead.
+type deferred struct {
+	p       pending
+	attempt int
+	due     des.Time
+}
+
+// RetryPolicy bounds the server-side retry of requests whose serving PE is
+// dead: the k-th requeue waits min(Base·2^k, Cap) of *virtual* time, and
+// after MaxRetries requeues the request fails with a retryable error. All
+// pacing is on the simulation clock, so a campaign's retry schedule is as
+// deterministic as the rest of the run.
+type RetryPolicy struct {
+	Base       des.Time
+	Cap        des.Time
+	MaxRetries int
+}
+
+// DefaultRetryPolicy matches the chaos campaigns' detection scale: the
+// first requeue waits 100 µs, doubling to a 2 ms cap, giving a dead PE
+// ~15 ms of virtual time to be detected and recovered before the client
+// sees a failure.
+var DefaultRetryPolicy = RetryPolicy{Base: 1e-4, Cap: 2e-3, MaxRetries: 10}
+
+type handlerEntry struct {
+	h  Handler
+	pe int // serving PE, or -1 when the handler has no PE affinity
 }
 
 // Server is one CCS endpoint bound to a runtime.
@@ -58,28 +91,51 @@ type Server struct {
 	ln net.Listener
 
 	mu       sync.Mutex
-	handlers map[string]Handler
+	handlers map[string]handlerEntry
 	queue    chan pending
 	closed   bool
 	conns    map[net.Conn]bool
+
+	// Simulation-goroutine-only state (touched by Pump/Drive, never by
+	// network goroutines).
+	retry    RetryPolicy
+	backlog  []deferred
+	retries  *metrics.Counter // ccs.retries: requeues due to a dead serving PE
+	timeouts *metrics.Counter // ccs.timeouts: requests failed after exhausting retries
 }
 
 // NewServer creates a server for the runtime (not yet listening).
 func NewServer(rt *charm.Runtime) *Server {
 	return &Server{
 		rt:       rt,
-		handlers: map[string]Handler{},
+		handlers: map[string]handlerEntry{},
 		queue:    make(chan pending, 64),
 		conns:    map[net.Conn]bool{},
+		retry:    DefaultRetryPolicy,
+		retries:  rt.Metrics().Counter("ccs.retries"),
+		timeouts: rt.Metrics().Counter("ccs.timeouts"),
 	}
 }
 
-// Register installs a named handler. Registration is not safe after
-// Listen; install every handler first.
-func (s *Server) Register(name string, h Handler) {
+// SetRetryPolicy replaces the dead-PE retry policy. Call before Listen.
+func (s *Server) SetRetryPolicy(p RetryPolicy) { s.retry = p }
+
+// Register installs a named handler with no PE affinity: it runs whenever
+// the simulation goroutine pumps, even mid-recovery. Registration is not
+// safe after Listen; install every handler first.
+func (s *Server) Register(name string, h Handler) { s.RegisterOn(name, -1, h) }
+
+// RegisterOn installs a handler served by a specific PE. While that PE is
+// crashed (internal/chaos), requests are not failed immediately: they are
+// requeued with capped exponential backoff in virtual time (RetryPolicy),
+// riding out the failure detector's window plus the rollback. The requeue
+// is deliberately not epoch-guarded — a CCS request originates outside the
+// simulation, so a rollback must not discard it the way it discards
+// pre-crash in-flight messages.
+func (s *Server) RegisterOn(name string, pe int, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[name] = h
+	s.handlers[name] = handlerEntry{h: h, pe: pe}
 }
 
 // Listen starts accepting clients on addr (use "127.0.0.1:0" for an
@@ -121,7 +177,11 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
-	// Reject anything still queued.
+	// Reject anything still queued or deferred.
+	for _, d := range s.backlog {
+		d.p.resp <- Response{OK: false, Error: "ccs: server closed"}
+	}
+	s.backlog = nil
 	for {
 		select {
 		case p := <-s.queue:
@@ -168,7 +228,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		select {
 		case s.queue <- p:
 		default:
-			enc.Encode(Response{OK: false, Error: "ccs: request queue full"})
+			enc.Encode(Response{OK: false, Retryable: true, Error: "ccs: request queue full"})
 			continue
 		}
 		if err := enc.Encode(<-p.resp); err != nil {
@@ -178,35 +238,76 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // Pump executes every queued request on the caller's goroutine (which must
-// be the simulation goroutine) and returns the number handled.
+// be the simulation goroutine) and returns the number handled. Deferred
+// requests whose backoff has elapsed in virtual time are retried first, in
+// the order they were deferred.
 func (s *Server) Pump() int {
 	n := 0
+	now := s.rt.Engine().Now()
+	prev := s.backlog
+	s.backlog = nil // serve re-appends anything deferred again
+	for _, d := range prev {
+		if d.due > now {
+			s.backlog = append(s.backlog, d)
+			continue
+		}
+		if s.serve(d.p, d.attempt) {
+			n++
+		}
+	}
 	for {
 		select {
 		case p, ok := <-s.queue:
 			if !ok {
 				return n
 			}
-			p.resp <- s.dispatch(p.req)
-			n++
+			if s.serve(p, 0) {
+				n++
+			}
 		default:
 			return n
 		}
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
+// serve dispatches one request; it reports whether a reply was produced
+// (false when the request was deferred for a dead serving PE).
+func (s *Server) serve(p pending, attempt int) bool {
 	s.mu.Lock()
-	h, ok := s.handlers[req.Handler]
+	h, ok := s.handlers[p.req.Handler]
 	s.mu.Unlock()
 	if !ok {
-		return Response{OK: false, Error: fmt.Sprintf("ccs: no handler %q", req.Handler)}
+		p.resp <- Response{OK: false, Error: fmt.Sprintf("ccs: no handler %q", p.req.Handler)}
+		return true
 	}
-	result, err := h(req.Args)
+	if h.pe >= 0 && s.rt.PEDead(h.pe) {
+		if attempt >= s.retry.MaxRetries {
+			s.timeouts.Inc()
+			p.resp <- Response{OK: false, Retryable: true, Error: fmt.Sprintf(
+				"ccs: handler %q: serving PE %d still dead after %d retries",
+				p.req.Handler, h.pe, attempt)}
+			return true
+		}
+		s.retries.Inc()
+		backoff := s.retry.Base
+		for i := 0; i < attempt && backoff < s.retry.Cap; i++ {
+			backoff *= 2
+		}
+		if backoff > s.retry.Cap {
+			backoff = s.retry.Cap
+		}
+		s.backlog = append(s.backlog, deferred{
+			p: p, attempt: attempt + 1, due: s.rt.Engine().Now() + backoff,
+		})
+		return false
+	}
+	result, err := h.h(p.req.Args)
 	if err != nil {
-		return Response{OK: false, Error: err.Error()}
+		p.resp <- Response{OK: false, Error: err.Error()}
+		return true
 	}
-	return Response{OK: true, Result: result}
+	p.resp <- Response{OK: true, Result: result}
+	return true
 }
 
 // Drive runs the simulation in slices of the given virtual duration,
@@ -242,17 +343,56 @@ func Dial(addr string) (*Client, error) {
 
 // Call sends one request and waits for the reply.
 func (c *Client) Call(handler, args string) (string, error) {
-	if err := c.enc.Encode(Request{Handler: handler, Args: args}); err != nil {
-		return "", err
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	resp, err := c.call(handler, args)
+	if err != nil {
 		return "", err
 	}
 	if !resp.OK {
 		return "", fmt.Errorf("%s", resp.Error)
 	}
 	return resp.Result, nil
+}
+
+// CallRetry is Call with client-side resilience: responses the server marks
+// Retryable (request queue full, serving PE dead beyond the server's own
+// virtual-time backoff budget) are re-issued up to attempts times, waiting
+// min(100ms·2^k, 1s) of wall clock between attempts. Wall-clock pacing is
+// correct here — the client lives outside the simulation, like the Drive
+// yield — and the server's own dead-PE backoff remains virtual-time, so
+// the simulated schedule stays deterministic.
+func (c *Client) CallRetry(handler, args string, attempts int) (string, error) {
+	backoff := 100 * time.Millisecond
+	const capB = time.Second
+	var resp Response
+	for i := 0; i < attempts; i++ {
+		var err error
+		resp, err = c.call(handler, args)
+		if err != nil {
+			return "", err // transport errors are not retried: the stream state is unknown
+		}
+		if resp.OK {
+			return resp.Result, nil
+		}
+		if !resp.Retryable || i == attempts-1 {
+			break
+		}
+		time.Sleep(backoff) //charmvet:wallclock (external client pacing, outside the simulation)
+		if backoff *= 2; backoff > capB {
+			backoff = capB
+		}
+	}
+	return "", fmt.Errorf("%s", resp.Error)
+}
+
+func (c *Client) call(handler, args string) (Response, error) {
+	if err := c.enc.Encode(Request{Handler: handler, Args: args}); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
 }
 
 // Close closes the client connection.

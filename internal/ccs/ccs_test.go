@@ -203,6 +203,112 @@ func TestDriveIntegratesPumping(t *testing.T) {
 	}
 }
 
+// pumpAdvancing drives Pump while moving the virtual clock forward in
+// fixed slices, so deferred (backed-off) requests come due; reviveAfter
+// iterations in, every dead PE is brought back via RecoverReset.
+func pumpAdvancing(t *testing.T, srv *Server, rt *charm.Runtime, reviveAfter int) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng := rt.Engine()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i == reviveAfter {
+				rt.RecoverReset()
+			}
+			srv.Pump()
+			eng.RunUntil(eng.Now() + 2e-4)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	t.Cleanup(func() { close(stop); wg.Wait() })
+}
+
+func TestDeadPERetriesUntilRecovery(t *testing.T) {
+	srv, rt, addr := newServer(t, 4)
+	srv.SetRetryPolicy(RetryPolicy{Base: 1e-4, Cap: 1e-3, MaxRetries: 1000})
+	srv.RegisterOn("work", 2, func(string) (string, error) {
+		return "done", nil
+	})
+	rt.CrashPE(2)
+	pumpAdvancing(t, srv, rt, 10)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("work", "")
+	if err != nil {
+		t.Fatalf("call across a recovered crash should succeed: %v", err)
+	}
+	if got != "done" {
+		t.Fatalf("got %q", got)
+	}
+	if v := rt.Metrics().Counter("ccs.retries").Value(); v == 0 {
+		t.Fatal("ccs.retries never incremented despite a dead serving PE")
+	}
+	if v := rt.Metrics().Counter("ccs.timeouts").Value(); v != 0 {
+		t.Fatalf("ccs.timeouts = %d on a recovered call", v)
+	}
+}
+
+func TestDeadPERetriesExhaust(t *testing.T) {
+	srv, rt, addr := newServer(t, 4)
+	srv.SetRetryPolicy(RetryPolicy{Base: 1e-4, Cap: 4e-4, MaxRetries: 3})
+	srv.RegisterOn("work", 1, func(string) (string, error) {
+		return "done", nil
+	})
+	rt.CrashPE(1)
+	pumpAdvancing(t, srv, rt, -1) // never revived
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("work", ""); err == nil ||
+		!strings.Contains(err.Error(), "still dead after 3 retries") {
+		t.Fatalf("want exhaustion error, got %v", err)
+	}
+	if v := rt.Metrics().Counter("ccs.timeouts").Value(); v != 1 {
+		t.Fatalf("ccs.timeouts = %d, want 1", v)
+	}
+	if v := rt.Metrics().Counter("ccs.retries").Value(); v != 3 {
+		t.Fatalf("ccs.retries = %d, want 3", v)
+	}
+	// CallRetry re-issues the whole request: one more exhaustion cycle.
+	if _, err := c.CallRetry("work", "", 2); err == nil {
+		t.Fatal("CallRetry against a permanently dead PE should fail")
+	}
+	if v := rt.Metrics().Counter("ccs.timeouts").Value(); v != 3 {
+		t.Fatalf("ccs.timeouts = %d after CallRetry(2 attempts), want 3", v)
+	}
+}
+
+func TestHandlerWithoutAffinityIgnoresCrashes(t *testing.T) {
+	srv, rt, addr := newServer(t, 2)
+	srv.Register("ping", func(string) (string, error) { return "pong", nil })
+	rt.CrashPE(1)
+	pumpInBackground(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := c.Call("ping", ""); err != nil || got != "pong" {
+		t.Fatalf("affinity-free handler should serve during a crash: %q, %v", got, err)
+	}
+	if v := rt.Metrics().Counter("ccs.retries").Value(); v != 0 {
+		t.Fatalf("ccs.retries = %d for an affinity-free handler", v)
+	}
+}
+
 func TestCloseRejectsLateClients(t *testing.T) {
 	srv, _, addr := newServer(t, 2)
 	srv.Close()

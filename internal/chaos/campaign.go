@@ -1,0 +1,300 @@
+package chaos
+
+import (
+	"fmt"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
+	"charmgo/internal/apps/stencil"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+)
+
+// runResult is one application run under (optionally) a fault plan.
+type runResult struct {
+	values  []float64 // app-defined final values (energies/residuals/counters)
+	digest  string    // StateDigest at end of run
+	elapsed float64   // virtual seconds
+	ctrl    *Controller
+	rt      *charm.Runtime
+}
+
+// appSpec binds a campaign app name to its machine size and runner.
+type appSpec struct {
+	numPEs int
+	run    func(backend string, plan *Plan, seed int64) (*runResult, error)
+}
+
+// Apps lists the campaign's application names.
+func Apps() []string { return []string{"leanmd", "stencil", "pdes"} }
+
+// Campaign detector cadence: the mini-apps run for tens of milliseconds
+// of virtual time, so the campaign heartbeats much faster than the
+// defaults — a ping round-trip is ~10 µs on these machines, so a 150 µs
+// deadline is still an order of magnitude of slack. Worst-case detection
+// latency is one period plus one timeout (350 µs), which CrashPlan's
+// minimum crash spacing must exceed for each crash to be individually
+// detected (crashes closer together than one detection window are healed
+// by a single rollback).
+const (
+	campaignPeriod  = 2e-4
+	campaignTimeout = 1.5e-4
+)
+
+func specFor(app string) (appSpec, error) {
+	switch app {
+	case "leanmd":
+		return appSpec{numPEs: 8, run: runLeanMD}, nil
+	case "stencil":
+		return appSpec{numPEs: 8, run: runStencil}, nil
+	case "pdes":
+		return appSpec{numPEs: 32, run: runPDES}, nil
+	}
+	return appSpec{}, fmt.Errorf("chaos: unknown app %q (want leanmd, stencil, or pdes)", app)
+}
+
+func newRuntime(cfg machine.Config, backend string) *charm.Runtime {
+	cfg.Backend = backend
+	return charm.New(machine.New(cfg))
+}
+
+// finish applies the common tail of every runner: controller errors win
+// over the app's stall diagnosis (the stall is the symptom, the failed
+// recovery the cause).
+func finish(rt *charm.Runtime, ctrl *Controller, values []float64, elapsed float64, appErr error) (*runResult, error) {
+	if ctrl != nil && ctrl.Err() != nil {
+		return nil, ctrl.Err()
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	return &runResult{values: values, digest: StateDigest(rt),
+		elapsed: elapsed, ctrl: ctrl, rt: rt}, nil
+}
+
+func runLeanMD(backend string, plan *Plan, seed int64) (*runResult, error) {
+	rt := newRuntime(machine.Testbed(8), backend)
+	rt.SetBalancer(lb.Greedy{})
+	app, err := leanmd.New(rt, leanmd.Config{
+		CellsX: 3, CellsY: 3, CellsZ: 3,
+		AtomsPerCell: 20, Steps: 18, LBPeriod: 3,
+		Gaussian: 0.35, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ctrl *Controller
+	if plan != nil {
+		saved := 0
+		ctrl, err = Enable(rt, *plan, Options{
+			CheckpointEveryRounds: 1,
+			HeartbeatPeriod:       campaignPeriod,
+			HeartbeatTimeout:      campaignTimeout,
+			OnCheckpoint:          func() { saved = app.Steps() },
+			OnRollback:            func() { app.TruncateResult(saved) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, appErr := app.Run()
+	var values []float64
+	var elapsed float64
+	if res != nil {
+		values, elapsed = res.Energy, float64(res.Elapsed)
+	}
+	return finish(rt, ctrl, values, elapsed, appErr)
+}
+
+func runStencil(backend string, plan *Plan, seed int64) (*runResult, error) {
+	rt := newRuntime(machine.Testbed(8), backend)
+	rt.SetBalancer(lb.Greedy{})
+	// Sized so the run spans ~22 ms of virtual time with a small grid
+	// (small checkpoints restore in ~1.6 ms): CrashPlan's minimum crash
+	// spacing (~6.7% of the span) must exceed one detection window plus
+	// the recovery stall, or two crashes heal under one rollback.
+	app, err := stencil.New(rt, stencil.Config{
+		GridN: 96, Chares: 8, Iters: 256, LBPeriod: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ctrl *Controller
+	if plan != nil {
+		saved := 0
+		ctrl, err = Enable(rt, *plan, Options{
+			CheckpointEveryRounds: 1,
+			HeartbeatPeriod:       campaignPeriod,
+			HeartbeatTimeout:      campaignTimeout,
+			OnCheckpoint:          func() { saved = app.Iters() },
+			OnRollback:            func() { app.TruncateResult(saved) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, appErr := app.Run()
+	var values []float64
+	var elapsed float64
+	if res != nil {
+		values, elapsed = res.Residuals, float64(res.Elapsed)
+	}
+	return finish(rt, ctrl, values, elapsed, appErr)
+}
+
+func runPDES(backend string, plan *Plan, seed int64) (*runResult, error) {
+	rt := newRuntime(machine.Stampede(32), backend)
+	// TRAM stays off under chaos: aggregation buffers are not rolled
+	// back; and windows (not LB rounds) are the checkpoint cuts.
+	cfg := pdes.Config{
+		LPs: 64, EventsPerLP: 8, TargetEvents: 12000, Seed: seed,
+	}
+	var ctrl *Controller
+	var app *pdes.App
+	if plan != nil {
+		var saved pdes.DriverState
+		cfg.WindowHook = func(w int) {
+			if ctrl != nil && w%2 == 0 {
+				ctrl.CheckpointNow()
+			}
+		}
+		a, err := pdes.New(rt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app = a
+		ctrl, err = Enable(rt, *plan, Options{
+			HeartbeatPeriod:  campaignPeriod,
+			HeartbeatTimeout: campaignTimeout,
+			OnCheckpoint:     func() { saved = app.DriverState() },
+			OnRollback:       func() { app.RestoreDriverState(saved) },
+			Restart:          func() { app.AskMin() },
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		a, err := pdes.New(rt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app = a
+	}
+	res, appErr := app.Run()
+	var values []float64
+	var elapsed float64
+	if res != nil {
+		values = []float64{float64(res.Committed), float64(res.Windows), res.MaxVT}
+		elapsed = float64(res.Elapsed)
+	}
+	return finish(rt, ctrl, values, elapsed, appErr)
+}
+
+// BenchBackend reports one backend's clean-vs-chaos comparison.
+type BenchBackend struct {
+	Backend      string  `json:"backend"`
+	CleanElapsed float64 `json:"clean_elapsed"`
+	ChaosElapsed float64 `json:"chaos_elapsed"`
+	CleanDigest  string  `json:"clean_digest"`
+	ChaosDigest  string  `json:"chaos_digest"`
+	// ValuesMatch: the chaos run's application results (energies,
+	// residuals, committed counts) equal the failure-free run's, bit for
+	// bit — the headline invariant.
+	ValuesMatch bool `json:"values_match"`
+	// DigestMatch: full final state (every chare, PUP-serialized, with
+	// placement) is identical too.
+	DigestMatch bool `json:"digest_match"`
+	// Survived counts failures detected and recovered from.
+	Survived int            `json:"survived"`
+	Records  []RecoveryStat `json:"records"`
+	// MeanDetectionLatency and MeanRecoveryTime summarize the records,
+	// virtual seconds.
+	MeanDetectionLatency float64 `json:"mean_detection_latency"`
+	MeanRecoveryTime     float64 `json:"mean_recovery_time"`
+	// TotalRestartCost is the summed modeled buddy-restore cost, to set
+	// against RestartFromScratch — rerunning the whole job, the
+	// alternative without in-memory checkpoints.
+	TotalRestartCost   float64 `json:"total_restart_cost"`
+	RestartFromScratch float64 `json:"restart_from_scratch"`
+}
+
+// Bench is the BENCH_chaos.json payload for one application.
+type Bench struct {
+	App     string         `json:"app"`
+	Seed    int64          `json:"seed"`
+	Crashes int            `json:"crashes"`
+	Plan    Plan           `json:"plan"`
+	Probe   float64        `json:"probe_elapsed"` // failure-free duration used to place crashes
+	Results []BenchBackend `json:"results"`
+	// CrossBackendMatch: sequential and parallel chaos runs converged to
+	// the same final state digest.
+	CrossBackendMatch bool `json:"cross_backend_match"`
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCampaign probes an app's failure-free duration, derives a seeded
+// crash plan spread over its mid-run, and runs clean and chaos
+// executions on both backends, asserting value and state identity.
+func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
+	spec, err := specFor(app)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := spec.run("sequential", nil, seed)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %s probe run: %w", app, err)
+	}
+	plan := CrashPlan(seed, crashes, spec.numPEs, 0.45*probe.elapsed, 0.95*probe.elapsed)
+	b := &Bench{App: app, Seed: seed, Crashes: crashes, Plan: plan, Probe: probe.elapsed}
+
+	for _, backend := range []string{"sequential", "parallel"} {
+		clean := probe
+		if backend != "sequential" {
+			if clean, err = spec.run(backend, nil, seed); err != nil {
+				return nil, fmt.Errorf("chaos: %s clean %s run: %w", app, backend, err)
+			}
+		}
+		chaos, err := spec.run(backend, &plan, seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %s chaos %s run: %w", app, backend, err)
+		}
+		bb := BenchBackend{
+			Backend:            backend,
+			CleanElapsed:       clean.elapsed,
+			ChaosElapsed:       chaos.elapsed,
+			CleanDigest:        clean.digest,
+			ChaosDigest:        chaos.digest,
+			ValuesMatch:        floatsEqual(clean.values, chaos.values),
+			DigestMatch:        clean.digest == chaos.digest,
+			Survived:           chaos.ctrl.Survived(),
+			Records:            chaos.ctrl.Records,
+			RestartFromScratch: clean.elapsed,
+		}
+		for _, r := range chaos.ctrl.Records {
+			bb.MeanDetectionLatency += r.DetectionLatency()
+			bb.MeanRecoveryTime += r.RecoveryTime()
+			bb.TotalRestartCost += r.RestartCost
+		}
+		if n := len(chaos.ctrl.Records); n > 0 {
+			bb.MeanDetectionLatency /= float64(n)
+			bb.MeanRecoveryTime /= float64(n)
+		}
+		b.Results = append(b.Results, bb)
+	}
+	b.CrossBackendMatch = len(b.Results) == 2 &&
+		b.Results[0].ChaosDigest == b.Results[1].ChaosDigest &&
+		b.Results[0].CleanDigest == b.Results[1].CleanDigest
+	return b, nil
+}

@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+)
+
+// assertCampaign checks the headline invariant for one app: K injected
+// mid-run crashes, detected and recovered mid-run, and the final
+// application results are bit-identical to the failure-free run on both
+// backends.
+func assertCampaign(t *testing.T, app string, crashes int, seed int64) *Bench {
+	t.Helper()
+	b, err := RunCampaign(app, crashes, seed)
+	if err != nil {
+		t.Fatalf("%s campaign: %v", app, err)
+	}
+	if len(b.Results) != 2 {
+		t.Fatalf("%s: want 2 backends, got %d", app, len(b.Results))
+	}
+	for _, r := range b.Results {
+		if r.Survived != crashes {
+			t.Errorf("%s/%s: survived %d of %d crashes", app, r.Backend, r.Survived, crashes)
+		}
+		if !r.ValuesMatch {
+			t.Errorf("%s/%s: chaos run values differ from failure-free run", app, r.Backend)
+		}
+		if !r.DigestMatch {
+			t.Errorf("%s/%s: final state digest differs from failure-free run", app, r.Backend)
+		}
+		for i, rec := range r.Records {
+			if !rec.DigestOK {
+				t.Errorf("%s/%s: recovery %d: post-restore digest does not match checkpoint", app, r.Backend, i)
+			}
+			if rec.DetectionLatency() <= 0 {
+				t.Errorf("%s/%s: recovery %d: non-positive detection latency %v", app, r.Backend, i, rec.DetectionLatency())
+			}
+			if rec.ResumedAt <= rec.DetectedAt {
+				t.Errorf("%s/%s: recovery %d: resumed (%v) before detected (%v)", app, r.Backend, i, rec.ResumedAt, rec.DetectedAt)
+			}
+		}
+		if r.ChaosElapsed <= r.CleanElapsed {
+			t.Errorf("%s/%s: chaos run (%v) not slower than clean run (%v); recovery cost unaccounted",
+				app, r.Backend, r.ChaosElapsed, r.CleanElapsed)
+		}
+	}
+	if !b.CrossBackendMatch {
+		t.Errorf("%s: sequential and parallel backends disagree on final state", app)
+	}
+	return b
+}
+
+func TestLeanMDSurvivesCrashes(t *testing.T) {
+	assertCampaign(t, "leanmd", 3, 42)
+}
+
+func TestStencilSurvivesCrashes(t *testing.T) {
+	assertCampaign(t, "stencil", 3, 42)
+}
+
+func TestPDESSurvivesCrashes(t *testing.T) {
+	assertCampaign(t, "pdes", 3, 42)
+}
+
+// TestBenchDeterminism: the same plan and seed must produce a
+// byte-identical campaign report across two consecutive runs.
+func TestBenchDeterminism(t *testing.T) {
+	b1, err := RunCampaign("stencil", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunCampaign("stencil", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.MarshalIndent(b1, "", "  ")
+	j2, _ := json.MarshalIndent(b2, "", "  ")
+	if string(j1) != string(j2) {
+		t.Fatalf("campaign report not reproducible:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+}
+
+// TestCrashPlanDeterminism: same seed, same plan; crash victims are
+// never PE 0.
+func TestCrashPlanDeterminism(t *testing.T) {
+	p1 := CrashPlan(3, 5, 8, 0.1, 1.0)
+	p2 := CrashPlan(3, 5, 8, 0.1, 1.0)
+	if len(p1.Faults) != 5 {
+		t.Fatalf("want 5 faults, got %d", len(p1.Faults))
+	}
+	for i := range p1.Faults {
+		if p1.Faults[i] != p2.Faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, p1.Faults[i], p2.Faults[i])
+		}
+		if p1.Faults[i].PE == 0 {
+			t.Fatalf("fault %d crashes PE 0 (reserved for the detector)", i)
+		}
+		if i > 0 && p1.Faults[i].At <= p1.Faults[i-1].At {
+			t.Fatalf("fault %d not after fault %d", i, i-1)
+		}
+	}
+	if err := p1.Validate(8); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Faults: []Fault{{Kind: FaultCrash, At: 1, PE: 0}}},       // detector PE
+		{Faults: []Fault{{Kind: FaultCrash, At: 1, PE: 8}}},       // out of range
+		{Faults: []Fault{{Kind: FaultDrop, At: 2, Until: 1}}},     // empty window
+		{Faults: []Fault{{Kind: FaultStraggler, PE: 1, Factor: 1}}}, // factor ≥ 1
+		{Faults: []Fault{{Kind: "meteor", At: 1}}},                // unknown kind
+	}
+	for i, p := range bad {
+		if p.Validate(8) == nil {
+			t.Errorf("plan %d: want validation error, got nil", i)
+		}
+	}
+	ok := Plan{Faults: []Fault{
+		{Kind: FaultCrash, At: 1, PE: 3},
+		{Kind: FaultDrop, At: 0.5, Until: 0.6, PE: -1, SrcPE: -1, Prob: 0.1},
+		{Kind: FaultDelay, At: 0.5, Until: 0.6, PE: 2, SrcPE: -1, Delay: 1e-4, Prob: 1},
+		{Kind: FaultStraggler, At: 0.5, Until: 0.7, PE: 1, Factor: 0.5},
+	}}
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestCrashWithoutCheckpoint: a failure before any checkpoint exists is a
+// terminal, typed error — the run aborts rather than hanging stalled.
+func TestCrashWithoutCheckpoint(t *testing.T) {
+	rt := charm.New(machine.New(machine.Testbed(8)))
+	app, err := leanmd.New(rt, leanmd.Config{
+		CellsX: 3, CellsY: 3, CellsZ: 3, AtomsPerCell: 8, Steps: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No LBPeriod, CheckpointEveryRounds 0: nothing ever checkpoints.
+	plan := Plan{Seed: 1, Faults: []Fault{{Kind: FaultCrash, At: 1e-3, PE: 2}}}
+	ctrl, err := Enable(rt, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err == nil {
+		t.Fatal("want app run to fail, got nil")
+	}
+	if !errors.Is(ctrl.Err(), ckpt.ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", ctrl.Err())
+	}
+}
+
+// TestDropDelayStragglerDeterminism: lossy faults cannot promise value
+// identity with the failure-free run, but the same plan must reproduce
+// the same execution twice, and the injection counters must advance.
+func TestDropDelayStragglerDeterminism(t *testing.T) {
+	run := func() (*charm.Runtime, []float64) {
+		rt := charm.New(machine.New(machine.Testbed(8)))
+		rt.SetBalancer(lb.Greedy{})
+		app, err := leanmd.New(rt, leanmd.Config{
+			CellsX: 3, CellsY: 3, CellsZ: 3, AtomsPerCell: 8, Steps: 6, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := Plan{Seed: 9, Faults: []Fault{
+			// Delay (not drop) for the app to still converge: leanmd
+			// tolerates late messages but not lost ones.
+			{Kind: FaultDelay, At: 0, Until: 1, PE: -1, SrcPE: -1, Prob: 0.2, Delay: 3e-5},
+			{Kind: FaultStraggler, At: 0, Until: 1, PE: 3, Factor: 0.4},
+		}}
+		ctrl, err := Enable(rt, plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := app.Run()
+		if err != nil {
+			t.Fatalf("run under delay/straggler faults: %v", err)
+		}
+		if ctrl.Err() != nil {
+			t.Fatalf("controller error: %v", ctrl.Err())
+		}
+		return rt, res.Energy
+	}
+	rt1, e1 := run()
+	rt2, e2 := run()
+	if !floatsEqual(e1, e2) {
+		t.Fatalf("same fault plan, different energies:\n%v\n%v", e1, e2)
+	}
+	if StateDigest(rt1) != StateDigest(rt2) {
+		t.Fatal("same fault plan, different final state digests")
+	}
+}
+
+// TestDropInjection: drops actually lose messages (counter advances) and
+// the seeded filter is reproducible.
+func TestDropInjection(t *testing.T) {
+	count := func() uint64 {
+		rt := charm.New(machine.New(machine.Testbed(4)))
+		app, err := leanmd.New(rt, leanmd.Config{
+			CellsX: 3, CellsY: 3, CellsZ: 3, AtomsPerCell: 8, Steps: 50, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := Plan{Seed: 11, Faults: []Fault{
+			{Kind: FaultDrop, At: 0, Until: 1e9, PE: -1, SrcPE: -1, Prob: 0.01},
+		}}
+		if _, err := Enable(rt, plan, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		app.Run() // the app stalls once a force message is lost; that's expected
+		return rt.Stats.MsgsDropped
+	}
+	d1 := count()
+	if d1 == 0 {
+		t.Fatal("drop fault dropped nothing")
+	}
+	if d2 := count(); d2 != d1 {
+		t.Fatalf("drop counts differ across identical runs: %d vs %d", d1, d2)
+	}
+}

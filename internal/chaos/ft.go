@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"fmt"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/ckpt"
+	"charmgo/internal/des"
+)
+
+// Options configures the fault-tolerance controller.
+type Options struct {
+	// CheckpointEveryRounds takes a checkpoint at every Nth load-balancing
+	// resume point (the natural quiescent cut of AtSync applications).
+	// Zero disables automatic checkpointing; the driver then calls
+	// CheckpointNow itself at its own quiescent cuts (as PDES does at
+	// window boundaries).
+	CheckpointEveryRounds int
+	// HeartbeatPeriod and HeartbeatTimeout tune the failure detector;
+	// zero means the defaults.
+	HeartbeatPeriod  des.Time
+	HeartbeatTimeout des.Time
+	// Restart replays the checkpoint cut's kick after a rollback. Nil
+	// falls back to re-enqueueing every AtSync element's resume entry —
+	// correct for applications checkpointing at LB resume points.
+	Restart func()
+	// OnCheckpoint snapshots driver-side state (step counters, result
+	// accumulators) paired with the chare checkpoint. It is NOT called
+	// when a checkpoint is skipped, so the driver snapshot always matches
+	// the chare snapshot that rollback will restore.
+	OnCheckpoint func()
+	// OnRollback restores the driver-side state saved by OnCheckpoint,
+	// discarding results appended during the segment being rolled back.
+	OnRollback func()
+}
+
+// RecoveryStat records one detected-and-recovered failure, in virtual
+// seconds.
+type RecoveryStat struct {
+	PE          int     `json:"pe"`
+	CrashAt     float64 `json:"crash_at"`
+	DetectedAt  float64 `json:"detected_at"`
+	RestoredAt  float64 `json:"restored_at"`
+	ResumedAt   float64 `json:"resumed_at"`
+	RestartCost float64 `json:"restart_cost"`
+	// DigestOK asserts that the post-rollback state digest equals the
+	// checkpoint's digest: the restore re-materialized the checkpointed
+	// bytes, it did not merely advance a clock.
+	DigestOK bool `json:"digest_ok"`
+}
+
+// DetectionLatency is how long the failure went unnoticed.
+func (r RecoveryStat) DetectionLatency() float64 { return r.DetectedAt - r.CrashAt }
+
+// RecoveryTime spans first notice to the application running again.
+func (r RecoveryStat) RecoveryTime() float64 { return r.ResumedAt - r.DetectedAt }
+
+// Controller owns the full fault-tolerance loop: it checkpoints at
+// quiescent cuts, listens to the heartbeat detector, and on a detected
+// failure performs a real rollback — PUP-restoring every chare from the
+// double in-memory checkpoint, fencing the corrupted segment's messages
+// by epoch, and replaying from the cut. Because the cut is quiescent,
+// the replay is a rigid time-shift of the failure-free execution and the
+// application's final values are bit-identical to a run with no faults.
+type Controller struct {
+	rt   *charm.Runtime
+	mem  *ckpt.Mem
+	opts Options
+	det  *detector
+	inj  *injector
+
+	locSnap    *charm.LocCacheSnapshot
+	ckptDigest string
+	haveCkpt   bool
+	recovering bool
+	err        error
+	crashAt    map[int]float64
+
+	// Records lists every survived failure, in detection order.
+	Records []RecoveryStat
+}
+
+// Enable arms a fault plan and the recovery machinery on a runtime. Call
+// after declaring arrays and before Run.
+func Enable(rt *charm.Runtime, plan Plan, opts Options) (*Controller, error) {
+	if err := plan.Validate(rt.NumPEs()); err != nil {
+		return nil, err
+	}
+	c := &Controller{rt: rt, mem: ckpt.NewMem(rt), opts: opts,
+		crashAt: map[int]float64{}}
+	c.inj = newInjector(c, plan)
+	c.det = newDetector(c, opts.HeartbeatPeriod, opts.HeartbeatTimeout)
+	rt.SetLBResumeHook(c.onLBResume)
+	c.inj.arm()
+	// The heartbeat chain keeps the engine alive until the app exits, so
+	// it is only armed when the plan can actually kill someone; a
+	// drop-only plan that stalls the app should drain and be diagnosed,
+	// not heartbeat forever.
+	if plan.Crashes() > 0 {
+		c.det.start()
+	}
+	return c, nil
+}
+
+// Mem exposes the double in-memory checkpointer (for inspection tools).
+func (c *Controller) Mem() *ckpt.Mem { return c.mem }
+
+// Err reports the terminal error that aborted recovery, if any.
+func (c *Controller) Err() error { return c.err }
+
+// Survived returns the number of failures detected and recovered from.
+func (c *Controller) Survived() int {
+	if c.err != nil {
+		return 0
+	}
+	return len(c.Records)
+}
+
+func (c *Controller) anyDead() bool {
+	for pe := 0; pe < c.rt.NumPEs(); pe++ {
+		if c.rt.PEDead(pe) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckpointNow takes a double in-memory checkpoint at the current
+// instant, which must be a quiescent cut (no application messages in
+// flight). It stalls every PE for the checkpoint's modeled duration and
+// returns that duration.
+//
+// If a PE is already dead — the failure struck but the detector has not
+// fired yet — or a recovery is in progress, the checkpoint is SKIPPED
+// (returns 0): capturing the stalled, partially-corrupted state would
+// poison the next rollback. OnCheckpoint is skipped too, keeping the
+// driver snapshot paired with the last good chare snapshot.
+func (c *Controller) CheckpointNow() des.Time {
+	if c.recovering || c.err != nil || c.anyDead() {
+		return 0
+	}
+	dur := c.mem.Checkpoint()
+	c.locSnap = c.rt.SnapshotLocCaches()
+	if c.opts.OnCheckpoint != nil {
+		c.opts.OnCheckpoint()
+	}
+	c.ckptDigest = StateDigest(c.rt)
+	c.haveCkpt = true
+	c.rt.StallActivePEs(c.rt.MaxBusy() + dur)
+	return dur
+}
+
+// onLBResume is the runtime's LB-resume hook: the resume point is
+// quiescent, so it is where AtSync applications checkpoint.
+func (c *Controller) onLBResume(round int) des.Time {
+	if c.opts.CheckpointEveryRounds <= 0 {
+		return 0
+	}
+	if round%c.opts.CheckpointEveryRounds != 0 {
+		return 0
+	}
+	c.CheckpointNow() // applies its own stall
+	return 0
+}
+
+// failureDetected runs in the detector's deadline event. It latches the
+// recovering flag immediately so an overlapping round cannot double-fire,
+// then hands off to recover.
+func (c *Controller) failureDetected(pe int, at des.Time) {
+	if c.recovering || c.err != nil {
+		return
+	}
+	c.recovering = true
+	c.det.paused = true
+	c.rt.Metrics().Counter("chaos.detections").Inc()
+	if h := c.rt.Trace(); h != nil {
+		h.Fault(at, "detect", pe)
+	}
+	c.det.globalAt(at+2*c.det.alpha, func() { c.recover(pe, float64(at)) })
+}
+
+// recover performs the rollback: epoch fence, PUP restore from the buddy
+// checkpoint, location-cache restore, driver-state rollback, digest
+// assertion, and a stall covering the modeled restart cost before the
+// replay kick.
+func (c *Controller) recover(pe int, detectedAt float64) {
+	rt := c.rt
+	if !c.haveCkpt {
+		c.fail(fmt.Errorf("chaos: cannot recover PE %d: %w", pe, ckpt.ErrNoCheckpoint))
+		return
+	}
+	// Check the buddy before reviving PEs: if the sole holder of the
+	// failed PE's checkpoint copy is dead too, the data is gone.
+	if rt.PEDead(c.mem.Buddy(pe)) {
+		c.fail(fmt.Errorf("chaos: cannot recover PE %d: %w", pe, ckpt.ErrBuddyFailed))
+		return
+	}
+	rt.RecoverReset() // epoch++, revive PEs, drop queues/reductions/QD
+	dur, err := c.mem.StartRecovery(pe)
+	if err != nil {
+		c.fail(fmt.Errorf("chaos: recover PE %d: %w", pe, err))
+		return
+	}
+	rt.RestoreLocCaches(c.locSnap)
+	if c.opts.OnRollback != nil {
+		c.opts.OnRollback()
+	}
+	digestOK := StateDigest(rt) == c.ckptDigest
+	if !digestOK {
+		rt.Metrics().Counter("chaos.digest_mismatches").Inc()
+	}
+	kick := rt.MaxBusy() + dur
+	rt.StallActivePEs(kick)
+	c.Records = append(c.Records, RecoveryStat{
+		PE: pe, CrashAt: c.crashAt[pe], DetectedAt: detectedAt,
+		RestoredAt: float64(rt.Now()), ResumedAt: float64(kick),
+		RestartCost: float64(dur), DigestOK: digestOK,
+	})
+	rt.Engine().At(kick, func() {
+		c.mem.FinishRecovery()
+		c.recovering = false
+		rt.Metrics().Counter("chaos.recoveries").Inc()
+		if h := rt.Trace(); h != nil {
+			h.Fault(rt.Now(), "recover", pe)
+		}
+		c.det.resume(rt.Now())
+		if c.opts.Restart != nil {
+			c.opts.Restart()
+		} else {
+			rt.ResumeRestoredElements()
+		}
+	})
+}
+
+// fail latches a terminal error and stops the engine: the application is
+// stalled with no way forward, so letting the run spin would hang it.
+func (c *Controller) fail(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.rt.Engine().Stop()
+}

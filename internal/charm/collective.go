@@ -1,5 +1,7 @@
 package charm
 
+import "sort"
+
 // Callback names a continuation for collective operations (reductions,
 // quiescence detection, checkpoints) — the CkCallback of the model.
 type Callback struct {
@@ -153,14 +155,23 @@ type redKey struct {
 // rebalance, shrink, or expand while a reduction is open); the spanning
 // tree's cost is modeled as a combining-tree latency charged between the
 // final contribution and the callback delivery.
+//
+// Contributions are buffered and merged in canonical element-index order,
+// never arrival order: floating-point merges are order-sensitive, and a
+// rollback replay is a time-shifted re-execution whose re-rounded arrival
+// times may interleave contributions differently. Index-ordered merging
+// keeps the result bit-identical regardless.
 type redRun struct {
 	key      redKey
 	expected int
-	got      int
-	val      any
-	has      bool
+	contribs []redContrib
 	reducer  Reducer
 	cb       Callback
+}
+
+type redContrib struct {
+	idx Index
+	val any
 }
 
 // Contribute joins the element's next reduction over its array with the
@@ -178,6 +189,7 @@ func (c *Ctx) Contribute(value any, reducer Reducer, cb Callback) {
 	gen := el.redGen
 	el.redGen++
 	key := redKey{arr: el.key.array, gen: gen}
+	elIdx := el.key.idx
 	c.Charge(2e-7) // contribution bookkeeping
 	at := c.Now()
 	// The merge touches the runtime's global reduction table, so it is a
@@ -193,20 +205,22 @@ func (c *Ctx) Contribute(value any, reducer Reducer, cb Callback) {
 			run = &redRun{key: key, expected: expected, reducer: reducer, cb: cb}
 			rt.reductions[key] = run
 		}
-		if run.has {
-			run.val = reducer.Merge(run.val, value)
-		} else {
-			run.val, run.has = value, true
-		}
-		run.got++
-		if run.got < run.expected {
+		run.contribs = append(run.contribs, redContrib{idx: elIdx, val: value})
+		if len(run.contribs) < run.expected {
 			return
 		}
-		// Complete: deliver the result after the combining tree's latency.
-		result := run.val
+		// Complete: fold in canonical index order, then deliver the result
+		// after the combining tree's latency.
+		sort.Slice(run.contribs, func(i, j int) bool {
+			return run.contribs[i].idx.Less(run.contribs[j].idx)
+		})
+		result := run.contribs[0].val
+		for _, rc := range run.contribs[1:] {
+			result = run.reducer.Merge(result, rc.val)
+		}
 		fireCB := run.cb
 		delete(rt.reductions, key)
-		rt.eng.At(at+rt.barrierLatency(), func() {
+		rt.atEpoch(at+rt.barrierLatency(), func() {
 			ctx := rt.newCtx(0, nil)
 			fireCB.fire(ctx, result)
 			rt.finishExec(ctx, nil)

@@ -1,6 +1,8 @@
 package charm
 
 import (
+	"math"
+
 	"charmgo/internal/des"
 	"charmgo/internal/pup"
 )
@@ -23,6 +25,7 @@ type Ctx struct {
 	elem    *element // nil in PE handlers and the main chare
 	start   des.Time // event start time (the engine clock when created)
 	elapsed des.Time // cost accumulated so far in this execution
+	loadFS  int64    // speed-normalized compute so far, integer femtoseconds
 	exitReq bool
 	fx      *fxList // nil: immediate mode; non-nil: buffered (parallel phase)
 	cause   uint64  // trace ID of the send that triggered this execution
@@ -95,7 +98,9 @@ func (c *Ctx) Now() des.Time { return c.start + c.elapsed }
 // Charge adds compute cost: work is seconds on a dedicated PE at base
 // frequency, scaled by the PE's current speed (DVFS, interference).
 func (c *Ctx) Charge(work float64) {
-	c.elapsed += c.rt.mach.ComputeTime(c.pe, work)
+	d := c.rt.mach.ComputeTime(c.pe, work)
+	c.elapsed += d
+	c.chargeLoad(d)
 }
 
 // ChargeWithCache charges work whose working set is ws bytes, applying the
@@ -106,7 +111,23 @@ func (c *Ctx) ChargeWithCache(work float64, ws int64, sharers int) {
 
 // ChargeSeconds adds an absolute virtual duration, bypassing the speed
 // model (used for fixed protocol costs).
-func (c *Ctx) ChargeSeconds(d des.Time) { c.elapsed += d }
+func (c *Ctx) ChargeSeconds(d des.Time) {
+	c.elapsed += d
+	c.chargeLoad(d)
+}
+
+// chargeLoad accrues a charge into the execution's load meter: integer
+// femtoseconds, speed-normalized at charge time. The load database feeds
+// the balancers, and a greedy assignment flips on a 1-ULP input change —
+// so measured load must be bit-identical between a clean run and a
+// rollback replay. Each charge's duration is translation-invariant (it
+// depends on work, not on the clock), and integer sums are exact, so this
+// meter is independent of message arrival order and of how charges group
+// into executions; a float meter rounds differently per grouping.
+func (c *Ctx) chargeLoad(d des.Time) {
+	sp := c.rt.mach.PE(c.pe).Speed(c.rt.mach.Config().BaseFreqGHz)
+	c.loadFS += int64(math.Round(float64(d) * sp * 1e15))
+}
 
 // SetPos records the element's spatial coordinates for geometric load
 // balancers (ORB).
@@ -212,6 +233,7 @@ func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
 	sub.cause = c.cause
 	arr.handlers[ep](el.obj, sub, payload)
 	c.elapsed += sub.elapsed
+	c.loadFS += sub.loadFS
 	if sub.exitReq {
 		c.exitReq = true
 	}
@@ -256,7 +278,7 @@ func (c *Ctx) Migrate(toPE int) {
 		return
 	}
 	at := c.Now()
-	c.emit(func() { rt.eng.At(at, func() { rt.moveElement(el, toPE, true) }) })
+	c.emit(func() { rt.atEpoch(at, func() { rt.moveElement(el, toPE, true) }) })
 }
 
 // Insert creates a new element of arr with the given initial state on this

@@ -198,7 +198,7 @@ func (rt *Runtime) maybeStartLB() {
 	// The barrier completes when the slowest PE drains, plus a tree
 	// reduction to detect it.
 	t := rt.MaxBusy() + rt.barrierLatency()
-	rt.eng.At(t, rt.runLB)
+	rt.atEpoch(t, rt.runLB)
 }
 
 // LBView builds the strategy's view of the current objects and PEs.
@@ -214,7 +214,7 @@ func (rt *Runtime) LBView() ([]LBObject, []LBPE) {
 				Array:  arr,
 				Idx:    el.key.idx,
 				PE:     p,
-				Load:   float64(el.load),
+				Load:   float64(el.load) * 1e-15,
 				Bytes:  pup.Size(el.obj) + 64,
 				Pos:    el.pos,
 				HasPos: el.hasPos,
@@ -293,7 +293,7 @@ func (rt *Runtime) runLB() {
 	report := rt.summarize(objs, pes, start, des.Time(decision)+maxXfer, moved)
 
 	resumeAt := start + des.Time(decision) + maxXfer + rt.barrierLatency()
-	rt.eng.At(resumeAt, func() {
+	rt.atEpoch(resumeAt, func() {
 		rt.lbInProgress = false
 		if rt.hooks != nil {
 			rt.hooks.LBDone(resumeAt, rt.lbCount, moved, resumeAt-start)
@@ -302,6 +302,21 @@ func (rt *Runtime) runLB() {
 		rt.Stats.LBInvocations++
 		rt.metrics.Counter("lb.rounds").Inc()
 		rt.metrics.Counter("lb.migrations").Add(uint64(moved))
+		// The listener is part of the round, so it must fire before the
+		// resume hook: the in-memory checkpoint scheme snapshots at the
+		// hook (see SetLBResumeHook), and observer state mutated after its
+		// own cut would be rolled back without ever being replayed —
+		// losing one observation per recovery.
+		if rt.lbListener != nil {
+			rt.lbListener(report)
+		}
+		// The post-migration, pre-resume instant is a quiescent cut: the
+		// in-memory checkpoint scheme snapshots here (see SetLBResumeHook).
+		if rt.lbResumeHook != nil {
+			if stall := rt.lbResumeHook(rt.lbCount); stall > 0 {
+				rt.StallActivePEs(resumeAt + stall)
+			}
+		}
 		// Reset instrumentation for the next interval and resume.
 		for p := 0; p < rt.activePEs; p++ {
 			pe := rt.pes[p]
@@ -326,9 +341,6 @@ func (rt *Runtime) runLB() {
 				}
 				rt.enqueue(m, p)
 			}
-		}
-		if rt.lbListener != nil {
-			rt.lbListener(report)
 		}
 	})
 }

@@ -34,7 +34,7 @@ func (rt *Runtime) checkQD() {
 	fireAt := rt.MaxBusy() + rt.QDLatency()
 	for _, st := range watches {
 		st := st
-		rt.eng.At(fireAt, func() {
+		rt.atEpoch(fireAt, func() {
 			if st.fired {
 				return
 			}

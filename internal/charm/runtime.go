@@ -45,9 +45,12 @@ type element struct {
 	obj Chare
 	pe  int
 
-	// Instrumentation (the automatic load database of §III-A).
-	load      des.Time // measured compute since last LB, speed-normalized
-	totalLoad des.Time
+	// Instrumentation (the automatic load database of §III-A). Load is
+	// kept in integer femtoseconds (see Ctx.chargeLoad) so the measured
+	// value is exactly independent of message arrival order; the balancer
+	// view converts back to seconds.
+	load      int64 // measured compute since last LB, speed-normalized, fs
+	totalLoad int64
 	msgsSent  uint64
 	bytesSent uint64
 	comm      map[elemKey]uint64 // bytes per destination (TrackComm arrays)
@@ -71,6 +74,10 @@ type peState struct {
 	byArr  []int      // live element count per array id
 
 	locCache map[elemKey]int
+
+	// dead marks a crashed PE (internal/chaos): it executes nothing and
+	// every message addressed to it is discarded until RecoverReset.
+	dead bool
 }
 
 func (p *peState) insertSorted(el *element) {
@@ -149,6 +156,15 @@ type Runtime struct {
 	// fast path; metrics is always present.
 	hooks   TraceHooks
 	metrics *metrics.Registry
+
+	// Fault injection and rollback recovery (internal/chaos). epoch counts
+	// rollbacks: messages are stamped at send and discarded on arrival when
+	// stale. filter intercepts every transmit (drops, delay spikes).
+	// lbResumeHook fires at each LB resume point — the quiescent cut where
+	// in-memory checkpoints are taken.
+	epoch        uint64
+	filter       FaultFilter
+	lbResumeHook func(round int) des.Time
 }
 
 // RuntimeStats aggregates counters for introspection, tests, and the
@@ -162,6 +178,8 @@ type RuntimeStats struct {
 	LBInvocations uint64
 	QDRounds      uint64   // quiescence detections completed
 	EntryTime     des.Time // total virtual compute across PEs
+	MsgsDropped   uint64   // lost to injected network faults
+	MsgsDiscarded uint64   // dead-PE or stale-epoch discards
 }
 
 // New creates a runtime over a machine. The machine config's Backend field
@@ -224,6 +242,10 @@ func (rt *Runtime) Engine() des.Engine { return rt.eng }
 // may be instantaneous, so a node is the smallest unit the parallel backend
 // can execute independently.
 func (rt *Runtime) shardOf(pe int) int { return rt.peShard[pe] }
+
+// ShardOf maps a PE to its engine shard (its node). The chaos failure
+// detector uses it to schedule zero-cost control events on a PE's shard.
+func (rt *Runtime) ShardOf(pe int) int { return rt.peShard[pe] }
 
 // Machine returns the machine the runtime executes on.
 func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
@@ -311,6 +333,7 @@ const (
 func (rt *Runtime) send(m *message, t des.Time) {
 	rt.Stats.MsgsSent++
 	rt.Stats.BytesSent += uint64(m.size)
+	m.epoch = rt.epoch
 	if m.destPE < 0 {
 		rt.inflight++ // element-targeted app message: QD-counted
 		dst := rt.resolve(m.srcPE, m.dest)
@@ -343,7 +366,18 @@ func (rt *Runtime) resolve(srcPE int, k elemKey) int {
 // Arrival is a sharded event on the destination's node; arrive touches the
 // location manager and quiescence state, so it runs entirely in the commit.
 func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
-	arrival := rt.mach.Transmit(src, dst, m.size, t)
+	var extra des.Time
+	if rt.filter != nil {
+		// Fault injection: transmits happen in commit order — identical
+		// across backends — so a seeded filter reproduces exactly.
+		drop, delay := rt.filter.OnTransmit(src, dst, m.size, t)
+		if drop {
+			rt.dropInjected(m, dst, t)
+			return
+		}
+		extra = delay
+	}
+	arrival := rt.mach.Transmit(src, dst, m.size, t) + extra
 	rt.eng.AtShard(rt.shardOf(dst), arrival, func() func() {
 		return func() { rt.arrive(m, dst) }
 	})
@@ -352,6 +386,17 @@ func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
 // arrive lands m on PE dst: element messages that miss are forwarded via
 // the home PE (location-manager protocol); PE messages are enqueued as is.
 func (rt *Runtime) arrive(m *message, dst int) {
+	if m.epoch != rt.epoch {
+		// A pre-rollback message surfacing after recovery: its epoch — and
+		// its quiescence accounting — died with the rollback, so it is
+		// dropped without touching the inflight counter.
+		rt.Stats.MsgsDiscarded++
+		return
+	}
+	if rt.pes[dst].dead {
+		rt.discard(m)
+		return
+	}
 	if m.destPE >= 0 {
 		rt.enqueue(m, dst)
 		return
@@ -391,14 +436,23 @@ func (rt *Runtime) arrive(m *message, dst int) {
 // any other message and the cache stays strictly shard-local state.
 func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int) {
 	at := rt.eng.Now() + rt.mach.NetDelay(homePE, srcPE, 24)
+	epoch := rt.epoch
 	rt.eng.AtShard(rt.shardOf(srcPE), at, func() func() {
-		rt.pes[srcPE].locCache[key] = ownerPE
+		// Epoch reads from a phase are race-free: rollbacks bump the epoch
+		// only inside global events, which never overlap a phase.
+		if rt.epoch == epoch {
+			rt.pes[srcPE].locCache[key] = ownerPE
+		}
 		return nil
 	})
 }
 
 // enqueue places m in dst's scheduler queue and pumps the PE.
 func (rt *Runtime) enqueue(m *message, dst int) {
+	if rt.pes[dst].dead {
+		rt.discard(m)
+		return
+	}
 	if rt.hooks != nil && m.traceID != 0 {
 		rt.hooks.MsgRecv(rt.eng.Now(), dst, m.traceID, m.hops)
 	}
@@ -411,7 +465,7 @@ func (rt *Runtime) enqueue(m *message, dst int) {
 
 // pump schedules the PE's next dequeue if it is not already scheduled.
 func (rt *Runtime) pump(p *peState) {
-	if p.pumpAt >= 0 || len(p.q) == 0 {
+	if p.pumpAt >= 0 || len(p.q) == 0 || p.dead {
 		return
 	}
 	t := rt.eng.Now()
@@ -419,7 +473,17 @@ func (rt *Runtime) pump(p *peState) {
 		t = p.busy
 	}
 	p.pumpAt = t
-	rt.eng.AtShard(rt.shardOf(p.id), t, func() func() { return rt.runOne(p, t) })
+	epoch := rt.epoch
+	rt.eng.AtShard(rt.shardOf(p.id), t, func() func() {
+		if rt.epoch != epoch {
+			// Scheduled before a rollback: the reset already re-pumped the
+			// PE, so this event must not touch pumpAt or the queue. (Epoch
+			// reads from a phase are race-free: rollbacks bump the epoch
+			// only inside global events, which never overlap a phase.)
+			return nil
+		}
+		return rt.runOne(p, t)
+	})
 }
 
 // runOne executes the highest-priority queued message on p. It is the
@@ -475,6 +539,7 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 	}
 	ctx.cause = m.traceID
 	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
+	ctx.chargeLoad(ctx.elapsed) // receive overhead counts toward measured load
 	arr := rt.arrays[m.dest.array]
 	handler := arr.handlers[m.ep]
 	func() {
@@ -515,12 +580,10 @@ func (rt *Runtime) finishExec(ctx *Ctx, el *element) {
 	rt.mach.PE(ctx.pe).BusyTime += ctx.elapsed
 	rt.Stats.EntryTime += ctx.elapsed
 	if el != nil {
-		// Speed-normalize so LB strategies see intrinsic object load even
-		// on slowed (DVFS/interference) PEs.
-		sp := rt.mach.PE(ctx.pe).Speed(rt.mach.Config().BaseFreqGHz)
-		norm := des.Time(float64(ctx.elapsed) * sp)
-		el.load += norm
-		el.totalLoad += norm
+		// Already speed-normalized per charge, so LB strategies see
+		// intrinsic object load even on slowed (DVFS/interference) PEs.
+		el.load += ctx.loadFS
+		el.totalLoad += ctx.loadFS
 	}
 	if ctx.exitReq {
 		rt.exit()
@@ -562,8 +625,12 @@ func (rt *Runtime) ExecuteOnPE(pe int, delay des.Time, fn func(ctx *Ctx)) {
 	if delay < 0 {
 		panic(fmt.Sprintf("charm: ExecuteOnPE with negative delay %v", delay))
 	}
+	epoch := rt.epoch
 	rt.eng.AtShard(rt.shardOf(pe), rt.eng.Now()+delay, func() func() {
 		return func() {
+			if rt.epoch != epoch {
+				return // flush timer armed before a rollback
+			}
 			m := &message{
 				destPE:  pe,
 				ep:      EP(rt.funcPEH),
@@ -630,7 +697,7 @@ func (rt *Runtime) Diagnose() string {
 		for _, k := range keys {
 			run := rt.reductions[k]
 			s += fmt.Sprintf(" %s gen %d (%d/%d contributed)",
-				rt.arrays[k.arr].name, k.gen, run.got, run.expected)
+				rt.arrays[k.arr].name, k.gen, len(run.contribs), run.expected)
 		}
 	}
 	if n := len(rt.qdWatch); n > 0 {

@@ -41,6 +41,10 @@ type TraceHooks interface {
 	// after the append); TramFlush records a batch leaving a PE.
 	TramBuffer(at des.Time, pe, depth int)
 	TramFlush(at des.Time, pe, items int, timed bool)
+	// Fault records one fault-injection or recovery event: kind is "crash",
+	// "drop", "delay", "straggler", "detect", "rollback", or "recover"; pe
+	// is the affected PE (-1 for whole-machine events like a rollback).
+	Fault(at des.Time, kind string, pe int)
 }
 
 // SetTraceHooks installs (or, with nil, removes) the tracing recorder.
@@ -69,6 +73,8 @@ func (rt *Runtime) registerRuntimeMetrics() {
 	reg.GaugeFunc("rts.lb_invocations", func() float64 { return float64(rt.Stats.LBInvocations) })
 	reg.GaugeFunc("rts.qd_rounds", func() float64 { return float64(rt.Stats.QDRounds) })
 	reg.GaugeFunc("rts.entry_time_s", func() float64 { return float64(rt.Stats.EntryTime) })
+	reg.GaugeFunc("rts.msgs_dropped", func() float64 { return float64(rt.Stats.MsgsDropped) })
+	reg.GaugeFunc("rts.msgs_discarded", func() float64 { return float64(rt.Stats.MsgsDiscarded) })
 	reg.GaugeFunc("rts.events_executed", func() float64 { return float64(rt.eng.Executed()) })
 	reg.GaugeFunc("rts.active_pes", func() float64 { return float64(rt.activePEs) })
 }

@@ -112,9 +112,11 @@ func (s *Snapshot) TotalBytes() int64 {
 	return n
 }
 
-// perPEBytes returns the checkpoint bytes resident on each of n PEs at
-// capture time.
-func (s *Snapshot) perPEBytes(n int) []int64 {
+// PerPEBytes returns the checkpoint bytes resident on each of n PEs at
+// capture time. Operators (cmd/ckptinfo) use it to judge the blast radius
+// of a planned failure campaign: the buddy of a heavy PE streams that many
+// bytes during restart.
+func (s *Snapshot) PerPEBytes(n int) []int64 {
 	per := make([]int64, n)
 	for _, a := range s.Arrays {
 		for _, e := range a.Elems {
@@ -210,7 +212,7 @@ func DefaultModel(numPEs int) TimeModel {
 // barrier confirms completion. More PEs ⇒ fewer bytes per PE ⇒ faster
 // (Fig 8 right: 394 ms at 2k PEs down to 29 ms at 32k).
 func DiskCheckpointTime(s *Snapshot, numPEs int, tm TimeModel) des.Time {
-	per := s.perPEBytes(numPEs)
+	per := s.PerPEBytes(numPEs)
 	var worst float64
 	for _, b := range per {
 		t := float64(b)/tm.SerializeBW + float64(b)/tm.DiskBW

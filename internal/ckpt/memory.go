@@ -1,11 +1,33 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 
 	"charmgo/internal/charm"
 	"charmgo/internal/des"
 	"charmgo/internal/pup"
+)
+
+// Typed recovery errors. Callers (the chaos controller, application
+// drivers) branch on these with errors.Is to distinguish recoverable
+// conditions from protocol violations.
+var (
+	// ErrNoCheckpoint: recovery was requested before any in-memory
+	// checkpoint was taken.
+	ErrNoCheckpoint = errors.New("ckpt: no in-memory checkpoint to recover from")
+	// ErrPEOutOfRange: the failed PE id is not a valid PE of this runtime.
+	ErrPEOutOfRange = errors.New("ckpt: failed PE out of range")
+	// ErrRecoveryInProgress: a second failure was reported while a
+	// previous recovery had not yet completed (FinishRecovery not called).
+	// The double-buddy scheme tolerates one failure per checkpoint epoch;
+	// overlapping failures of unrelated PEs abort the protocol rather than
+	// silently double-restarting.
+	ErrRecoveryInProgress = errors.New("ckpt: recovery already in progress")
+	// ErrBuddyFailed: while restoring a failed PE, its buddy — the sole
+	// holder of the remote checkpoint copy — failed too. The checkpoint
+	// data is lost; only a disk checkpoint (or a rerun) can help.
+	ErrBuddyFailed = errors.New("ckpt: buddy PE failed during restore; checkpoint copy lost")
 )
 
 // Mem implements the double in-memory checkpointing of FTC-Charm++
@@ -18,6 +40,13 @@ type Mem struct {
 	model TimeModel
 
 	snap *Snapshot // the logical content of the distributed checkpoints
+
+	// recovering is set between StartRecovery and FinishRecovery; a
+	// second failure reported in that window is a protocol error
+	// (ErrRecoveryInProgress), or fatal if it hits the buddy streaming
+	// the restore (ErrBuddyFailed).
+	recovering   bool
+	recoveringPE int
 
 	// Checkpoints and Restarts count completed operations.
 	Checkpoints int
@@ -33,7 +62,12 @@ func NewMem(rt *charm.Runtime) *Mem {
 func (m *Mem) SetModel(tm TimeModel) { m.model = tm }
 
 // Buddy returns the PE holding pe's remote checkpoint copy.
-func (m *Mem) Buddy(pe int) int { return (pe + 1) % m.rt.NumPEs() }
+func (m *Mem) Buddy(pe int) int { return BuddyOf(pe, m.rt.NumPEs()) }
+
+// BuddyOf is the double in-memory scheme's buddy mapping as a pure
+// function, shared with operator tooling (cmd/ckptinfo) so the printed
+// map is the one the restore path actually uses.
+func BuddyOf(pe, numPEs int) int { return (pe + 1) % numPEs }
 
 // Checkpoint takes a double in-memory checkpoint (CkStartMemCheckpoint)
 // and returns its modeled duration: every PE serializes its elements and
@@ -42,7 +76,7 @@ func (m *Mem) Checkpoint() des.Time {
 	m.snap = Capture(m.rt)
 	m.Checkpoints++
 	m.rt.Metrics().Counter("ckpt.mem_checkpoints").Inc()
-	per := m.snap.perPEBytes(m.rt.NumPEs())
+	per := m.snap.PerPEBytes(m.rt.NumPEs())
 	var worst float64
 	for _, b := range per {
 		t := float64(b)/m.model.SerializeBW + float64(b)/m.model.MemBW
@@ -56,20 +90,44 @@ func (m *Mem) Checkpoint() des.Time {
 // HasCheckpoint reports whether a checkpoint exists to recover from.
 func (m *Mem) HasCheckpoint() bool { return m.snap != nil }
 
-// FailAndRecover simulates the hard failure of a PE and the recovery
-// protocol: a replacement PE takes the failed PE's identity, its chares are
-// reconstructed from the buddy's copy, and every other chare rolls back to
-// the last checkpoint. It returns the modeled restart duration.
+// Recovering reports whether a StartRecovery is awaiting FinishRecovery,
+// and for which PE.
+func (m *Mem) Recovering() (bool, int) { return m.recovering, m.recoveringPE }
+
+// Snapshot returns the current checkpoint content (nil before the first
+// Checkpoint). Read-only: tools such as cmd/ckptinfo inspect it.
+func (m *Mem) Snapshot() *Snapshot { return m.snap }
+
+// StartRecovery begins the recovery protocol for a failed PE: a
+// replacement PE takes the failed PE's identity, its chares are
+// reconstructed from the buddy's copy, and every other chare rolls back
+// to the last checkpoint. It returns the modeled restart duration; the
+// caller advances virtual time by that much and then calls
+// FinishRecovery to close the window.
+//
+// While the window is open a second reported failure returns
+// ErrBuddyFailed if it hits the failed PE's buddy (the checkpoint copy
+// being streamed is lost) and ErrRecoveryInProgress otherwise.
 //
 // Restart uses several consistency barriers, which is why its cost grows
 // with PE count even as per-PE data shrinks (Fig 10).
-func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
+func (m *Mem) StartRecovery(failedPE int) (des.Time, error) {
+	if m.recovering {
+		if failedPE == m.Buddy(m.recoveringPE) {
+			return 0, fmt.Errorf("%w (PE %d failed while restoring PE %d)",
+				ErrBuddyFailed, failedPE, m.recoveringPE)
+		}
+		return 0, fmt.Errorf("%w (recovering PE %d, new failure on PE %d)",
+			ErrRecoveryInProgress, m.recoveringPE, failedPE)
+	}
 	if m.snap == nil {
-		return 0, fmt.Errorf("ckpt: no in-memory checkpoint to recover from")
+		return 0, ErrNoCheckpoint
 	}
 	if failedPE < 0 || failedPE >= m.rt.NumPEs() {
-		return 0, fmt.Errorf("ckpt: failed PE %d out of range", failedPE)
+		return 0, fmt.Errorf("%w: PE %d", ErrPEOutOfRange, failedPE)
 	}
+	m.recovering = true
+	m.recoveringPE = failedPE
 	m.Restarts++
 	m.rt.Metrics().Counter("ckpt.mem_restarts").Inc()
 	if h := m.rt.Trace(); h != nil {
@@ -81,6 +139,7 @@ func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
 	for _, as := range m.snap.Arrays {
 		arr := m.rt.ArrayByName(as.Name)
 		if arr == nil {
+			m.recovering = false
 			return 0, fmt.Errorf("ckpt: recover: array %q not declared", as.Name)
 		}
 		inSnap := map[charm.Index]bool{}
@@ -88,6 +147,7 @@ func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
 			inSnap[es.Idx] = true
 			obj := arr.NewElement()
 			if err := pup.Unpack(es.Data, obj); err != nil {
+				m.recovering = false
 				return 0, fmt.Errorf("ckpt: recover %s%v: %w", as.Name, es.Idx, err)
 			}
 			if arr.Get(es.Idx) != nil {
@@ -107,7 +167,7 @@ func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
 	// Timing: the buddy streams the failed PE's checkpoint to the
 	// replacement; everyone else restores locally; then several barriers
 	// re-establish a consistent state.
-	per := m.snap.perPEBytes(m.rt.NumPEs())
+	per := m.snap.PerPEBytes(m.rt.NumPEs())
 	failedBytes := float64(per[failedPE])
 	var worstLocal float64
 	for _, b := range per {
@@ -118,4 +178,25 @@ func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
 	buddyStream := failedBytes/m.model.MemBW + failedBytes/m.model.SerializeBW
 	barriers := 4*m.model.Barrier + m.model.CoordPerPE*float64(m.rt.NumPEs())/8
 	return des.Time(m.model.Base/2 + worstLocal + buddyStream + barriers), nil
+}
+
+// FinishRecovery closes the recovery window opened by StartRecovery.
+// Failures reported after this point start a fresh recovery.
+func (m *Mem) FinishRecovery() {
+	m.recovering = false
+	m.recoveringPE = 0
+}
+
+// FailAndRecover simulates the hard failure of a PE and an instantaneous
+// recovery: StartRecovery immediately followed by FinishRecovery. It
+// returns the modeled restart duration. Callers that advance virtual
+// time across the restore (the chaos controller) use the two-step API so
+// that mid-restore failures are detected.
+func (m *Mem) FailAndRecover(failedPE int) (des.Time, error) {
+	d, err := m.StartRecovery(failedPE)
+	if err != nil {
+		return 0, err
+	}
+	m.FinishRecovery()
+	return d, nil
 }

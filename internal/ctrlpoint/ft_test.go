@@ -1,0 +1,115 @@
+package ctrlpoint
+
+import (
+	"testing"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/chaos"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+)
+
+// cloneSystem snapshots a control system's full tuning state: the rollback
+// protocol must restore the tuner together with the chares, or replayed LB
+// rounds would feed the hill climber duplicate observations and steer it
+// off the failure-free trajectory.
+func cloneSystem(s *System) *System {
+	c := &System{active: s.active, sinceLock: s.sinceLock}
+	c.history = append([]Report(nil), s.history...)
+	for _, p := range s.points {
+		q := *p
+		c.points = append(c.points, &q)
+	}
+	return c
+}
+
+// TestSinglePEFailureKeepsTuningTrajectory runs a LeanMD job whose control
+// system observes every LB round's pre-balance max load, injects one hard
+// mid-run PE crash, and requires byte-identical results on both sides of
+// the fault line: the application's energy trajectory AND the control
+// system's observation history and final point values must match the
+// failure-free run exactly. The tuner rides the same checkpoint/rollback
+// cuts as the chares (OnCheckpoint/OnRollback), which is what makes its
+// recovery exact rather than merely plausible.
+func TestSinglePEFailureKeepsTuningTrajectory(t *testing.T) {
+	run := func(plan *chaos.Plan) ([]float64, *System, *chaos.Controller, float64) {
+		rt := charm.New(machine.New(machine.Testbed(8)))
+		rt.SetBalancer(lb.Greedy{})
+		app, err := leanmd.New(rt, leanmd.Config{
+			CellsX: 3, CellsY: 3, CellsZ: 3,
+			AtomsPerCell: 20, Steps: 18, LBPeriod: 3,
+			Gaussian: 0.35, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := NewSystem()
+		sys.Register("grain", 1, 8, 4, EffectLargerGrain)
+		rt.OnLB(func(rep charm.LBReport) { sys.Observe(rep.MaxLoad) })
+		var ctrl *chaos.Controller
+		if plan != nil {
+			var savedSys *System
+			savedSteps := 0
+			ctrl, err = chaos.Enable(rt, *plan, chaos.Options{
+				CheckpointEveryRounds: 1,
+				HeartbeatPeriod:       2e-4,
+				HeartbeatTimeout:      1.5e-4,
+				OnCheckpoint: func() {
+					savedSys = cloneSystem(sys)
+					savedSteps = app.Steps()
+				},
+				OnRollback: func() {
+					*sys = *cloneSystem(savedSys)
+					app.TruncateResult(savedSteps)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := app.Run()
+		if ctrl != nil && ctrl.Err() != nil {
+			t.Fatal(ctrl.Err())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Energy, sys, ctrl, float64(res.Elapsed)
+	}
+
+	cleanEnergy, cleanSys, _, elapsed := run(nil)
+	plan := chaos.CrashPlan(11, 1, 8, 0.5*elapsed, 0.8*elapsed)
+	chaosEnergy, chaosSys, ctrl, _ := run(&plan)
+
+	if ctrl.Survived() != 1 {
+		t.Fatalf("survived %d of 1 injected crash", ctrl.Survived())
+	}
+	if len(cleanEnergy) != len(chaosEnergy) {
+		t.Fatalf("energy trajectory length %d vs %d", len(cleanEnergy), len(chaosEnergy))
+	}
+	for i := range cleanEnergy {
+		if cleanEnergy[i] != chaosEnergy[i] {
+			t.Fatalf("step %d energy %v vs %v: crash leaked into the physics", i, cleanEnergy[i], chaosEnergy[i])
+		}
+	}
+	ch, kh := cleanSys.History(), chaosSys.History()
+	if len(ch) != len(kh) {
+		t.Fatalf("tuner saw %d observations clean vs %d under chaos", len(ch), len(kh))
+	}
+	for i := range ch {
+		if ch[i].Metric != kh[i].Metric {
+			t.Fatalf("observation %d: metric %v vs %v", i, ch[i].Metric, kh[i].Metric)
+		}
+		for name, v := range ch[i].Values {
+			if kh[i].Values[name] != v {
+				t.Fatalf("observation %d: point %s was %d, chaos run saw %d", i, name, v, kh[i].Values[name])
+			}
+		}
+	}
+	cp, kp := cleanSys.Point("grain"), chaosSys.Point("grain")
+	if cp.Value() != kp.Value() || cp.Locked() != kp.Locked() {
+		t.Fatalf("tuner diverged: clean grain=%d locked=%v, chaos grain=%d locked=%v",
+			cp.Value(), cp.Locked(), kp.Value(), kp.Locked())
+	}
+}

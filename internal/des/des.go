@@ -59,6 +59,27 @@ type Engine interface {
 	RunUntil(t Time)
 }
 
+// HorizonReporter is implemented by engines that can report a safe
+// scheduling horizon for *global* events: the earliest timestamp at which a
+// new global event is guaranteed not to precede any phase the engine has
+// already handed to a worker. The sequential engine's horizon is simply
+// Now(); the parallel engine's is the high-water timestamp of its in-flight
+// phases. Fault-recovery code uses this to schedule a rollback — a global
+// event — from inside an event commit without tripping the parallel
+// engine's lookahead guard.
+type HorizonReporter interface {
+	GlobalHorizon() Time
+}
+
+// EngineHorizon returns e's global-event scheduling horizon, falling back
+// to Now() for engines that do not report one.
+func EngineHorizon(e Engine) Time {
+	if hr, ok := e.(HorizonReporter); ok {
+		return hr.GlobalHorizon()
+	}
+	return e.Now()
+}
+
 // TraceSink receives engine-level execution events: the pop of each
 // sharded event (PhaseStart) and the completion of its commit (PhaseDone).
 // Engines call the sink only from the driving goroutine, in exact
@@ -160,6 +181,11 @@ func (e *Sequential) Now() Time { return e.now }
 
 // Pending returns the number of scheduled, uncancelled events.
 func (e *Sequential) Pending() int { return len(e.heap) }
+
+// GlobalHorizon returns the earliest time a global event may be scheduled
+// without reordering work already underway. The sequential engine never has
+// work in flight, so its horizon is the current time.
+func (e *Sequential) GlobalHorizon() Time { return e.now }
 
 // Executed counts events that have run.
 func (e *Sequential) Executed() uint64 { return e.executed }

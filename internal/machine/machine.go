@@ -122,6 +122,28 @@ func (m *Machine) SetInterference(pe int, frac float64) {
 	m.pes[pe].interference = frac
 }
 
+// Interference returns the external-load fraction currently set on PE i
+// (fault-injection campaigns report straggler windows through it).
+func (m *Machine) Interference(pe int) float64 { return m.pes[pe].interference }
+
+// ResetNIC clears the egress NIC queue of the node hosting pe: a crashed
+// node reboots with an empty NIC, so transmissions it had queued — now
+// lost — must not delay post-recovery sends.
+func (m *Machine) ResetNIC(pe int) {
+	m.nicFreeAt[m.pes[pe].Node.ID] = 0
+}
+
+// ResetAllNICs clears every node's egress NIC queue. Rollback recovery
+// calls it: a checkpoint is taken at a quiescent cut where every link is
+// idle, so replaying from the checkpoint must not inherit bookings made
+// by the rolled-back (discarded) traffic — a residual backlog would shift
+// replayed transmits and break the replay's time-translation invariance.
+func (m *Machine) ResetAllNICs() {
+	for n := range m.nicFreeAt {
+		m.nicFreeAt[n] = 0
+	}
+}
+
 // SetNodeCooling scales node n's thermal resistance: factors above 1 make
 // the chip run hotter at the same power (poor rack position), below 1
 // cooler.

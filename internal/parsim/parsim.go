@@ -223,6 +223,18 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Executed counts events that have run.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// GlobalHorizon returns the earliest timestamp at which a global event may
+// be scheduled without preceding an in-flight phase: the high-water
+// timestamp of launched phases while any are pending, else the current
+// time. Scheduling a global At at exactly this horizon always passes
+// checkSchedule.
+func (e *Engine) GlobalHorizon() des.Time {
+	if e.pending > 0 && e.maxLaunchedAt > e.now {
+		return e.maxLaunchedAt
+	}
+	return e.now
+}
+
 // checkSchedule guards the scheduling entry points against lookahead
 // violations: new work must never precede an in-flight phase that could
 // have observed it.

@@ -50,6 +50,9 @@ const (
 	// KPhaseStart / KPhaseCommit are engine pipeline events: PE = shard.
 	KPhaseStart
 	KPhaseCommit
+	// KFault: Entry = fault kind ("crash", "drop", "delay", "straggler",
+	// "detect", "rollback", "recover"), PE = affected PE (-1 machine-wide).
+	KFault
 )
 
 var kindNames = [...]string{
@@ -66,6 +69,7 @@ var kindNames = [...]string{
 	KTramFlush:  "tram-flush",
 	KPhaseStart: "phase-start",
 	KPhaseCommit: "phase-commit",
+	KFault:       "fault",
 }
 
 // String returns the kind's log token.

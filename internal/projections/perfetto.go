@@ -139,6 +139,14 @@ func WritePerfetto(w io.Writer, events []Event) error {
 		case KCheckpoint:
 			te = traceEvent{Ph: "i", Pid: pidDriver, Ts: us(e.At), S: "g",
 				Name: fmt.Sprintf("checkpoint %s (%d bytes)", e.Entry, e.A)}
+		case KFault:
+			if e.PE >= 0 {
+				te = traceEvent{Ph: "i", Pid: pidPEs, Tid: e.PE, Ts: us(e.At), S: "p",
+					Name: fmt.Sprintf("fault: %s PE %d", e.Entry, e.PE)}
+			} else {
+				te = traceEvent{Ph: "i", Pid: pidDriver, Ts: us(e.At), S: "g",
+					Name: "fault: " + e.Entry}
+			}
 		case KPhaseStart:
 			te = traceEvent{Ph: "i", Pid: pidEngine, Tid: e.PE, Ts: us(e.At), S: "t",
 				Name: "phase"}

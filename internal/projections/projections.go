@@ -201,6 +201,15 @@ func (t *Tracer) TramBuffer(at des.Time, pe, depth int) {
 	t.record(pe, Event{Kind: KTramBuffer, At: at, PE: pe, A: int64(depth)})
 }
 
+// Fault records one fault-injection or recovery event.
+func (t *Tracer) Fault(at des.Time, kind string, pe int) {
+	ringIdx := t.driverRing()
+	if pe >= 0 && pe < len(t.rings)-1 {
+		ringIdx = pe
+	}
+	t.record(ringIdx, Event{Kind: KFault, At: at, PE: pe, Entry: kind})
+}
+
 // TramFlush records an aggregated batch leaving a PE.
 func (t *Tracer) TramFlush(at des.Time, pe, items int, timed bool) {
 	e := Event{Kind: KTramFlush, At: at, PE: pe, A: int64(items)}

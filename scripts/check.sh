@@ -2,8 +2,8 @@
 # check.sh — the full local gate: build, go vet, charmvet (determinism &
 # PUP-completeness rules, see DESIGN.md "Determinism rules"), the test
 # suite under the race detector, the cross-backend equivalence tests at
-# several GOMAXPROCS values, and a smoke run of the parallel benchmark.
-# CI runs exactly this.
+# several GOMAXPROCS values, a smoke run of the parallel benchmark, and
+# the chaos fault-injection soak. CI runs exactly this.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -26,3 +26,9 @@ scripts/bench.sh --smoke
 # Tracing overhead: the same LeanMD run untraced vs fully traced, recorded
 # for the PR record. The untraced path must stay a nil check.
 go run ./cmd/projections -selfbench -smoke -out BENCH_projections.json
+
+# Chaos soak: every campaign app survives its injected crashes with final
+# values and state digests byte-identical to the failure-free run, on both
+# backends. The driver exits nonzero on any mismatch, unsurvived crash, or
+# cross-backend divergence; the report itself is byte-deterministic.
+go run ./cmd/chaos -out BENCH_chaos.json
