@@ -6,12 +6,14 @@
 //	figures            # run every figure
 //	figures -fig 9     # run one figure
 //	figures -list      # list figure ids and titles
+//	figures -workers 8 # run up to 8 sweep points per figure concurrently
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"charmgo/internal/figures"
@@ -21,12 +23,17 @@ func main() {
 	figID := flag.String("fig", "", "run only the figure with this id (e.g. 9, 8L, 15b)")
 	list := flag.Bool("list", false, "list available figures")
 	backend := flag.String("backend", "sequential", "engine backend: sequential, parallel")
+	workers := flag.Int("workers", 1, "concurrent sweep points per figure (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	if *backend != "sequential" && *backend != "parallel" {
 		fmt.Fprintf(os.Stderr, "unknown backend %q (want sequential or parallel)\n", *backend)
 		os.Exit(2)
 	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	figures.SetWorkers(*workers)
 
 	if *list {
 		for _, f := range figures.All() {
@@ -35,6 +42,10 @@ func main() {
 		return
 	}
 
+	// A failing figure (or a failing sweep point within one) is reported
+	// with its label and the run continues, so one broken configuration
+	// does not hide the state of every later figure.
+	failed := 0
 	run := func(f figures.Fig) {
 		be := *backend
 		if f.SeqOnly && be == "parallel" {
@@ -46,7 +57,8 @@ func main() {
 		start := time.Now()
 		if err := f.Run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", f.ID, err)
-			os.Exit(1)
+			failed++
+			return
 		}
 		fmt.Printf("-- figure %s done in %.1fs (wall)\n\n", f.ID, time.Since(start).Seconds())
 	}
@@ -58,9 +70,13 @@ func main() {
 			os.Exit(2)
 		}
 		run(f)
-		return
+	} else {
+		for _, f := range figures.All() {
+			run(f)
+		}
 	}
-	for _, f := range figures.All() {
-		run(f)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d figure(s) failed\n", failed)
+		os.Exit(1)
 	}
 }

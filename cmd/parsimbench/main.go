@@ -1,7 +1,17 @@
-// parsimbench measures the parallel (parsim) backend against the
-// sequential engine on a large Stencil2D run and emits BENCH_parsim.json.
-// The two backends are required to produce identical results — the
-// benchmark refuses to report a speedup on diverging runs.
+// parsimbench measures the event core. Three modes:
+//
+//   - default: the parallel (parsim) backend against the sequential engine
+//     on a large Stencil2D run, emitting BENCH_parsim.json. The two
+//     backends are required to produce identical results — the benchmark
+//     refuses to report a speedup on diverging runs.
+//   - -micro: LeanMD and PDES microbenchmarks on the calendar-queue engine
+//     against the reference binary-heap engine, in one process. The ratio
+//     is host-independent in the sense that both engines run the same
+//     event stream on the same host back to back.
+//   - -scale: Stencil2D at 1k/8k/64k virtual PEs, recording events/sec,
+//     bytes/event, allocs/event, steady-state allocs/event, and live heap,
+//     emitting BENCH_scale.json (the budget file scripts/bench.sh gates
+//     against).
 //
 // Wall-clock speedup depends on the host: with fewer physical CPUs than
 // workers the parallel backend degrades gracefully toward sequential
@@ -14,6 +24,9 @@
 //
 //	go run ./cmd/parsimbench -out BENCH_parsim.json   # full benchmark
 //	go run ./cmd/parsimbench -smoke                   # small config for CI
+//	go run ./cmd/parsimbench -micro                   # calendar vs heap engines
+//	go run ./cmd/parsimbench -scale -out BENCH_scale.json
+//	go run ./cmd/parsimbench -gate BENCH_scale.json   # fail on >20% regression
 package main
 
 import (
@@ -22,12 +35,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
 	"charmgo/internal/apps/stencil"
 	"charmgo/internal/charm"
 	"charmgo/internal/machine"
 	"charmgo/internal/parsim"
+	"charmgo/internal/pup"
 )
 
 type result struct {
@@ -56,18 +73,81 @@ func main() {
 	smoke := flag.Bool("smoke", false, "small configuration for CI: validates the harness, not the speedup")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
 	workers := flag.Int("workers", 8, "parsim worker goroutines (and GOMAXPROCS) for the parallel run")
+	micro := flag.Bool("micro", false, "run the LeanMD/PDES calendar-vs-heap engine microbenchmarks")
+	scale := flag.Bool("scale", false, "run the 1k/8k/64k virtual-PE scale benchmark")
+	gate := flag.String("gate", "", "re-run the scale benchmark and fail on >20% regression against this budget file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}
+	}()
+
+	switch {
+	case *gate != "":
+		runGate(*gate)
+	case *micro:
+		emit(runMicro(*smoke), *out)
+	case *scale:
+		emit(runScale(*smoke), *out)
+	default:
+		emit(runParsim(*smoke, *workers), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parsimbench:", err)
+	os.Exit(1)
+}
+
+func emit(v any, out string) {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// ---- default mode: parsim vs sequential ----
+
+func runParsim(smoke bool, workers int) result {
 	pes, grid, chares, iters := 256, 4096, 16, 20
-	if *smoke {
+	if smoke {
 		pes, grid, chares, iters = 16, 192, 4, 6
 	}
 	cfg := stencil.Config{GridN: grid, Chares: chares, Iters: iters}
 
-	runtime.GOMAXPROCS(*workers)
+	runtime.GOMAXPROCS(workers)
 
 	seqNs, seqSummary, _ := run(pes, "sequential", 0, cfg)
-	parNs, parSummary, eng := run(pes, "parallel", *workers, cfg)
+	parNs, parSummary, eng := run(pes, "parallel", workers, cfg)
 	st := eng.(*parsim.Engine).EngineStats()
 
 	r := result{
@@ -78,8 +158,8 @@ func main() {
 		Chares:           chares,
 		Iters:            iters,
 		HostCPUs:         runtime.NumCPU(),
-		GOMAXPROCS:       *workers,
-		Workers:          *workers,
+		GOMAXPROCS:       workers,
+		Workers:          workers,
 		SequentialNsOp:   seqNs,
 		ParallelNsOp:     parNs,
 		Speedup:          float64(seqNs) / float64(parNs),
@@ -95,20 +175,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parsimbench: backend divergence!\n  sequential: %s\n  parallel:   %s\n", seqSummary, parSummary)
 		os.Exit(1)
 	}
-
-	enc, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "parsimbench:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	os.Stdout.Write(enc)
-	if *out != "" {
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "parsimbench:", err)
-			os.Exit(1)
-		}
-	}
+	return r
 }
 
 // run executes one Stencil2D simulation and returns wall-clock ns, a
@@ -127,4 +194,292 @@ func run(pes int, backend string, workers int, cfg stencil.Config) (int64, strin
 	ns := time.Since(start).Nanoseconds()
 	summary := fmt.Sprintf("events=%d residuals=%v done=%v", rt.Engine().Executed(), res.Residuals, res.IterDone)
 	return ns, summary, rt.Engine()
+}
+
+// ---- -micro mode: calendar-queue engine vs reference heap engine ----
+
+type microResult struct {
+	Benchmark          string  `json:"benchmark"`
+	VirtualPEs         int     `json:"virtual_pes"`
+	Events             uint64  `json:"events"`
+	CalendarNs         int64   `json:"calendar_ns"`
+	HeapNs             int64   `json:"heap_ns"`
+	CalendarEventsSec  float64 `json:"calendar_events_per_sec"`
+	HeapEventsSec      float64 `json:"heap_events_per_sec"`
+	CalendarOverHeap   float64 `json:"calendar_over_heap"`
+	ResultsIdentical   bool    `json:"results_identical"`
+	CalendarAllocEvent float64 `json:"calendar_allocs_per_event"`
+	HeapAllocEvent     float64 `json:"heap_allocs_per_event"`
+}
+
+type microRun struct {
+	ns     int64
+	events uint64
+	allocs uint64
+	digest string
+}
+
+func microApp(backend string, app func(rt *charm.Runtime) string, pes int) microRun {
+	mc := machine.Testbed(pes)
+	mc.Backend = backend
+	rt := charm.New(machine.New(mc))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	digest := app(rt)
+	ns := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return microRun{
+		ns:     ns,
+		events: rt.Engine().Executed(),
+		allocs: after.Mallocs - before.Mallocs,
+		digest: digest,
+	}
+}
+
+func micro(name string, pes int, app func(rt *charm.Runtime) string) microResult {
+	// Warm the process-wide pools so the calendar run (first) is not
+	// charged for populating them while the heap run reuses them.
+	microApp("sequential", app, pes)
+	cal := microApp("sequential", app, pes)
+	hp := microApp("heap", app, pes)
+	r := microResult{
+		Benchmark:          name,
+		VirtualPEs:         pes,
+		Events:             cal.events,
+		CalendarNs:         cal.ns,
+		HeapNs:             hp.ns,
+		CalendarEventsSec:  float64(cal.events) / (float64(cal.ns) / 1e9),
+		HeapEventsSec:      float64(hp.events) / (float64(hp.ns) / 1e9),
+		CalendarOverHeap:   float64(hp.ns) / float64(cal.ns),
+		ResultsIdentical:   cal.digest == hp.digest && cal.events == hp.events,
+		CalendarAllocEvent: float64(cal.allocs) / float64(cal.events),
+		HeapAllocEvent:     float64(hp.allocs) / float64(hp.events),
+	}
+	if !r.ResultsIdentical {
+		fmt.Fprintf(os.Stderr, "parsimbench: %s: calendar/heap divergence!\n  calendar: events=%d %s\n  heap:     events=%d %s\n",
+			name, cal.events, cal.digest, hp.events, hp.digest)
+		os.Exit(1)
+	}
+	return r
+}
+
+func runMicro(smoke bool) []microResult {
+	lmdPes, lmdCells, lmdSteps := 64, 6, 8
+	pdesPes, pdesLPs, pdesEPL := 64, 64*64, 8
+	if smoke {
+		lmdPes, lmdCells, lmdSteps = 16, 4, 3
+		pdesPes, pdesLPs, pdesEPL = 16, 16*16, 4
+	}
+	return []microResult{
+		micro("LeanMD/steps", lmdPes, func(rt *charm.Runtime) string {
+			res, err := leanmd.Run(rt, leanmd.Config{
+				CellsX: lmdCells, CellsY: lmdCells, CellsZ: lmdCells,
+				AtomsPerCell: 27, Steps: lmdSteps, Seed: 5, MigratePeriod: 100,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			return fmt.Sprintf("%v", res.StepTimes())
+		}),
+		micro("PDES/phold", pdesPes, func(rt *charm.Runtime) string {
+			res, err := pdes.Run(rt, pdes.Config{
+				LPs: pdesLPs, EventsPerLP: pdesEPL,
+				TargetEvents: pdesLPs * pdesEPL * 2, Seed: 11,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			return fmt.Sprintf("%d %v", res.Committed, res.Elapsed)
+		}),
+	}
+}
+
+// ---- -scale mode: virtual-PE scaling with memory accounting ----
+
+type scalePoint struct {
+	VirtualPEs  int     `json:"virtual_pes"`
+	Chares      int     `json:"chares"`
+	GridN       int     `json:"grid_n"`
+	Iters       int     `json:"iters"`
+	Events      uint64  `json:"events"`
+	EventsSec   float64 `json:"events_per_sec"`
+	BytesEvent  float64 `json:"bytes_per_event"`
+	AllocsEvent float64 `json:"allocs_per_event"`
+	// SteadyAllocsEvent isolates the per-event steady state (send +
+	// execute) from setup: allocations between an N-iteration and a
+	// 3N-iteration run of the same configuration, divided by the extra
+	// events.
+	SteadyAllocsEvent float64 `json:"steady_allocs_per_event"`
+	LiveHeapMB        float64 `json:"live_heap_mb"`
+}
+
+type scaleReport struct {
+	Benchmark string       `json:"benchmark"`
+	HostCPUs  int          `json:"host_cpus"`
+	Points    []scalePoint `json:"points"`
+	// RuntimeAllocsEvent is allocations per engine event on a nil-payload
+	// element ping — the pure runtime send/execute path with no application
+	// payload. The budget is ≤2: one Ctx and one commit closure per
+	// delivery, amortized over the delivery's events.
+	RuntimeAllocsEvent float64 `json:"runtime_allocs_per_event"`
+}
+
+func scaleRun(pes, chares, grid, iters int) (ns int64, events, allocs, bytes uint64, liveMB float64) {
+	mc := machine.Testbed(pes)
+	rt := charm.New(machine.New(mc))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := stencil.Run(rt, stencil.Config{GridN: grid, Chares: chares, Iters: iters}); err != nil {
+		fatal(err)
+	}
+	ns = time.Since(start).Nanoseconds()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return ns, rt.Engine().Executed(),
+		after.Mallocs - before.Mallocs,
+		after.TotalAlloc - before.TotalAlloc,
+		float64(after.HeapAlloc) / (1 << 20)
+}
+
+// pingObj is a two-element ping chare: each delivery sends one nil-payload
+// message to the peer element until Left reaches zero.
+type pingObj struct {
+	Peer int
+	Left int
+}
+
+func (p *pingObj) Pup(pp *pup.Pup) {
+	pp.Int(&p.Peer)
+	pp.Int(&p.Left)
+}
+
+func runtimePingAllocs() float64 {
+	rt := charm.New(machine.New(machine.Testbed(2)))
+	var arr *charm.Array
+	handlers := []charm.Handler{
+		func(obj charm.Chare, ctx *charm.Ctx, msg any) {
+			o := obj.(*pingObj)
+			o.Left--
+			if o.Left <= 0 {
+				ctx.Exit()
+				return
+			}
+			ctx.Send(arr, charm.Idx1(o.Peer), 0, nil)
+		},
+	}
+	arr = rt.DeclareArray("ping", func() charm.Chare { return &pingObj{} },
+		handlers, charm.ArrayOpts{})
+	const rounds = 100000
+	arr.InsertOn(charm.Idx1(0), &pingObj{Peer: 1, Left: rounds}, 0)
+	arr.InsertOn(charm.Idx1(1), &pingObj{Peer: 0, Left: rounds}, 1)
+	arr.Broadcast(0, nil)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rt.Run()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(rt.Engine().Executed())
+}
+
+// runGate re-runs the full scale configurations and compares each point's
+// memory metrics against the committed budget file. Allocation counts,
+// bytes, and live heap are properties of the code (fixed Go version), not
+// the host, so they gate hard at +20%; events/sec depends on the machine
+// running the check and only warns.
+func runGate(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var budget scaleReport
+	if err := json.Unmarshal(data, &budget); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	cur := runScale(false)
+
+	const tol = 1.2
+	failed := false
+	check := func(label string, got, want float64) {
+		// Small absolute slack keeps near-zero budgets (runtime allocs
+		// ~0.001/event) from failing on measurement noise.
+		if got > want*tol+0.05 {
+			fmt.Fprintf(os.Stderr, "parsimbench: REGRESSION %s: %.4g exceeds budget %.4g by >20%%\n", label, got, want)
+			failed = true
+		}
+	}
+	byPEs := map[int]scalePoint{}
+	for _, p := range budget.Points {
+		byPEs[p.VirtualPEs] = p
+	}
+	for _, p := range cur.Points {
+		b, ok := byPEs[p.VirtualPEs]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parsimbench: no budget for %d virtual PEs in %s; regenerate with -scale -out %s\n", p.VirtualPEs, path, path)
+			failed = true
+			continue
+		}
+		if b.GridN != p.GridN || b.Iters != p.Iters || b.Chares != p.Chares {
+			fmt.Fprintf(os.Stderr, "parsimbench: budget config for %d PEs is stale (grid/chares/iters changed); regenerate with -scale -out %s\n", p.VirtualPEs, path)
+			failed = true
+			continue
+		}
+		pre := fmt.Sprintf("%d PEs ", p.VirtualPEs)
+		check(pre+"allocs/event", p.AllocsEvent, b.AllocsEvent)
+		check(pre+"steady allocs/event", p.SteadyAllocsEvent, b.SteadyAllocsEvent)
+		check(pre+"bytes/event", p.BytesEvent, b.BytesEvent)
+		check(pre+"live heap MB", p.LiveHeapMB, b.LiveHeapMB)
+		if p.EventsSec < b.EventsSec/tol {
+			fmt.Fprintf(os.Stderr, "parsimbench: note: %sevents/sec %.0f below budget %.0f (host-dependent, not gating)\n", pre, p.EventsSec, b.EventsSec)
+		}
+	}
+	check("runtime allocs/event", cur.RuntimeAllocsEvent, budget.RuntimeAllocsEvent)
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("parsimbench: scale metrics within 20%% of %s budgets (%d points)\n", path, len(cur.Points))
+}
+
+func runScale(smoke bool) scaleReport {
+	type cfg struct{ pes, chares, grid, iters int }
+	var cfgs []cfg
+	if smoke {
+		cfgs = []cfg{
+			{1024, 64, 512, 4},
+			{8192, 128, 512, 2},
+		}
+	} else {
+		cfgs = []cfg{
+			{1024, 64, 1024, 8},
+			{8192, 128, 1024, 4},
+			{65536, 256, 1024, 2},
+		}
+	}
+	rep := scaleReport{
+		Benchmark:          "Stencil2D/scale",
+		HostCPUs:           runtime.NumCPU(),
+		RuntimeAllocsEvent: runtimePingAllocs(),
+	}
+	for _, c := range cfgs {
+		// Warm pools (and the allocator) with a short run of the same shape.
+		scaleRun(c.pes, c.chares, c.grid, c.iters)
+		ns, ev, allocs, bytes, live := scaleRun(c.pes, c.chares, c.grid, c.iters)
+		_, ev3, allocs3, _, _ := scaleRun(c.pes, c.chares, c.grid, 3*c.iters)
+		rep.Points = append(rep.Points, scalePoint{
+			VirtualPEs:        c.pes,
+			Chares:            c.chares * c.chares,
+			GridN:             c.grid,
+			Iters:             c.iters,
+			Events:            ev,
+			EventsSec:         float64(ev) / (float64(ns) / 1e9),
+			BytesEvent:        float64(bytes) / float64(ev),
+			AllocsEvent:       float64(allocs) / float64(ev),
+			SteadyAllocsEvent: float64(allocs3-allocs) / float64(ev3-ev),
+			LiveHeapMB:        live,
+		})
+	}
+	return rep
 }

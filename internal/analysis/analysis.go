@@ -1,12 +1,17 @@
 // Package analysis implements charmvet, a vet-style static-analysis suite
 // that enforces the invariants the runtime's determinism and migratability
-// guarantees rest on. Four analyzers cover the classic bug classes of a
+// guarantees rest on. Five analyzers cover the classic bug classes of a
 // migratable-objects runtime built on a deterministic DES core:
 //
 //   - detmap: no map-order-dependent iteration in event-producing packages
+//
 //   - walltime: no wall clock or global math/rand in simulation code
+//
 //   - pupcheck: every field of a chare struct is covered by its Pup method
+//
 //   - nospawn: no goroutines or selects inside DES-driven packages
+//
+//   - poolcheck: no use of a pooled object after it is released to its pool
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types); imports are
 // resolved from compiler export data via `go list -export`. It runs as a
@@ -93,6 +98,10 @@ const (
 	// WaiverPupSkip marks a struct field deliberately absent from the
 	// type's Pup method (caches, runtime wiring rebuilt after migration).
 	WaiverPupSkip = "pup:skip"
+	// WaiverPooled marks a deliberate use of a pooled object after its
+	// release call (for example re-releasing under a different name, or a
+	// release helper that the caller knows is a no-op on this path).
+	WaiverPooled = "charmvet:pooled"
 )
 
 // Waived reports whether a directive comment covers the line of pos: on
@@ -120,7 +129,7 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim, WaiverPupSkip} {
+				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim, WaiverPupSkip, WaiverPooled} {
 					if text == name || strings.HasPrefix(text, name+" ") {
 						pos := fset.Position(c.Pos())
 						// Waive the directive's own line and the next one,
@@ -152,8 +161,16 @@ type Suite struct {
 // machine); pupcheck guards every package that defines a Pup method.
 func DefaultSuite() *Suite {
 	return &Suite{
-		Analyzers: []*Analyzer{DetMap, WallTime, PupCheck, NoSpawn},
+		Analyzers: []*Analyzer{DetMap, WallTime, PupCheck, NoSpawn, PoolCheck},
 		Critical: map[string][]string{
+			PoolCheck.Name: {
+				"charmgo/internal/des",
+				"charmgo/internal/parsim",
+				"charmgo/internal/charm",
+				"charmgo/internal/pup",
+				"charmgo/internal/tram",
+				"charmgo/internal/ckpt",
+			},
 			DetMap.Name: {
 				"charmgo/internal/des",
 				"charmgo/internal/parsim",

@@ -1,0 +1,101 @@
+// Package poolcheck is a charmvet test fixture. Each `// want` comment
+// marks an expected poolcheck finding on its line; the package is excluded
+// from the real suite and exists only for the analyzer unit tests.
+package poolcheck
+
+import "sync"
+
+type msg struct {
+	payload any
+	seq     uint64
+}
+
+var pool = sync.Pool{New: func() any { return new(msg) }}
+
+func getMsg() *msg { return pool.Get().(*msg) }
+
+func putMsg(m *msg) {
+	*m = msg{}
+	pool.Put(m)
+}
+
+// UseAfterPut reads a message after releasing it: the pool may already
+// have handed it to another acquire.
+func UseAfterPut() uint64 {
+	m := getMsg()
+	m.seq = 7
+	putMsg(m)
+	return m.seq // want `used after being released`
+}
+
+// UseAfterPoolPut releases through sync.Pool.Put directly.
+func UseAfterPoolPut() any {
+	m := getMsg()
+	pool.Put(m)
+	return m.payload // want `used after being released`
+}
+
+// WriteAfterPut corrupts whatever execution holds the recycled object.
+func WriteAfterPut() {
+	m := getMsg()
+	putMsg(m)
+	m.payload = "stale" // want `used after being released`
+}
+
+// RetainedInClosure captures the released message in a function that runs
+// later, which is the long-lived form of the same bug.
+func RetainedInClosure() func() uint64 {
+	m := getMsg()
+	putMsg(m)
+	return func() uint64 { return m.seq } // want `used after being released`
+}
+
+// Reassigned rebinds the variable to a fresh acquire after the release:
+// the new object is live, so no finding.
+func Reassigned() uint64 {
+	m := getMsg()
+	putMsg(m)
+	m = getMsg()
+	defer putMsg(m)
+	return m.seq
+}
+
+// DeferredPut releases at function exit; uses before then are fine.
+func DeferredPut() uint64 {
+	m := getMsg()
+	defer putMsg(m)
+	m.seq = 3
+	return m.seq
+}
+
+// BranchRelease releases inside an if body; statements after the branch in
+// the outer block are not flagged (the analyzer is per-block on purpose —
+// the release may not have run).
+func BranchRelease(drop bool) uint64 {
+	m := getMsg()
+	if drop {
+		putMsg(m)
+		return 0
+	}
+	s := m.seq
+	putMsg(m)
+	return s
+}
+
+// Waived documents a deliberate post-release read.
+func Waived() uint64 {
+	m := getMsg()
+	putMsg(m)
+	//charmvet:pooled
+	return m.seq
+}
+
+// ValueRelease releases a non-pointer: it cannot alias pool storage, so
+// later use is fine.
+func ValueRelease() int {
+	n := 4
+	freeSlot(n)
+	return n
+}
+
+func freeSlot(int) {}

@@ -104,6 +104,10 @@ func TestPupCheck(t *testing.T) {
 	checkFixture(t, analysis.PupCheck, "charmgo/internal/analysis/fixtures/pupcheck")
 }
 
+func TestPoolCheck(t *testing.T) {
+	checkFixture(t, analysis.PoolCheck, "charmgo/internal/analysis/fixtures/poolcheck")
+}
+
 func TestNoSpawn(t *testing.T) {
 	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/nospawn")
 }

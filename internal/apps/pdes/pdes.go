@@ -15,7 +15,6 @@
 package pdes
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -97,19 +96,53 @@ const (
 	epReportMin
 )
 
-// tsHeap is a min-heap of event timestamps.
+// tsHeap is a min-heap of event timestamps, maintained inline: push/pop
+// run on float64s directly, so heap maintenance costs no interface boxing
+// per event. The sift algorithm matches container/heap step for step, so
+// the array layout (and hence pupped checkpoint bytes) is unchanged.
 type tsHeap []float64
 
-func (h tsHeap) Len() int           { return len(h) }
-func (h tsHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h tsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *tsHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *tsHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *tsHeap) push(v float64) {
+	s := append(*h, v)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= v {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = v
+}
+
+func (h *tsHeap) pop() float64 {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	v := s[n]
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && s[r] < s[c] {
+				c = r
+			}
+			if s[c] >= v {
+				break
+			}
+			s[i] = s[c]
+			i = c
+		}
+		s[i] = v
+	}
+	return top
 }
 
 // lp is one logical process.
@@ -198,7 +231,7 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 	for i := 0; i < cfg.LPs; i++ {
 		l := &lp{ID: i, RngLo: uint64(rng.Int63()) | 1, app: a}
 		for e := 0; e < cfg.EventsPerLP; e++ {
-			heap.Push(&l.Q, l.expo(cfg.MeanDelay))
+			l.Q.push(l.expo(cfg.MeanDelay))
 		}
 		a.lps.Insert(charm.Idx1(i), l)
 	}
@@ -340,7 +373,7 @@ func (a *App) onExecute(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	var done int64
 	localMax := math.Inf(-1)
 	for len(l.Q) > 0 && l.Q[0] < w {
-		ts := heap.Pop(&l.Q).(float64)
+		ts := l.Q.pop()
 		if ts > localMax {
 			localMax = ts
 		}
@@ -352,7 +385,7 @@ func (a *App) onExecute(obj charm.Chare, ctx *charm.Ctx, msg any) {
 		nts := ts + a.cfg.Lookahead + l.expo(a.cfg.MeanDelay)
 		dst := l.randN(a.cfg.LPs)
 		if dst == l.ID {
-			heap.Push(&l.Q, nts)
+			l.Q.push(nts)
 			continue
 		}
 		if a.tram != nil {
@@ -387,5 +420,5 @@ func (a *App) onEvent(obj charm.Chare, ctx *charm.Ctx, msg any) {
 		return
 	}
 	ctx.Charge(2e-7)
-	heap.Push(&l.Q, ts)
+	l.Q.push(ts)
 }

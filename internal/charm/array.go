@@ -42,6 +42,26 @@ type Array struct {
 	opts     ArrayOpts
 
 	elems map[Index]*element
+
+	// Reduction state (§II-C), a generation ring: redBase is the oldest
+	// generation that may still be open, redOpen[g-redBase] its run (nil
+	// once delivered). Completed head slots advance redBase, so the ring
+	// stays as short as the spread between the slowest and fastest element.
+	redBase uint64
+	redOpen []*redRun
+
+	// rankKeys is the canonical sorted index order backing element.redRank:
+	// contributions land at vals[rank] without sorting. ranksDirty marks the
+	// table stale after an insert or remove; it is rebuilt lazily at the
+	// next reduction that needs it.
+	rankKeys   []Index
+	ranksDirty bool
+
+	// spareVals/spareHave recycle the rank buffers of the last completed
+	// generation into the next one (cleared at stash time), so steady-state
+	// per-step reductions over large arrays allocate nothing.
+	spareVals []any
+	spareHave []bool
 }
 
 // DeclareArray registers a chare array type: a factory producing empty
@@ -52,13 +72,14 @@ func (rt *Runtime) DeclareArray(name string, factory func() Chare, handlers []Ha
 		panic("charm: duplicate array name " + name)
 	}
 	a := &Array{
-		rt:       rt,
-		id:       len(rt.arrays),
-		name:     name,
-		factory:  factory,
-		handlers: handlers,
-		opts:     opts,
-		elems:    map[Index]*element{},
+		rt:         rt,
+		id:         len(rt.arrays),
+		name:       name,
+		factory:    factory,
+		handlers:   handlers,
+		opts:       opts,
+		elems:      map[Index]*element{},
+		ranksDirty: true,
 	}
 	rt.arrays = append(rt.arrays, a)
 	rt.arrayNames[name] = a
@@ -172,16 +193,23 @@ func (a *Array) Remove(idx Index) {
 	}
 }
 
-// insertElement registers a new element on pe.
+// insertElement registers a new element on pe. Commit/global context: it
+// mutates the global location tables.
 func (rt *Runtime) insertElement(a *Array, idx Index, obj Chare, pe int, dynamic bool) {
 	key := elemKey{array: a.id, idx: idx}
-	if _, dup := rt.owner[key]; dup {
+	eid := rt.eidOf(key)
+	if rt.elemTab[eid] != nil {
 		panic("charm: duplicate insert of " + key.String())
 	}
-	el := &element{key: key, obj: obj, pe: pe}
+	a.populationChanging()
+	el := &element{key: key, obj: obj, pe: pe, eid: eid, redRank: -1}
 	a.elems[idx] = el
-	rt.owner[key] = pe
+	rt.elemTab[eid] = el
+	rt.owner[eid] = int32(pe)
 	p := rt.pes[pe]
+	if p.elems == nil {
+		p.elems = map[elemKey]*element{}
+	}
 	p.elems[key] = el
 	p.insertSorted(el)
 	p.byArr[a.id]++
@@ -189,8 +217,8 @@ func (rt *Runtime) insertElement(a *Array, idx Index, obj Chare, pe int, dynamic
 		rt.lbTotal++
 	}
 	// Flush messages buffered at home before the element existed.
-	if buffered, ok := rt.pending[key]; ok {
-		delete(rt.pending, key)
+	if buffered, ok := rt.pending[eid]; ok {
+		delete(rt.pending, eid)
 		home := rt.homePE(key)
 		for _, m := range buffered {
 			rt.transmit(m, home, pe, rt.eng.Now())
@@ -199,11 +227,16 @@ func (rt *Runtime) insertElement(a *Array, idx Index, obj Chare, pe int, dynamic
 	_ = dynamic
 }
 
-// removeElement destroys an element.
+// removeElement destroys an element. Its eid stays minted (stable for the
+// key's lifetime), but the table slots empty so the location manager buffers
+// messages for it again.
 func (rt *Runtime) removeElement(el *element) {
 	a := rt.arrays[el.key.array]
+	a.populationChanging()
 	delete(a.elems, el.key.idx)
-	delete(rt.owner, el.key)
+	rt.elemTab[el.eid] = nil
+	rt.owner[el.eid] = -1
+	el.dead = true
 	p := rt.pes[el.pe]
 	delete(p.elems, el.key)
 	p.removeSorted(el)
@@ -215,6 +248,29 @@ func (rt *Runtime) removeElement(el *element) {
 		}
 		rt.maybeStartLB()
 	}
+}
+
+// populationChanging runs before any insert or remove: open ranked
+// reduction runs are demoted to spill mode (their placed values keyed back
+// to indices through the still-valid rank table) and the rank table is
+// marked stale.
+func (a *Array) populationChanging() {
+	for _, run := range a.redOpen {
+		if run != nil && run.ranked {
+			run.demote(a)
+		}
+	}
+	a.ranksDirty = true
+}
+
+// rebuildRanks recomputes the canonical rank of every live element. Called
+// lazily from commit context when a reduction needs ranks.
+func (a *Array) rebuildRanks() {
+	a.rankKeys = a.Keys()
+	for r, idx := range a.rankKeys {
+		a.elems[idx].redRank = int32(r)
+	}
+	a.ranksDirty = false
 }
 
 // moveElement migrates el to toPE, charging PUP serialization and transfer
@@ -240,9 +296,13 @@ func (rt *Runtime) moveElement(el *element, toPE int, charge bool) {
 	}
 	// Re-home the state. In a real machine the object is packed and
 	// unpacked; we exercise the same PUP path to keep Pup methods honest.
-	data := pup.Pack(el.obj)
+	// The pack buffer is pooled: at 256k-element rebalances the per-move
+	// allocation would otherwise dominate the LB step's heap churn.
+	data := pup.PackTo(pup.GetBuffer(), el.obj)
 	fresh := rt.arrays[el.key.array].NewElement()
-	if err := pup.Unpack(data, fresh); err != nil {
+	err := pup.Unpack(data, fresh)
+	pup.PutBuffer(data)
+	if err != nil {
 		panic(fmt.Sprintf("charm: migration pup of %v failed: %v", el.key, err))
 	}
 	el.obj = fresh
@@ -254,13 +314,51 @@ func (rt *Runtime) moveElement(el *element, toPE int, charge bool) {
 
 	el.pe = toPE
 	dst := rt.pes[toPE]
+	if dst.elems == nil {
+		dst.elems = map[elemKey]*element{}
+	}
 	dst.elems[el.key] = el
 	dst.insertSorted(el)
 	dst.byArr[el.key.array]++
 
-	rt.owner[el.key] = toPE // home PE updated during migration (§II-D)
+	rt.owner[el.eid] = int32(toPE) // home PE updated during migration (§II-D)
 	rt.Stats.Migrations++
 	if rt.hooks != nil {
 		rt.hooks.Migration(rt.eng.Now(), rt.arrays[el.key.array].name, el.key.idx, from, toPE)
 	}
+}
+
+// CompactElementTable renumbers the location tables densely over the live
+// elements, dropping slots accumulated by destroyed keys (AMR coarsening,
+// shrink). It runs only at a quiescent cut — no element message in flight,
+// queued, or buffered — because renumbering invalidates every eid stamped
+// on a message or cached hint; the location caches are dropped and the
+// table epoch bumped so late-landing hints and stale snapshots cannot
+// resurrect the old numbering. Global-event context. Returns false (doing
+// nothing) when the quiescence precondition does not hold.
+func (rt *Runtime) CompactElementTable() bool {
+	if rt.inflight != 0 || len(rt.pending) != 0 {
+		return false
+	}
+	live := 0
+	for _, a := range rt.arrays {
+		live += len(a.elems)
+	}
+	rt.keyEID = make(map[elemKey]int32, live)
+	rt.elemTab = make([]*element, 0, live)
+	rt.owner = make([]int32, 0, live)
+	for _, a := range rt.arrays {
+		for _, idx := range a.Keys() {
+			el := a.elems[idx]
+			el.eid = int32(len(rt.elemTab))
+			rt.keyEID[el.key] = el.eid
+			rt.elemTab = append(rt.elemTab, el)
+			rt.owner = append(rt.owner, int32(el.pe))
+		}
+	}
+	for _, p := range rt.pes {
+		p.locCache = nil
+	}
+	rt.tableEpoch++
+	return true
 }

@@ -1,6 +1,11 @@
 package charm
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"charmgo/internal/des"
+)
 
 // Callback names a continuation for collective operations (reductions,
 // quiescence detection, checkpoints) — the CkCallback of the model.
@@ -118,36 +123,37 @@ func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
 			ctx.SendPE(child, rt.bcastPEH, bm, &SendOpts{Bytes: bm.size, Prio: prioControl})
 		}
 	}
-	// Local deliveries: one scheduler message per element.
-	arr := rt.arrays[bm.arr]
+	// Local deliveries: one scheduler message per element, pooled and
+	// pre-stamped with the destination (the element cannot move between
+	// this enqueue and its execution on the same PE's queue).
 	pe := rt.pes[p]
 	for _, el := range pe.sorted {
 		if el.key.array != bm.arr {
 			continue
 		}
-		m := &message{
-			dest:    el.key,
-			destPE:  -1,
-			ep:      bm.ep,
-			payload: bm.payload,
-			prio:    bm.prio,
-			size:    bm.size,
-			srcPE:   p,
+		m := getMsg()
+		m.dest = el.key
+		m.destPE = -1
+		m.destEID = el.eid
+		m.el = el
+		m.ep = bm.ep
+		m.payload = bm.payload
+		m.prio = bm.prio
+		m.size = bm.size
+		m.srcPE = p
+		if ctx.fx == nil {
+			rt.inflight++
+			rt.enqueue(m, p)
+			continue
 		}
-		ctx.emit(func() {
+		ctx.fx.fns = append(ctx.fx.fns, func() {
 			rt.inflight++
 			rt.enqueue(m, p)
 		})
 	}
-	_ = arr
 }
 
 // ---- reductions ----
-
-type redKey struct {
-	arr int
-	gen uint64
-}
 
 // redRun tracks one reduction generation. Contributions are counted
 // globally against the element population at the reduction's start, which
@@ -156,22 +162,91 @@ type redKey struct {
 // tree's cost is modeled as a combining-tree latency charged between the
 // final contribution and the callback delivery.
 //
-// Contributions are buffered and merged in canonical element-index order,
-// never arrival order: floating-point merges are order-sensitive, and a
-// rollback replay is a time-shifted re-execution whose re-rounded arrival
-// times may interleave contributions differently. Index-ordered merging
-// keeps the result bit-identical regardless.
+// Contributions are merged in canonical element-index order, never arrival
+// order: floating-point merges are order-sensitive, and a rollback replay
+// is a time-shifted re-execution whose re-rounded arrival times may
+// interleave contributions differently. A run starts in ranked mode —
+// values land at vals[element rank] and the fold walks vals left to right,
+// which IS canonical index order, with no sort. If the array's population
+// changes while the run is open, the run demotes to spill mode (the old
+// append-and-sort scheme), whose sorted fold is bit-identical.
 type redRun struct {
-	key      redKey
 	expected int
-	contribs []redContrib
+	count    int
 	reducer  Reducer
 	cb       Callback
+
+	ranked bool
+	vals   []any  // by element rank (ranked mode)
+	have   []bool // rank slots filled (for demotion)
+
+	spill []redContrib // spill mode: sorted by index at completion
 }
 
 type redContrib struct {
 	idx Index
 	val any
+}
+
+// demote converts a ranked run to spill mode, keying the placed values back
+// to indices through the array's rank table — which must still describe the
+// population the run was opened over (callers demote before mutating it).
+func (run *redRun) demote(a *Array) {
+	for r, ok := range run.have {
+		if ok {
+			run.spill = append(run.spill, redContrib{idx: a.rankKeys[r], val: run.vals[r]})
+		}
+	}
+	run.ranked = false
+	run.vals, run.have = nil, nil
+}
+
+// redRunFor locates generation gen's run in the array's ring, opening it on
+// first contribution. Commit context.
+func (a *Array) redRunFor(gen uint64, reducer Reducer, cb Callback) *redRun {
+	if gen < a.redBase {
+		panic(fmt.Sprintf("charm: contribution to completed reduction generation %d of %s", gen, a.name))
+	}
+	slot := int(gen - a.redBase)
+	for slot >= len(a.redOpen) {
+		a.redOpen = append(a.redOpen, nil)
+	}
+	run := a.redOpen[slot]
+	if run == nil {
+		expected := a.Len()
+		if expected == 0 {
+			panic("charm: reduction over empty array")
+		}
+		if a.ranksDirty {
+			a.rebuildRanks()
+		}
+		run = &redRun{expected: expected, reducer: reducer, cb: cb, ranked: true}
+		if cap(a.spareVals) >= expected {
+			// Recycled from the previous completed generation, already
+			// cleared (see closeRun).
+			run.vals, run.have = a.spareVals[:expected], a.spareHave[:expected]
+			a.spareVals, a.spareHave = nil, nil
+		} else {
+			run.vals, run.have = make([]any, expected), make([]bool, expected)
+		}
+		a.redOpen[slot] = run
+	}
+	return run
+}
+
+// closeRun retires a delivered generation, advancing the ring's base past
+// completed head slots and recycling the rank buffers.
+func (a *Array) closeRun(gen uint64, run *redRun) {
+	a.redOpen[gen-a.redBase] = nil
+	for len(a.redOpen) > 0 && a.redOpen[0] == nil {
+		a.redOpen = a.redOpen[1:]
+		a.redBase++
+	}
+	if run.vals != nil {
+		clear(run.vals)
+		clear(run.have)
+		a.spareVals, a.spareHave = run.vals[:0], run.have[:0]
+	}
 }
 
 // Contribute joins the element's next reduction over its array with the
@@ -188,43 +263,55 @@ func (c *Ctx) Contribute(value any, reducer Reducer, cb Callback) {
 	rt := c.rt
 	gen := el.redGen
 	el.redGen++
-	key := redKey{arr: el.key.array, gen: gen}
-	elIdx := el.key.idx
 	c.Charge(2e-7) // contribution bookkeeping
 	at := c.Now()
-	// The merge touches the runtime's global reduction table, so it is a
-	// deferred effect; the contribution's timestamp is captured now, at
-	// the virtual moment the element contributed.
-	c.emit(func() {
-		run, ok := rt.reductions[key]
-		if !ok {
-			expected := rt.arrays[key.arr].Len()
-			if expected == 0 {
-				panic("charm: reduction over empty array")
-			}
-			run = &redRun{key: key, expected: expected, reducer: reducer, cb: cb}
-			rt.reductions[key] = run
+	// The merge touches the array's reduction ring — global state — so in
+	// buffered mode it is a deferred effect; the contribution's timestamp
+	// is captured now, at the virtual moment the element contributed.
+	if c.fx == nil {
+		rt.contribute(el, gen, value, reducer, cb, at)
+		return
+	}
+	c.fx.fns = append(c.fx.fns, func() { rt.contribute(el, gen, value, reducer, cb, at) })
+}
+
+// contribute is the commit half of Contribute.
+func (rt *Runtime) contribute(el *element, gen uint64, value any, reducer Reducer, cb Callback, at des.Time) {
+	a := rt.arrays[el.key.array]
+	run := a.redRunFor(gen, reducer, cb)
+	if run.ranked {
+		run.vals[el.redRank] = value
+		run.have[el.redRank] = true
+	} else {
+		run.spill = append(run.spill, redContrib{idx: el.key.idx, val: value})
+	}
+	run.count++
+	if run.count < run.expected {
+		return
+	}
+	// Complete: fold in canonical index order, then deliver the result
+	// after the combining tree's latency.
+	var result any
+	if run.ranked {
+		result = run.vals[0]
+		for _, v := range run.vals[1:] {
+			result = run.reducer.Merge(result, v)
 		}
-		run.contribs = append(run.contribs, redContrib{idx: elIdx, val: value})
-		if len(run.contribs) < run.expected {
-			return
-		}
-		// Complete: fold in canonical index order, then deliver the result
-		// after the combining tree's latency.
-		sort.Slice(run.contribs, func(i, j int) bool {
-			return run.contribs[i].idx.Less(run.contribs[j].idx)
+	} else {
+		sort.Slice(run.spill, func(i, j int) bool {
+			return run.spill[i].idx.Less(run.spill[j].idx)
 		})
-		result := run.contribs[0].val
-		for _, rc := range run.contribs[1:] {
+		result = run.spill[0].val
+		for _, rc := range run.spill[1:] {
 			result = run.reducer.Merge(result, rc.val)
 		}
-		fireCB := run.cb
-		delete(rt.reductions, key)
-		rt.atEpoch(at+rt.barrierLatency(), func() {
-			ctx := rt.newCtx(0, nil)
-			fireCB.fire(ctx, result)
-			rt.finishExec(ctx, nil)
-		})
+	}
+	fireCB := run.cb
+	a.closeRun(gen, run)
+	rt.atEpoch(at+rt.barrierLatency(), func() {
+		ctx := rt.newCtx(0, nil)
+		fireCB.fire(ctx, result)
+		rt.finishExec(ctx, nil)
 	})
 }
 

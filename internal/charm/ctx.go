@@ -42,6 +42,30 @@ func (rt *Runtime) newCtxAt(pe int, el *element, at des.Time) *Ctx {
 	return &Ctx{rt: rt, pe: pe, elem: el, start: at}
 }
 
+// takeCtx returns the PE's recycled delivery context (or a fresh one),
+// initialized for an execution starting at `at`. The spare is strictly
+// shard-local: taken during this PE's phase or commit and released at the
+// end of the delivery commit, under the same commit(i) ≺ phase(i+1)
+// ordering that protects p.q. Contexts are only valid during the handler
+// and its commit, so recycling cannot expose one execution's state to
+// another.
+func (p *peState) takeCtx(rt *Runtime, el *element, at des.Time) *Ctx {
+	ctx := p.ctxSpare
+	if ctx == nil {
+		ctx = &Ctx{}
+	} else {
+		p.ctxSpare = nil
+	}
+	*ctx = Ctx{rt: rt, pe: p.id, elem: el, start: at}
+	return ctx
+}
+
+// releaseCtx recycles a delivery context at the end of its commit.
+func (p *peState) releaseCtx(ctx *Ctx) {
+	*ctx = Ctx{}
+	p.ctxSpare = ctx
+}
+
 // emit runs fn now in immediate mode, or appends it to the effect buffer
 // in buffered mode.
 func (c *Ctx) emit(fn func()) {
@@ -173,16 +197,15 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 	}
 	dst := c.rt.resolve(c.pe, elemKey{array: arr.id, idx: idx})
 	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, dst))
-	m := &message{
-		dest:    elemKey{array: arr.id, idx: idx},
-		destPE:  -1,
-		ep:      ep,
-		payload: payload,
-		prio:    prio,
-		size:    size,
-		srcPE:   c.pe,
-		cause:   c.cause,
-	}
+	m := getMsg()
+	m.dest = elemKey{array: arr.id, idx: idx}
+	m.destPE = -1
+	m.ep = ep
+	m.payload = payload
+	m.prio = prio
+	m.size = size
+	m.srcPE = c.pe
+	m.cause = c.cause
 	if c.elem != nil {
 		c.elem.msgsSent++
 		c.elem.bytesSent += uint64(size)
@@ -194,7 +217,13 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 		}
 	}
 	at := c.Now()
-	c.emit(func() { c.rt.send(m, at) })
+	if c.fx == nil {
+		// Immediate mode: the steady-state send path runs allocation-free
+		// (pooled message, no deferred-effect closure).
+		c.rt.send(m, at)
+		return
+	}
+	c.fx.fns = append(c.fx.fns, func() { c.rt.send(m, at) })
 }
 
 // SendPE invokes a PE-level handler on the destination PE.
@@ -205,17 +234,20 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 		prio = opts.Prio
 	}
 	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, pe))
-	m := &message{
-		destPE:  pe,
-		ep:      EP(h),
-		payload: payload,
-		prio:    prio,
-		size:    size,
-		srcPE:   c.pe,
-		cause:   c.cause,
-	}
+	m := getMsg()
+	m.destPE = pe
+	m.ep = EP(h)
+	m.payload = payload
+	m.prio = prio
+	m.size = size
+	m.srcPE = c.pe
+	m.cause = c.cause
 	at := c.Now()
-	c.emit(func() { c.rt.send(m, at) })
+	if c.fx == nil {
+		c.rt.send(m, at)
+		return
+	}
+	c.fx.fns = append(c.fx.fns, func() { c.rt.send(m, at) })
 }
 
 // LocalInvoke runs an entry method on a local element synchronously within

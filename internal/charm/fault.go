@@ -66,6 +66,7 @@ func (rt *Runtime) CrashPE(pe int) {
 			rt.inflight--
 		}
 		rt.Stats.MsgsDiscarded++
+		putMsg(m)
 	}
 	p.q = nil
 	rt.mach.ResetNIC(pe)
@@ -82,6 +83,7 @@ func (rt *Runtime) discard(m *message) {
 		rt.inflight--
 	}
 	rt.Stats.MsgsDiscarded++
+	putMsg(m)
 	rt.checkQD()
 }
 
@@ -91,6 +93,7 @@ func (rt *Runtime) dropInjected(m *message, dst int, t des.Time) {
 		rt.inflight--
 	}
 	rt.Stats.MsgsDropped++
+	putMsg(m)
 	if rt.hooks != nil {
 		rt.hooks.Fault(t, "drop", dst)
 	}
@@ -104,14 +107,24 @@ func (rt *Runtime) dropInjected(m *message, dst int, t des.Time) {
 // cache contents or its messages route — and therefore arrive — in a
 // different order.
 type LocCacheSnapshot struct {
-	caches []map[elemKey]int
+	caches []map[elemKey]locEnt
+	// tableEpoch records the element-table numbering the cached eids refer
+	// to; restoring across a CompactElementTable would stamp messages with
+	// remapped ids, so Restore refuses it.
+	tableEpoch uint64
 }
 
 // SnapshotLocCaches deep-copies every PE's location cache.
 func (rt *Runtime) SnapshotLocCaches() *LocCacheSnapshot {
-	s := &LocCacheSnapshot{caches: make([]map[elemKey]int, len(rt.pes))}
+	s := &LocCacheSnapshot{
+		caches:     make([]map[elemKey]locEnt, len(rt.pes)),
+		tableEpoch: rt.tableEpoch,
+	}
 	for i, p := range rt.pes {
-		c := make(map[elemKey]int, len(p.locCache))
+		if len(p.locCache) == 0 {
+			continue
+		}
+		c := make(map[elemKey]locEnt, len(p.locCache))
 		for k, v := range p.locCache { //charmvet:ordered (map copy, order-insensitive)
 			c[k] = v
 		}
@@ -123,9 +136,13 @@ func (rt *Runtime) SnapshotLocCaches() *LocCacheSnapshot {
 // RestoreLocCaches replaces every PE's location cache with the snapshot's
 // contents (fresh empty caches when s is nil).
 func (rt *Runtime) RestoreLocCaches(s *LocCacheSnapshot) {
+	if s != nil && s.tableEpoch != rt.tableEpoch {
+		panic("charm: RestoreLocCaches across an element-table compaction")
+	}
 	for i, p := range rt.pes {
-		c := map[elemKey]int{}
-		if s != nil && i < len(s.caches) {
+		var c map[elemKey]locEnt
+		if s != nil && i < len(s.caches) && s.caches[i] != nil {
+			c = make(map[elemKey]locEnt, len(s.caches[i]))
 			for k, v := range s.caches[i] { //charmvet:ordered (map copy, order-insensitive)
 				c[k] = v
 			}
@@ -144,8 +161,16 @@ func (rt *Runtime) RestoreLocCaches(s *LocCacheSnapshot) {
 func (rt *Runtime) RecoverReset() {
 	rt.epoch++
 	rt.inflight = 0
-	rt.pending = map[elemKey][]*message{}
-	rt.reductions = map[redKey]*redRun{}
+	for eid, buffered := range rt.pending { //charmvet:ordered (drain to pool, order-insensitive)
+		for _, m := range buffered {
+			putMsg(m)
+		}
+		delete(rt.pending, eid)
+	}
+	for _, a := range rt.arrays {
+		a.redBase = 0
+		a.redOpen = nil
+	}
 	rt.qdWatch = nil
 	rt.lbArrived = 0
 	rt.lbInProgress = false
@@ -154,13 +179,16 @@ func (rt *Runtime) RecoverReset() {
 	rt.mach.ResetAllNICs()
 	for _, p := range rt.pes {
 		p.dead = false
+		for _, m := range p.q {
+			putMsg(m)
+		}
 		p.q = nil
 		p.pumpAt = -1
 		for _, el := range p.sorted {
 			// The checkpoint was taken at a cut where no element had called
 			// AtSync and all reduction generations were equal; mid-phase
 			// crashes leave both ragged, so reset them uniformly (the
-			// reductions table is empty, making generation reuse safe).
+			// reduction rings are empty, making generation reuse safe).
 			el.atSync = false
 			el.redGen = 0
 			el.load = 0
@@ -188,13 +216,14 @@ func (rt *Runtime) ResumeRestoredElements() {
 				continue
 			}
 			rt.inflight++
-			m := &message{
-				dest:   el.key,
-				destPE: -1,
-				ep:     arr.opts.ResumeEP,
-				srcPE:  p,
-				size:   16,
-			}
+			m := getMsg()
+			m.dest = el.key
+			m.destPE = -1
+			m.destEID = el.eid
+			m.el = el
+			m.ep = arr.opts.ResumeEP
+			m.srcPE = p
+			m.size = 16
 			rt.enqueue(m, p)
 		}
 	}

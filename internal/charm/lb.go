@@ -332,13 +332,14 @@ func (rt *Runtime) runLB() {
 				el.bytesSent = 0
 				el.comm = nil
 				rt.inflight++
-				m := &message{
-					dest:   el.key,
-					destPE: -1,
-					ep:     arr.opts.ResumeEP,
-					srcPE:  p,
-					size:   16,
-				}
+				m := getMsg()
+				m.dest = el.key
+				m.destPE = -1
+				m.destEID = el.eid
+				m.el = el
+				m.ep = arr.opts.ResumeEP
+				m.srcPE = p
+				m.size = 16
 				rt.enqueue(m, p)
 			}
 		}

@@ -29,4 +29,9 @@ func (rt *Runtime) SetActivePEs(n int) {
 	for _, pe := range rt.pes {
 		clear(pe.locCache)
 	}
+	// A reconfiguration is a natural quiescent cut for long-running AMR or
+	// shrink/expand jobs; compact the location tables opportunistically so
+	// eids destroyed before the cut stop occupying slab slots. A no-op when
+	// messages are still in flight.
+	rt.CompactElementTable()
 }

@@ -61,16 +61,17 @@ func (rt *Runtime) mcastHandler(ctx *Ctx, msg any) {
 	p := rt.pes[ctx.pe]
 	for _, idx := range m.idxs {
 		key := elemKey{array: m.arr, idx: idx}
-		em := &message{
-			dest:    key,
-			destPE:  -1,
-			ep:      m.ep,
-			payload: m.payload,
-			prio:    m.prio,
-			size:    m.size,
-			srcPE:   ctx.pe,
-		}
-		if _, ok := p.elems[key]; ok {
+		em := getMsg()
+		em.dest = key
+		em.destPE = -1
+		em.ep = m.ep
+		em.payload = m.payload
+		em.prio = m.prio
+		em.size = m.size
+		em.srcPE = ctx.pe
+		if el, ok := p.elems[key]; ok {
+			em.destEID = el.eid
+			em.el = el
 			rt.enqueue(em, ctx.pe)
 			continue
 		}

@@ -1,11 +1,22 @@
 package charm
 
-import "container/heap"
+import (
+	"sync"
+)
 
 // message is one asynchronous entry-method invocation in flight or queued.
+//
+// Messages are pool-recycled: the runtime owns every *message it mints via
+// getMsg and returns it with putMsg at exactly one terminal point — the end
+// of the delivery commit, a discard/drop, a stale-epoch arrival, or a
+// queue/pending drain during fault recovery. Forwarding paths keep the
+// message alive; nothing outside the runtime may retain one past its
+// handler invocation.
 type message struct {
-	dest    elemKey // element target (when pe < 0 is not used)
-	destPE  int     // PE target for PE-level handlers; -1 for element target
+	dest    elemKey  // element target (when pe < 0 is not used)
+	destPE  int      // PE target for PE-level handlers; -1 for element target
+	destEID int32    // dense element id of dest, -1 until resolved
+	el      *element // destination element, stamped at enqueue (fast delivery)
 	ep      EP
 	payload any
 	prio    int64 // lower value = higher priority (Charm++ convention)
@@ -22,28 +33,83 @@ type message struct {
 	cause   uint64
 }
 
-// msgQueue is a priority queue ordered by (prio, seq): the PE scheduler
-// always picks the highest-priority (lowest value), oldest message —
-// message-driven execution.
-type msgQueue []*message
+var msgPool = sync.Pool{New: func() any { return new(message) }}
 
-func (q msgQueue) Len() int { return len(q) }
-func (q msgQueue) Less(i, j int) bool {
-	if q[i].prio != q[j].prio {
-		return q[i].prio < q[j].prio
-	}
-	return q[i].seq < q[j].seq
-}
-func (q msgQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *msgQueue) Push(x any)   { *q = append(*q, x.(*message)) }
-func (q *msgQueue) Pop() any {
-	old := *q
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// getMsg returns a zeroed message with destEID unresolved. Callers must set
+// destPE explicitly (-1 for element targets).
+func getMsg() *message {
+	m := msgPool.Get().(*message)
+	m.destEID = -1
 	return m
 }
 
-func (q *msgQueue) push(m *message) { heap.Push(q, m) }
-func (q *msgQueue) pop() *message   { return heap.Pop(q).(*message) }
+// putMsg recycles a message at its terminal point, dropping payload and
+// element references so the pool never pins application state.
+func putMsg(m *message) {
+	*m = message{}
+	msgPool.Put(m)
+}
+
+// msgQueue is a priority queue ordered by (prio, seq): the PE scheduler
+// always picks the highest-priority (lowest value), oldest message —
+// message-driven execution.
+//
+// It is an inline binary min-heap rather than container/heap: (prio, seq)
+// is a total order (seq is unique per runtime), so the pop sequence is a
+// property of the ordering alone and identical for any correct heap —
+// swapping out container/heap (whose every comparison is an interface
+// call) cannot change scheduling.
+type msgQueue []*message
+
+func msgLess(a, b *message) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *msgQueue) push(m *message) {
+	h := append(*q, m)
+	*q = h
+	// Sift the hole up instead of swapping: half the writes.
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(m, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = m
+}
+
+func (q *msgQueue) pop() *message {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	m := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && msgLess(h[r], h[c]) {
+			c = r
+		}
+		if !msgLess(h[c], m) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = m
+	return top
+}

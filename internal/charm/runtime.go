@@ -44,6 +44,17 @@ type element struct {
 	key elemKey
 	obj Chare
 	pe  int
+	// eid is the element's dense id in the runtime's location tables,
+	// stable for the key's whole lifetime (reinsertions of the same key
+	// reuse it, so stale location hints keep routing exactly as the
+	// map-based tables did). dead marks a destroyed element: messages
+	// stamped with a pointer to it re-route through the location manager.
+	eid  int32
+	dead bool
+	// redRank is the element's rank in the array's canonical index order,
+	// used to place reduction contributions without sorting; -1 until the
+	// array's rank table has been built (see Array.rebuildRanks).
+	redRank int32
 
 	// Instrumentation (the automatic load database of §III-A). Load is
 	// kept in integer femtoseconds (see Ctx.chargeLoad) so the measured
@@ -66,18 +77,51 @@ type peState struct {
 	q    msgQueue
 	seq  uint64 // enqueue sequence for FIFO tie-breaks
 	busy des.Time
+	// ctxSpare recycles the PE's delivery context between executions:
+	// runOne takes it, the delivery commit releases it. Shard-local like
+	// p.q, so the parallel backend needs no synchronization.
+	ctxSpare *Ctx
+
+	// Pending delivery, valid between runOne's phase and its commit. The
+	// engine runs commit(i) before phase(i+1) on the same shard, so at
+	// most one delivery per PE is ever in flight — runOne stashes it here
+	// and returns the preallocated commitDeliver/commitPE closure instead
+	// of allocating a fresh one per event.
+	pendM         *message
+	pendEl        *element
+	pendCtx       *Ctx
+	pendAt        des.Time
+	commitDeliver func()
+	commitPE      func()
 	// pumpAt is the time of the scheduled dequeue event, or -1 when none.
 	pumpAt des.Time
 
+	// elems is the PE's shard-local element directory. Phase-context code
+	// (resolve, LocalInvoke, runOne's staleness fallback) may read only
+	// this map, never the runtime's global tables: on the parallel backend
+	// a phase runs concurrently with other shards' commits, and only
+	// same-shard commits and global events ever mutate a PE's state.
+	// Allocated lazily — an idle PE costs a nil map.
 	elems  map[elemKey]*element
 	sorted []*element // deterministic iteration order
 	byArr  []int      // live element count per array id
 
-	locCache map[elemKey]int
+	// locCache holds remote-location hints keyed by element key; the value
+	// carries both the guessed PE and the element's dense id so a cache
+	// hit stamps the message for map-free routing at every later hop.
+	// Allocated lazily on the first hint.
+	locCache map[elemKey]locEnt
 
 	// dead marks a crashed PE (internal/chaos): it executes nothing and
 	// every message addressed to it is discarded until RecoverReset.
 	dead bool
+}
+
+// locEnt is one location-cache entry: the last known PE of an element and
+// its dense element id.
+type locEnt struct {
+	pe  int32
+	eid int32
 }
 
 func (p *peState) insertSorted(el *element) {
@@ -120,21 +164,38 @@ type Runtime struct {
 	peHandlers     []PEHandler
 	peHandlerNames []string
 
-	// Location authority: the home PE of key k is homePE(k); the runtime
-	// keeps global truth in owner (what the home PE "knows") and buffers
-	// messages for not-yet-created elements at their home.
-	owner   map[elemKey]int
-	pending map[elemKey][]*message
+	// Location authority (§II-D), slab-indexed: every element key ever
+	// inserted gets a dense, stable element id (eid) minting an entry in
+	// the flat tables. elemTab[eid] is the live element (nil after
+	// destruction); owner[eid] is the home PE's location truth (-1 when no
+	// live element); pending buffers messages for not-yet-created elements
+	// at their home, keyed by eid. keyEID is consulted once per message
+	// lifetime at most — senders stamp eids from their caches, and every
+	// later hop indexes the flat tables. All four structures are commit/
+	// global state: phases must not read them (see peState.elems).
+	keyEID  map[elemKey]int32
+	elemTab []*element
+	owner   []int32
+	pending map[int32][]*message
+	// tableEpoch counts CompactElementTable calls; location-cache
+	// snapshots record it so a snapshot can never resurrect eids from a
+	// pre-compaction numbering.
+	tableEpoch uint64
+
+	// Preallocated event bodies for the two hot scheduling paths (message
+	// arrival, PE pump): method values created once so the steady-state
+	// send path schedules without allocating a closure per event.
+	arriveFn des.CommitFn
+	pumpFn   des.PhaseFn
 
 	// In-flight application messages, for quiescence detection.
 	inflight int
 	qdWatch  []*qdState
 
-	// Collective state.
-	reductions map[redKey]*redRun
-	bcastPEH   PEH
-	funcPEH    PEH
-	mcastPEH   PEH
+	// Collective state (open reductions live per array — see Array.redOpen).
+	bcastPEH PEH
+	funcPEH  PEH
+	mcastPEH PEH
 
 	// Load balancing (AtSync protocol).
 	balancer     Strategy
@@ -183,8 +244,10 @@ type RuntimeStats struct {
 }
 
 // New creates a runtime over a machine. The machine config's Backend field
-// selects the event engine: sequential (the default) or the conservative
-// parallel engine of internal/parsim; both produce bit-identical runs.
+// selects the event engine: sequential (the default calendar-queue engine),
+// heap (the reference binary-heap engine, for differential tests and
+// benchmarks), or the conservative parallel engine of internal/parsim; all
+// produce bit-identical runs.
 func New(m *machine.Machine) *Runtime {
 	cfg := m.Config()
 	var eng des.Engine
@@ -192,6 +255,8 @@ func New(m *machine.Machine) *Runtime {
 	switch cfg.Backend {
 	case "", "sequential":
 		eng = des.NewEngine()
+	case "heap":
+		eng = des.NewHeapEngine()
 	case "parallel", "parsim":
 		eng = parsim.New(parsim.Options{
 			Lookahead: des.Time(cfg.Alpha),
@@ -200,19 +265,20 @@ func New(m *machine.Machine) *Runtime {
 		})
 		parallel = true
 	default:
-		panic(fmt.Sprintf("charm: unknown backend %q (want \"sequential\" or \"parallel\")", cfg.Backend))
+		panic(fmt.Sprintf("charm: unknown backend %q (want \"sequential\", \"heap\", or \"parallel\")", cfg.Backend))
 	}
 	rt := &Runtime{
 		eng:        eng,
 		parallel:   parallel,
 		mach:       m,
 		arrayNames: map[string]*Array{},
-		owner:      map[elemKey]int{},
-		pending:    map[elemKey][]*message{},
-		reductions: map[redKey]*redRun{},
+		keyEID:     map[elemKey]int32{},
+		pending:    map[int32][]*message{},
 		activePEs:  m.NumPEs(),
 		metrics:    metrics.NewRegistry(),
 	}
+	rt.arriveFn = rt.arriveCommit
+	rt.pumpFn = rt.pumpPhase
 	rt.bcastPEH = rt.DeclareNamedPEHandler("rts:bcast", rt.bcastHandler)
 	rt.funcPEH = rt.DeclareNamedPEHandler("rts:func", rt.funcHandler)
 	rt.mcastPEH = rt.DeclareNamedPEHandler("rts:mcast", rt.mcastHandler)
@@ -220,18 +286,33 @@ func New(m *machine.Machine) *Runtime {
 	if pe, ok := eng.(*parsim.Engine); ok {
 		pe.RegisterMetrics(rt.metrics)
 	}
+	// One backing slab for every peState: at paper-scale PE counts (8k–64k
+	// virtual PEs) per-PE allocations and map headers dominate the boot
+	// heap, so the states live in a single array and the per-PE maps stay
+	// nil until first use.
+	back := make([]peState, m.NumPEs())
 	rt.pes = make([]*peState, m.NumPEs())
 	rt.peShard = make([]int, m.NumPEs())
 	for i := range rt.pes {
-		rt.pes[i] = &peState{
-			id:       i,
-			pumpAt:   -1,
-			elems:    map[elemKey]*element{},
-			locCache: map[elemKey]int{},
-		}
+		back[i].id = i
+		back[i].pumpAt = -1
+		rt.pes[i] = &back[i]
 		rt.peShard[i] = i / cfg.PEsPerNode
 	}
 	return rt
+}
+
+// eidOf returns the dense element id for key k, minting a table entry on
+// first sight. Commit/global context only.
+func (rt *Runtime) eidOf(k elemKey) int32 {
+	if id, ok := rt.keyEID[k]; ok {
+		return id
+	}
+	id := int32(len(rt.elemTab))
+	rt.keyEID[k] = id
+	rt.elemTab = append(rt.elemTab, nil)
+	rt.owner = append(rt.owner, -1)
+	return id
 }
 
 // Engine exposes the event engine (for timers, the power controller, and
@@ -336,7 +417,8 @@ func (rt *Runtime) send(m *message, t des.Time) {
 	m.epoch = rt.epoch
 	if m.destPE < 0 {
 		rt.inflight++ // element-targeted app message: QD-counted
-		dst := rt.resolve(m.srcPE, m.dest)
+		dst, eid := rt.resolveEID(m.srcPE, m.dest)
+		m.destEID = eid
 		if rt.hooks != nil {
 			m.traceID = rt.hooks.MsgSend(t, m.srcPE, dst, m.size, m.cause)
 		}
@@ -349,22 +431,32 @@ func (rt *Runtime) send(m *message, t des.Time) {
 	rt.transmit(m, m.srcPE, m.destPE, t)
 }
 
-// resolve consults the sender's location cache, falling back to the home PE
-// guess.
-func (rt *Runtime) resolve(srcPE int, k elemKey) int {
+// resolveEID consults the sender's location knowledge — local directory,
+// then location cache, then the home-PE guess — returning the guessed PE
+// and, when known, the element's dense id (-1 otherwise). It reads only the
+// sender's shard-local state, so it is safe from phase context.
+func (rt *Runtime) resolveEID(srcPE int, k elemKey) (int, int32) {
 	p := rt.pes[srcPE]
 	if el, ok := p.elems[k]; ok {
-		return el.pe // local delivery
+		return el.pe, el.eid // local delivery
 	}
-	if pe, ok := p.locCache[k]; ok && pe < rt.activePEs {
-		return pe
+	if ent, ok := p.locCache[k]; ok && int(ent.pe) < rt.activePEs {
+		return int(ent.pe), ent.eid
 	}
-	return rt.homePE(k)
+	return rt.homePE(k), -1
+}
+
+// resolve is resolveEID for callers that only want the PE guess.
+func (rt *Runtime) resolve(srcPE int, k elemKey) int {
+	pe, _ := rt.resolveEID(srcPE, k)
+	return pe
 }
 
 // transmit moves m from PE src to PE dst over the network and enqueues it.
-// Arrival is a sharded event on the destination's node; arrive touches the
-// location manager and quiescence state, so it runs entirely in the commit.
+// Arrival is a commit-only sharded event on the destination's node (arrive
+// touches the location manager and quiescence state); the body is the
+// preallocated rt.arriveFn, so the steady-state send path schedules without
+// allocating.
 func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
 	var extra des.Time
 	if rt.filter != nil {
@@ -378,19 +470,24 @@ func (rt *Runtime) transmit(m *message, src, dst int, t des.Time) {
 		extra = delay
 	}
 	arrival := rt.mach.Transmit(src, dst, m.size, t) + extra
-	rt.eng.AtShard(rt.shardOf(dst), arrival, func() func() {
-		return func() { rt.arrive(m, dst) }
-	})
+	rt.eng.AtShardCommit(rt.shardOf(dst), arrival, rt.arriveFn, m, int64(dst))
+}
+
+// arriveCommit is the preallocated commit body of every network arrival.
+func (rt *Runtime) arriveCommit(a any, b int64, _ des.Time) {
+	rt.arrive(a.(*message), int(b))
 }
 
 // arrive lands m on PE dst: element messages that miss are forwarded via
 // the home PE (location-manager protocol); PE messages are enqueued as is.
+// Commit context: arrive indexes the global location tables.
 func (rt *Runtime) arrive(m *message, dst int) {
 	if m.epoch != rt.epoch {
 		// A pre-rollback message surfacing after recovery: its epoch — and
 		// its quiescence accounting — died with the rollback, so it is
 		// dropped without touching the inflight counter.
 		rt.Stats.MsgsDiscarded++
+		putMsg(m)
 		return
 	}
 	if rt.pes[dst].dead {
@@ -401,12 +498,19 @@ func (rt *Runtime) arrive(m *message, dst int) {
 		rt.enqueue(m, dst)
 		return
 	}
-	p := rt.pes[dst]
-	if _, ok := p.elems[m.dest]; ok {
+	// Resolve the dense id at most once per message lifetime: messages
+	// stamped by a sender's cache or an earlier hop skip the key map.
+	eid := m.destEID
+	if eid < 0 {
+		eid = rt.eidOf(m.dest)
+		m.destEID = eid
+	}
+	if el := rt.elemTab[eid]; el != nil && el.pe == dst {
+		m.el = el // stamp for map-free execution on the fast path
 		rt.enqueue(m, dst)
 		return
 	}
-	// Cache miss: the element is not here.
+	// The element is not here.
 	home := rt.homePE(m.dest)
 	if dst != home {
 		// Forward to home, which always knows the current location.
@@ -415,17 +519,17 @@ func (rt *Runtime) arrive(m *message, dst int) {
 		rt.transmit(m, dst, home, rt.eng.Now())
 		return
 	}
-	if ownerPE, ok := rt.owner[m.dest]; ok {
+	if ownerPE := rt.owner[eid]; ownerPE >= 0 {
 		// Home forwards to the owner and updates the sender's cache so
 		// future sends go direct.
 		m.hops++
 		rt.Stats.MsgsForwarded++
-		rt.updateLocCache(m.srcPE, m.dest, ownerPE, dst)
-		rt.transmit(m, dst, ownerPE, rt.eng.Now())
+		rt.updateLocCache(m.srcPE, m.dest, int(ownerPE), dst, eid)
+		rt.transmit(m, dst, int(ownerPE), rt.eng.Now())
 		return
 	}
 	// Element does not exist yet: buffer at home until insertion.
-	rt.pending[m.dest] = append(rt.pending[m.dest], m)
+	rt.pending[eid] = append(rt.pending[eid], m)
 }
 
 // updateLocCache ships the owner hint from the home PE back to the sender
@@ -434,14 +538,21 @@ func (rt *Runtime) arrive(m *message, dst int) {
 // travel faster than the network's minimum latency — unphysical, and fatal
 // to the parallel backend's lookahead reasoning — so the hint arrives like
 // any other message and the cache stays strictly shard-local state.
-func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int) {
+func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int, eid int32) {
 	at := rt.eng.Now() + rt.mach.NetDelay(homePE, srcPE, 24)
-	epoch := rt.epoch
+	epoch, tep := rt.epoch, rt.tableEpoch
+	ent := locEnt{pe: int32(ownerPE), eid: eid}
 	rt.eng.AtShard(rt.shardOf(srcPE), at, func() func() {
-		// Epoch reads from a phase are race-free: rollbacks bump the epoch
-		// only inside global events, which never overlap a phase.
-		if rt.epoch == epoch {
-			rt.pes[srcPE].locCache[key] = ownerPE
+		// Epoch reads from a phase are race-free: rollbacks bump the epoch —
+		// and compaction the table epoch — only inside global events, which
+		// never overlap a phase. A hint minted under an older table numbering
+		// must die rather than poison the cache with a remapped eid.
+		if rt.epoch == epoch && rt.tableEpoch == tep {
+			p := rt.pes[srcPE]
+			if p.locCache == nil {
+				p.locCache = map[elemKey]locEnt{}
+			}
+			p.locCache[key] = ent
 		}
 		return nil
 	})
@@ -463,7 +574,9 @@ func (rt *Runtime) enqueue(m *message, dst int) {
 	rt.pump(p)
 }
 
-// pump schedules the PE's next dequeue if it is not already scheduled.
+// pump schedules the PE's next dequeue if it is not already scheduled. The
+// event body is the preallocated rt.pumpFn; the epoch at arming time rides
+// in the event's integer argument, so the hot path allocates nothing.
 func (rt *Runtime) pump(p *peState) {
 	if p.pumpAt >= 0 || len(p.q) == 0 || p.dead {
 		return
@@ -473,17 +586,20 @@ func (rt *Runtime) pump(p *peState) {
 		t = p.busy
 	}
 	p.pumpAt = t
-	epoch := rt.epoch
-	rt.eng.AtShard(rt.shardOf(p.id), t, func() func() {
-		if rt.epoch != epoch {
-			// Scheduled before a rollback: the reset already re-pumped the
-			// PE, so this event must not touch pumpAt or the queue. (Epoch
-			// reads from a phase are race-free: rollbacks bump the epoch
-			// only inside global events, which never overlap a phase.)
-			return nil
-		}
-		return rt.runOne(p, t)
-	})
+	rt.eng.AtShardFn(rt.shardOf(p.id), t, rt.pumpFn, p, int64(rt.epoch))
+}
+
+// pumpPhase is the phase body of every PE dequeue event. b carries the
+// epoch at arming time: a pump scheduled before a rollback must not touch
+// pumpAt or the queue — the recovery reset already re-pumped the PE. (Epoch
+// reads from a phase are race-free: rollbacks bump the epoch only inside
+// global events, which never overlap a phase.)
+func (rt *Runtime) pumpPhase(a any, b int64, at des.Time) func() {
+	p := a.(*peState)
+	if rt.epoch != uint64(b) {
+		return nil
+	}
+	return rt.runOne(p, at)
 }
 
 // runOne executes the highest-priority queued message on p. It is the
@@ -503,37 +619,54 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 	if m.destPE >= 0 {
 		// PE-level handlers (collective fan-out, TRAM batch unpacking,
 		// shipped functions) reach global state freely, so the whole
-		// execution belongs in the commit.
-		return func() {
-			ctx := rt.newCtx(p.id, nil)
-			ctx.cause = m.traceID
-			ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
-			if rt.hooks != nil {
-				rt.hooks.EntryBegin(at, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
+		// execution belongs in the commit. The closure is built once per
+		// PE and reads the pending delivery from p.
+		p.pendM, p.pendAt = m, at
+		if p.commitPE == nil {
+			p.commitPE = func() {
+				m, at := p.pendM, p.pendAt
+				p.pendM = nil
+				ctx := p.takeCtx(rt, nil, rt.eng.Now())
+				ctx.cause = m.traceID
+				ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
+				if rt.hooks != nil {
+					rt.hooks.EntryBegin(at, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
+				}
+				rt.peHandlers[m.ep](ctx, m.payload)
+				if rt.hooks != nil {
+					rt.hooks.EntryEnd(at+ctx.elapsed, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
+				}
+				rt.finishExec(ctx, nil)
+				putMsg(m)
+				rt.checkQD()
+				rt.pump(p)
+				p.releaseCtx(ctx)
 			}
-			rt.peHandlers[m.ep](ctx, m.payload)
-			if rt.hooks != nil {
-				rt.hooks.EntryEnd(at+ctx.elapsed, p.id, "", rt.peHandlerNames[m.ep], Index{}, m.traceID)
-			}
-			rt.finishExec(ctx, nil)
-			rt.checkQD()
-			rt.pump(p)
 		}
+		return p.commitPE
 	}
 
-	el, ok := p.elems[m.dest]
-	if !ok {
-		// The element migrated away between enqueue and execution:
-		// re-route through the location manager. The message stays
-		// in flight, so quiescence counters are untouched.
-		return func() {
-			m.hops++
-			rt.Stats.MsgsForwarded++
-			rt.transmit(m, p.id, rt.homePE(m.dest), rt.eng.Now())
-			rt.pump(p)
+	// Fast path: the arrival commit stamped the destination element. The
+	// stamp goes stale if the element migrated or died between enqueue and
+	// execution, so fall back to the shard-local directory before rerouting
+	// (a destroy+reinsert of the same key lands there under a new record).
+	el := m.el
+	if el == nil || el.dead || el.pe != p.id {
+		var ok bool
+		if el, ok = p.elems[m.dest]; !ok {
+			// The element migrated away between enqueue and execution:
+			// re-route through the location manager. The message stays
+			// in flight, so quiescence counters are untouched.
+			return func() {
+				m.hops++
+				rt.Stats.MsgsForwarded++
+				m.el = nil
+				rt.transmit(m, p.id, rt.homePE(m.dest), rt.eng.Now())
+				rt.pump(p)
+			}
 		}
 	}
-	ctx := rt.newCtxAt(p.id, el, at)
+	ctx := p.takeCtx(rt, el, at)
 	if rt.parallel {
 		ctx.fx = &fxList{}
 	}
@@ -551,22 +684,34 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		}()
 		handler(el.obj, ctx, m.payload)
 	}()
-	return func() {
-		ctx.flushFX()
-		rt.inflight--
-		rt.Stats.MsgsDelivered++
-		if rt.hooks != nil {
-			// After flushFX, so the execution's sends (inline on the
-			// sequential backend, replayed here on the parallel one) hold
-			// the same log positions on both backends.
-			name := arr.EntryName(m.ep)
-			rt.hooks.EntryBegin(at, p.id, arr.name, name, m.dest.idx, m.traceID)
-			rt.hooks.EntryEnd(at+ctx.elapsed, p.id, arr.name, name, m.dest.idx, m.traceID)
+	// The commit closure is built once per PE; the pending delivery rides
+	// in p (commit(i) runs before phase(i+1) on this shard, so at most one
+	// is in flight), keeping the steady-state execute path allocation-free.
+	p.pendM, p.pendEl, p.pendCtx, p.pendAt = m, el, ctx, at
+	if p.commitDeliver == nil {
+		p.commitDeliver = func() {
+			m, el, ctx, at := p.pendM, p.pendEl, p.pendCtx, p.pendAt
+			p.pendM, p.pendEl, p.pendCtx = nil, nil, nil
+			ctx.flushFX()
+			rt.inflight--
+			rt.Stats.MsgsDelivered++
+			if rt.hooks != nil {
+				// After flushFX, so the execution's sends (inline on the
+				// sequential backend, replayed here on the parallel one) hold
+				// the same log positions on both backends.
+				arr := rt.arrays[m.dest.array]
+				name := arr.EntryName(m.ep)
+				rt.hooks.EntryBegin(at, p.id, arr.name, name, m.dest.idx, m.traceID)
+				rt.hooks.EntryEnd(at+ctx.elapsed, p.id, arr.name, name, m.dest.idx, m.traceID)
+			}
+			rt.finishExec(ctx, el)
+			putMsg(m)
+			rt.checkQD()
+			rt.pump(p)
+			p.releaseCtx(ctx)
 		}
-		rt.finishExec(ctx, el)
-		rt.checkQD()
-		rt.pump(p)
 	}
+	return p.commitDeliver
 }
 
 // finishExec charges the context's accumulated cost to the PE and element.
@@ -631,14 +776,13 @@ func (rt *Runtime) ExecuteOnPE(pe int, delay des.Time, fn func(ctx *Ctx)) {
 			if rt.epoch != epoch {
 				return // flush timer armed before a rollback
 			}
-			m := &message{
-				destPE:  pe,
-				ep:      EP(rt.funcPEH),
-				payload: funcMsg{fn: func(ctx *Ctx, _ any) { fn(ctx) }},
-				prio:    prioControl,
-				size:    16,
-				srcPE:   pe,
-			}
+			m := getMsg()
+			m.destPE = pe
+			m.ep = EP(rt.funcPEH)
+			m.payload = funcMsg{fn: func(ctx *Ctx, _ any) { fn(ctx) }}
+			m.prio = prioControl
+			m.size = 16
+			m.srcPE = pe
 			rt.enqueue(m, pe)
 		}
 	})
@@ -681,23 +825,26 @@ func (rt *Runtime) Diagnose() string {
 			s += " (LB in progress)"
 		}
 	}
-	if n := len(rt.reductions); n > 0 {
-		s += fmt.Sprintf("; %d open reductions:", n)
-		// Deterministic order for test friendliness.
-		keys := make([]redKey, 0, n)
-		for k := range rt.reductions {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].arr != keys[j].arr {
-				return keys[i].arr < keys[j].arr
+	open := 0
+	for _, arr := range rt.arrays {
+		for _, run := range arr.redOpen {
+			if run != nil {
+				open++
 			}
-			return keys[i].gen < keys[j].gen
-		})
-		for _, k := range keys {
-			run := rt.reductions[k]
-			s += fmt.Sprintf(" %s gen %d (%d/%d contributed)",
-				rt.arrays[k.arr].name, k.gen, len(run.contribs), run.expected)
+		}
+	}
+	if open > 0 {
+		// Array-id then generation order — the same order the old global
+		// reduction map printed after sorting its keys.
+		s += fmt.Sprintf("; %d open reductions:", open)
+		for _, arr := range rt.arrays {
+			for i, run := range arr.redOpen {
+				if run == nil {
+					continue
+				}
+				s += fmt.Sprintf(" %s gen %d (%d/%d contributed)",
+					arr.name, arr.redBase+uint64(i), run.count, run.expected)
+			}
 		}
 	}
 	if n := len(rt.qdWatch); n > 0 {

@@ -6,23 +6,37 @@
 // ordered by an insertion sequence number, which makes every simulation run
 // bit-for-bit reproducible.
 //
-// Two implementations exist: Sequential (this package) executes every event
-// on the calling goroutine, and internal/parsim executes provably
-// independent events on worker goroutines while preserving the exact
-// (timestamp, sequence) commit order. Both satisfy the Engine interface.
+// Three implementations exist: Sequential (this package) executes every
+// event on the calling goroutine from a slab-allocated event store drained
+// through a calendar queue; Heap (this package) is the original binary-heap
+// executor, kept as the reference for differential order tests and for
+// measuring the calendar engine's speedup; and internal/parsim executes
+// provably independent events on worker goroutines while preserving the
+// exact (timestamp, sequence) commit order. All satisfy the Engine
+// interface and produce identical event orders.
 package des
 
-import (
-	"container/heap"
-	"fmt"
-	"math"
-)
+import "math"
 
 // Time is virtual time in seconds since the start of the simulation.
 type Time float64
 
 // Forever is a timestamp later than any event the engine will execute.
 const Forever Time = Time(math.MaxFloat64)
+
+// PhaseFn is a preallocated two-phase event body. Engines call it at pop
+// with the event's payload pair and timestamp; like the closure form it may
+// touch only shard-local state and returns a commit closure (or nil) that
+// runs with global state exclusively held. Schedulers pass a long-lived
+// function value (typically a method value created once at startup) so the
+// hot send path schedules without allocating a closure per event.
+type PhaseFn func(a any, b int64, at Time) func()
+
+// CommitFn is a preallocated commit-only event body: the whole event runs
+// at commit position (global state allowed, no concurrent phase work).
+// Message arrival — which must touch the location manager and quiescence
+// state — uses this form.
+type CommitFn func(a any, b int64, at Time)
 
 // Engine is the scheduling interface the runtime depends on. All methods
 // must be called from the simulation's driving goroutine (or from within an
@@ -45,6 +59,12 @@ type Engine interface {
 	// exact (timestamp, sequence) order. A sequential engine runs phase
 	// and commit back to back.
 	AtShard(shard int, t Time, fn func() func()) Handle
+	// AtShardFn is AtShard without the per-event closure: fn is a
+	// long-lived PhaseFn invoked with (a, b, t) at pop.
+	AtShardFn(shard int, t Time, fn PhaseFn, a any, b int64) Handle
+	// AtShardCommit schedules a sharded event whose entire body runs at
+	// commit position, again without a per-event closure.
+	AtShardCommit(shard int, t Time, fn CommitFn, a any, b int64) Handle
 	// After schedules fn to run d seconds from now as a global event.
 	After(d Time, fn func()) Handle
 	// Cancel removes a scheduled event. Cancelling an already-fired or
@@ -104,183 +124,29 @@ type Ref interface {
 	Live() bool
 }
 
-// Handle allows a scheduled event to be cancelled before it fires.
-type Handle struct{ ev Ref }
+// Handle allows a scheduled event to be cancelled before it fires. Two
+// representations exist: pointer-based engines (Heap, parsim) wrap a Ref;
+// the slab-backed Sequential engine mints index+generation handles so the
+// hot path never allocates.
+type Handle struct {
+	ev  Ref
+	eng *Sequential
+	id  uint64 // slot index << 32 | slot generation
+}
 
 // HandleFor wraps an engine's event reference; engine implementations use
 // it to mint handles.
 func HandleFor(r Ref) Handle { return Handle{ev: r} }
 
-// EventRef returns the wrapped reference (nil for the zero Handle).
+// EventRef returns the wrapped reference (nil for the zero Handle and for
+// slab-backed handles).
 func (h Handle) EventRef() Ref { return h.ev }
 
 // Cancelled reports whether Cancel was called on the handle's event, or the
 // event already fired.
-func (h Handle) Cancelled() bool { return h.ev == nil || !h.ev.Live() }
-
-// Event is a closure scheduled to run at a virtual time.
-type Event struct {
-	At    Time
-	Fn    func()
-	sfn   func() func() // sharded two-phase body (nil for global events)
-	shard int           // shard id of a sharded event (unused for globals)
-	seq   uint64
-	pos   int // heap index, -1 when popped or cancelled
-}
-
-// Live reports whether the event is still scheduled.
-func (ev *Event) Live() bool { return ev.pos >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+func (h Handle) Cancelled() bool {
+	if h.eng != nil {
+		return !h.eng.live(h.id)
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].pos = i
-	h[j].pos = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.pos = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.pos = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Sequential is the single-threaded deterministic event executor.
-// The zero value is not usable; call NewEngine.
-type Sequential struct {
-	now      Time
-	seq      uint64
-	heap     eventHeap
-	stopped  bool
-	executed uint64
-	sink     TraceSink
-}
-
-// NewEngine returns a sequential engine with the clock at zero.
-func NewEngine() *Sequential {
-	return &Sequential{}
-}
-
-// Now returns the current virtual time.
-func (e *Sequential) Now() Time { return e.now }
-
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Sequential) Pending() int { return len(e.heap) }
-
-// GlobalHorizon returns the earliest time a global event may be scheduled
-// without reordering work already underway. The sequential engine never has
-// work in flight, so its horizon is the current time.
-func (e *Sequential) GlobalHorizon() Time { return e.now }
-
-// Executed counts events that have run.
-func (e *Sequential) Executed() uint64 { return e.executed }
-
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently reorder causality.
-func (e *Sequential) At(t Time, fn func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
-	}
-	ev := &Event{At: t, Fn: fn, seq: e.seq}
-	e.seq++
-	heap.Push(&e.heap, ev)
-	return HandleFor(ev)
-}
-
-// AtShard schedules a two-phase event; the sequential engine ignores the
-// shard and runs phase and commit back to back, which makes the sharded
-// path behaviourally identical to a plain At.
-func (e *Sequential) AtShard(shard int, t Time, fn func() func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
-	}
-	ev := &Event{At: t, sfn: fn, shard: shard, seq: e.seq}
-	e.seq++
-	heap.Push(&e.heap, ev)
-	return HandleFor(ev)
-}
-
-// After schedules fn to run d seconds from now.
-func (e *Sequential) After(d Time, fn func()) Handle {
-	if d < 0 {
-		panic(fmt.Sprintf("des: negative delay %v", d))
-	}
-	return e.At(e.now+d, fn)
-}
-
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Sequential) Cancel(h Handle) {
-	ev, ok := h.ev.(*Event)
-	if !ok || ev == nil || ev.pos < 0 {
-		return
-	}
-	heap.Remove(&e.heap, ev.pos)
-}
-
-// Stop makes Run return after the currently executing event completes.
-func (e *Sequential) Stop() { e.stopped = true }
-
-// SetTraceSink installs (or, with nil, removes) the engine's phase-event
-// sink. Install it before Run; the zero-sink path is a nil check.
-func (e *Sequential) SetTraceSink(s TraceSink) { e.sink = s }
-
-// Step executes the single earliest event. It reports false when no events
-// remain.
-func (e *Sequential) Step() bool {
-	if len(e.heap) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.heap).(*Event)
-	e.now = ev.At
-	e.executed++
-	if ev.sfn != nil {
-		if e.sink != nil {
-			e.sink.PhaseStart(ev.shard, ev.At)
-		}
-		if commit := ev.sfn(); commit != nil {
-			commit()
-		}
-		if e.sink != nil {
-			e.sink.PhaseDone(ev.shard, ev.At)
-		}
-		return true
-	}
-	ev.Fn()
-	return true
-}
-
-// Run executes events until the queue drains or Stop is called.
-func (e *Sequential) Run() {
-	e.stopped = false
-	for !e.stopped && e.Step() {
-	}
-}
-
-// RunUntil executes events with timestamps <= t, then advances the clock to
-// t (if it is ahead of the last event). Events scheduled during execution
-// are honoured if they fall within the horizon.
-func (e *Sequential) RunUntil(t Time) {
-	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].At <= t {
-		e.Step()
-	}
-	if e.now < t {
-		e.now = t
-	}
+	return h.ev == nil || !h.ev.Live()
 }

@@ -81,6 +81,7 @@ func All() []Fig {
 		{ID: "15b", Title: "PHOLD with and without TRAM", Run: Fig15bPholdTram},
 		{ID: "16", Title: "Stencil2D under cloud interference, with and without LB", Run: Fig16CloudStencil},
 		{ID: "17", Title: "LeanMD in a heterogeneous cloud", Run: Fig17CloudLeanMD},
+		{ID: "S", Title: "Paper-scale Stencil2D: 8192 PEs, 262144 chares", Run: FigScale},
 	}
 }
 
@@ -126,7 +127,6 @@ func Fig04Thermal(w io.Writer) error {
 		m.SpreadCooling(0.8, 1.35)                 // rack-position variation
 		rt := charm.New(m)
 		var arr *charm.Array
-		remaining := 0
 		handlers := []charm.Handler{
 			func(obj charm.Chare, ctx *charm.Ctx, msg any) {
 				tw := obj.(*thermalWorker)
@@ -136,16 +136,16 @@ func Fig04Thermal(w io.Writer) error {
 					ctx.Send(arr, ctx.Index(), 0, nil)
 					return
 				}
-				remaining--
-				if remaining == 0 {
-					ctx.Exit()
-				}
+				// Completion via reduction: handlers run concurrently on
+				// the parallel backend, so a shared done-counter would
+				// race; the reduction's commit half is serialized.
+				ctx.Contribute(int64(1), charm.SumI64,
+					charm.CallbackFunc(0, func(c *charm.Ctx, _ any) { c.Exit() }))
 			},
 		}
 		arr = rt.DeclareArray("w", func() charm.Chare { return &thermalWorker{} },
 			handlers, charm.ArrayOpts{Migratable: true})
 		const objs = 128
-		remaining = objs
 		for i := 0; i < objs; i++ {
 			// Round-robin placement: the Base configuration starts
 			// perfectly balanced, as a tuned application would.
@@ -165,12 +165,21 @@ func Fig04Thermal(w io.Writer) error {
 		return row{name: name, time: float64(end), temp: m.HottestEver(),
 			energy: m.TotalEnergyJ() / 1e3}
 	}
-	rows := []row{
-		runPolicy(power.Base, 0),
-		runPolicy(power.NaiveDVFS, 0),
-		runPolicy(power.DVFSWithLB, 10),
-		runPolicy(power.DVFSWithLB, 5),
-		runPolicy(power.MetaTemp, 0),
+	policies := []struct {
+		pol power.Policy
+		lbp float64
+	}{
+		{power.Base, 0},
+		{power.NaiveDVFS, 0},
+		{power.DVFSWithLB, 10},
+		{power.DVFSWithLB, 5},
+		{power.MetaTemp, 0},
+	}
+	rows, err := sweep(len(policies), func(i int) (row, error) {
+		return runPolicy(policies[i].pol, policies[i].lbp), nil
+	})
+	if err != nil {
+		return err
 	}
 	tw := table(w)
 	fmt.Fprintln(tw, "config\texec_time_s\tmax_temp_C\tenergy_kJ")
@@ -276,9 +285,10 @@ func Fig06ControlPoint(w io.Writer) error {
 // becomes the bottleneck while HistSort stays a small fraction.
 func Fig07Interop(w io.Writer) error {
 	const totalKeys = 1 << 20
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tuseful_s\tmerge_sort_s\thistsort_s\tmerge_frac\thist_frac")
-	for _, p := range []int{8, 32, 128, 512} {
+	pesList := []int{8, 32, 128, 512}
+	type point struct{ ms, hs *sorting.Result }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		p := pesList[i]
 		keys := totalKeys / p
 		run := func(algo sorting.Algo) *sorting.Result {
 			rt := newRuntime(machine.Testbed(p))
@@ -291,8 +301,16 @@ func Fig07Interop(w io.Writer) error {
 			}
 			return res
 		}
-		ms := run(sorting.MergeTree)
-		hs := run(sorting.HistSortCharm) // via the §III-G interop interface
+		// HistSort goes via the §III-G interop interface.
+		return point{ms: run(sorting.MergeTree), hs: run(sorting.HistSortCharm)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tuseful_s\tmerge_sort_s\thistsort_s\tmerge_frac\thist_frac")
+	for i, p := range pesList {
+		ms, hs := pts[i].ms, pts[i].hs
 		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.1f%%\t%.1f%%\n",
 			p, ms.ComputeTime, ms.SortTime, hs.SortTime,
 			ms.SortFraction*100, hs.SortFraction*100)
@@ -325,16 +343,19 @@ func Fig08AMRScaling(w io.Writer) error {
 		}
 		return sum / 4
 	}
+	pesList := []int{16, 32, 64, 128, 256}
+	type point struct{ no, with float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		return point{no: run(pesList[i], false), with: run(pesList[i], true)}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tNoLB_s_per_step\tDistributedLB_s_per_step\tideal_s_per_step")
-	var base float64
-	for i, pes := range []int{16, 32, 64, 128, 256} {
-		no := run(pes, false)
-		with := run(pes, true)
-		if i == 0 {
-			base = with * float64(pes)
-		}
-		fmt.Fprintf(tw, "%d\t%.5f\t%.5f\t%.5f\n", pes, no, with, base/float64(pes))
+	base := pts[0].with * float64(pesList[0])
+	for i, pes := range pesList {
+		fmt.Fprintf(tw, "%d\t%.5f\t%.5f\t%.5f\n", pes, pts[i].no, pts[i].with, base/float64(pes))
 	}
 	return tw.Flush()
 }
@@ -343,25 +364,35 @@ func Fig08AMRScaling(w io.Writer) error {
 // and restart times falling (checkpoint) and flattening/ rising (restart)
 // with PE count for a fixed mesh.
 func Fig08AMRCheckpoint(w io.Writer) error {
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tcheckpoint_s\trestart_s")
-	for _, pes := range []int{256, 512, 1024, 2048, 4096} {
+	pesList := []int{256, 512, 1024, 2048, 4096}
+	type point struct{ ck, rs float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		pes := pesList[i]
 		rt := newRuntime(machine.Vesta(pes))
 		app, err := amr.New(rt, amr.Config{
 			MinDepth: 4, MaxDepth: 4, StartDepth: 4, BlockSize: 8,
 			Steps: 1, RemeshPeriod: 0,
 		})
 		if err != nil {
-			return err
+			return point{}, err
 		}
 		if _, err := app.Run(); err != nil {
-			return err
+			return point{}, err
 		}
 		snap := ckpt.Capture(rt)
 		tm := ckpt.DefaultModel(pes)
-		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\n", pes,
-			float64(ckpt.DiskCheckpointTime(snap, pes, tm)),
-			float64(ckpt.DiskRestartTime(snap, pes, tm)))
+		return point{
+			ck: float64(ckpt.DiskCheckpointTime(snap, pes, tm)),
+			rs: float64(ckpt.DiskRestartTime(snap, pes, tm)),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tcheckpoint_s\trestart_s")
+	for i, pes := range pesList {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\n", pes, pts[i].ck, pts[i].rs)
 	}
 	return tw.Flush()
 }
@@ -408,8 +439,13 @@ func Fig16CloudStencil(w io.Writer) error {
 		}
 		return res
 	}
-	noLB := run(false)
-	withLB := run(true)
+	mainRuns, err := sweep(2, func(i int) (*stencil.Result, error) {
+		return run(i == 1), nil
+	})
+	if err != nil {
+		return err
+	}
+	noLB, withLB := mainRuns[0], mainRuns[1]
 	tw := table(w)
 	fmt.Fprintln(tw, "iter\tNoLB_iter_s\tLB_iter_s")
 	nt, lt := noLB.IterTimes(), withLB.IterTimes()
@@ -432,8 +468,14 @@ func Fig16CloudStencil(w io.Writer) error {
 		}
 		return sum / float64(len(ts)-2)
 	}
-	one := over(6)    // 36 blocks ≈ 1 per VM (32 VMs)
-	eight := over(16) // 256 blocks = 8 per VM
+	// 36 blocks ≈ 1 per VM (32 VMs); 256 blocks = 8 per VM.
+	overRuns, err := sweep(2, func(i int) (float64, error) {
+		return over([]int{6, 16}[i]), nil
+	})
+	if err != nil {
+		return err
+	}
+	one, eight := overRuns[0], overRuns[1]
 	fmt.Fprintf(tw, "# over-decomposition: 1 chare/VM %.2fms/iter -> 8 chares/VM %.2fms/iter (%.1fx)\t\t\n",
 		one*1e3, eight*1e3, one/eight)
 	return tw.Flush()

@@ -51,19 +51,20 @@ func Fig09LeanMDScaling(w io.Writer) error {
 		}
 		return leanmdSteady(res, 3)
 	}
+	pesList := []int{32, 64, 128, 256, 512, 1024}
+	type point struct{ no, with float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		return point{no: run(pesList[i], false), with: run(pesList[i], true)}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tNoLB_s_per_step\tHybridLB_s_per_step\tspeedup_LB\tideal")
-	base := 0.0
-	basePE := 0
-	for i, pes := range []int{32, 64, 128, 256, 512, 1024} {
-		no := run(pes, false)
-		with := run(pes, true)
-		if i == 0 {
-			base = with
-			basePE = pes
-		}
+	base, basePE := pts[0].with, pesList[0]
+	for i, pes := range pesList {
 		fmt.Fprintf(tw, "%d\t%.5f\t%.5f\t%.2f\t%.2f\n",
-			pes, no, with, base/with*float64(basePE), float64(pes))
+			pes, pts[i].no, pts[i].with, base/pts[i].with*float64(basePE), float64(pes))
 	}
 	return tw.Flush()
 }
@@ -97,10 +98,19 @@ func Fig10LeanMDCheckpoint(w io.Writer) error {
 		}
 		return ck, float64(rs)
 	}
-	for _, pes := range []int{256, 512, 1024, 2048, 4096} {
-		bc, br := measure(pes, 20) // "2.8M-atom" stand-in: 216k atoms
-		sc, sr := measure(pes, 16) // "1.6M-atom" stand-in: 110k atoms
-		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", pes, bc, br, sc, sr)
+	pesList := []int{256, 512, 1024, 2048, 4096}
+	type point struct{ bc, br, sc, sr float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		var p point
+		p.bc, p.br = measure(pesList[i], 20) // "2.8M-atom" stand-in: 216k atoms
+		p.sc, p.sr = measure(pesList[i], 16) // "1.6M-atom" stand-in: 110k atoms
+		return p, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, pes := range pesList {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", pes, pts[i].bc, pts[i].br, pts[i].sc, pts[i].sr)
 	}
 	return tw.Flush()
 }
@@ -123,12 +133,18 @@ func Fig11NAMDScaling(w io.Writer) error {
 		}
 		return leanmdSteady(res, 3)
 	}
+	pesList := []int{32, 64, 128, 256, 512}
+	type point struct{ t, j float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		return point{t: run(machine.Titan(pesList[i])), j: run(machine.Jaguar(pesList[i]))}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tTitan_ms_per_step\tJaguar_ms_per_step")
-	for _, pes := range []int{32, 64, 128, 256, 512} {
-		t := run(machine.Titan(pes))
-		j := run(machine.Jaguar(pes))
-		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", pes, t*1e3, j*1e3)
+	for i, pes := range pesList {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", pes, pts[i].t*1e3, pts[i].j*1e3)
 	}
 	return tw.Flush()
 }
@@ -167,14 +183,24 @@ func Fig12BarnesHut(w io.Writer) error {
 		}
 		return d
 	}
+	pesList := []int{8, 64, 512}
+	type point struct{ no, plain, balanced float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		pes := pesList[i]
+		nd := noDepth(pes)
+		return point{
+			no:       run(pes, nd, false),
+			plain:    run(pes, nd+1, false),
+			balanced: run(pes, nd+1, true),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\t500m_NO_s\t500m_s\t500m_LB_s")
-	for _, pes := range []int{8, 64, 512} {
-		nd := noDepth(pes)
-		no := run(pes, nd, false)
-		plain := run(pes, nd+1, false)
-		balanced := run(pes, nd+1, true)
-		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pes, no, plain, balanced)
+	for i, pes := range pesList {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pes, pts[i].no, pts[i].plain, pts[i].balanced)
 	}
 	return tw.Flush()
 }
@@ -184,19 +210,26 @@ func Fig12BarnesHut(w io.Writer) error {
 // Fig13ChaNGaPhases reproduces Fig 13: the per-phase breakdown (DD, tree
 // build, gravity, LB, total) of the cosmology-style run across PE counts.
 func Fig13ChaNGaPhases(w io.Writer) error {
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tGravity_s\tDD_s\tTB_s\tLB_s\tTotal_s")
-	for _, pes := range []int{64, 128, 256, 512} {
-		rt := newRuntime(machine.BlueWaters(pes))
+	pesList := []int{64, 128, 256, 512}
+	pts, err := sweep(len(pesList), func(i int) (barnes.PhaseTimes, error) {
+		rt := newRuntime(machine.BlueWaters(pesList[i]))
 		rt.SetBalancer(lb.ORB{})
 		res, err := barnes.Run(rt, barnes.Config{
 			Particles: 50000, Depth: 3, Steps: 4, Seed: 9,
 			Uniform: true, LBPeriod: 2,
 		})
 		if err != nil {
-			return err
+			return barnes.PhaseTimes{}, err
 		}
-		m := res.MeanPhases()
+		return res.MeanPhases(), nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tGravity_s\tDD_s\tTB_s\tLB_s\tTotal_s")
+	for i, pes := range pesList {
+		m := pts[i]
 		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
 			pes, m.Gravity, m.DD, m.TB, m.LB, m.Total)
 	}
@@ -233,22 +266,39 @@ func Fig14Lulesh(w io.Writer) error {
 		}
 		return res.Elapsed
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tMPI_s\tAMPI_v1_s\tAMPI_v8_s\tAMPI_v8_LB_s")
-	for _, c := range []int{2, 3, 4} { // cubic PE counts: 8, 27, 64
+	cubic := []int{2, 3, 4} // cubic PE counts: 8, 27, 64
+	type point struct{ mpi, v1, v8, v8lb float64 }
+	cubicPts, err := sweep(len(cubic), func(i int) (point, error) {
+		c := cubic[i]
 		pes := c * c * c
-		mpi := run(pes, c, 24, true, 0)
-		v1 := run(pes, c, 24, false, 0)
-		v8 := run(pes, 2*c, 12, false, 0)
-		v8lb := run(pes, 2*c, 12, false, 2)
-		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", pes, mpi, v1, v8, v8lb)
+		return point{
+			mpi:  run(pes, c, 24, true, 0),
+			v1:   run(pes, c, 24, false, 0),
+			v8:   run(pes, 2*c, 12, false, 0),
+			v8lb: run(pes, 2*c, 12, false, 2),
+		}, nil
+	})
+	if err != nil {
+		return err
 	}
 	// Non-cubic PE counts (the paper's 3000/6000): cubic virtual ranks
 	// virtualized over awkward PE counts; MPI has no entry — it cannot
 	// run there at all.
-	for _, pes := range []int{12, 48} {
-		v8 := run(pes, 6, 12, false, 0) // 216 ranks
-		fmt.Fprintf(tw, "%d\t-\t-\t%.4f\t-\n", pes, v8)
+	nonCubic := []int{12, 48}
+	nonCubicPts, err := sweep(len(nonCubic), func(i int) (float64, error) {
+		return run(nonCubic[i], 6, 12, false, 0), nil // 216 ranks
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tMPI_s\tAMPI_v1_s\tAMPI_v8_s\tAMPI_v8_LB_s")
+	for i, c := range cubic {
+		p := cubicPts[i]
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.4f\n", c*c*c, p.mpi, p.v1, p.v8, p.v8lb)
+	}
+	for i, pes := range nonCubic {
+		fmt.Fprintf(tw, "%d\t-\t-\t%.4f\t-\n", pes, nonCubicPts[i])
 	}
 	return tw.Flush()
 }
@@ -258,20 +308,31 @@ func Fig14Lulesh(w io.Writer) error {
 // Fig15aPholdLPs reproduces Fig 15a: PHOLD event rate as LPs per PE grows
 // (32 initial events per LP).
 func Fig15aPholdLPs(w io.Writer) error {
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tLPs_per_PE\tevents_per_sec")
+	type cfg struct{ pes, lpsPerPE int }
+	var cfgs []cfg
 	for _, pes := range []int{16, 32, 64} {
 		for _, lpsPerPE := range []int{16, 64, 256} {
-			rt := newRuntime(machine.Stampede(pes))
-			lps := pes * lpsPerPE
-			res, err := pdes.Run(rt, pdes.Config{
-				LPs: lps, EventsPerLP: 8, TargetEvents: lps * 16, Seed: 11,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%d\t%d\t%.0f\n", pes, lpsPerPE, res.EventRate)
+			cfgs = append(cfgs, cfg{pes, lpsPerPE})
 		}
+	}
+	rates, err := sweep(len(cfgs), func(i int) (float64, error) {
+		rt := newRuntime(machine.Stampede(cfgs[i].pes))
+		lps := cfgs[i].pes * cfgs[i].lpsPerPE
+		res, err := pdes.Run(rt, pdes.Config{
+			LPs: lps, EventsPerLP: 8, TargetEvents: lps * 16, Seed: 11,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.EventRate, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tLPs_per_PE\tevents_per_sec")
+	for i, c := range cfgs {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\n", c.pes, c.lpsPerPE, rates[i])
 	}
 	return tw.Flush()
 }
@@ -279,24 +340,37 @@ func Fig15aPholdLPs(w io.Writer) error {
 // Fig15bPholdTram reproduces Fig 15b: event rates with and without TRAM at
 // low and high event densities (the paper's 64 vs 1024 events/LP scaled).
 func Fig15bPholdTram(w io.Writer) error {
-	tw := table(w)
-	fmt.Fprintln(tw, "PEs\tevents_per_LP\tdirect_ev_per_s\ttram_ev_per_s")
+	type cfg struct{ pes, epl int }
+	var cfgs []cfg
 	for _, pes := range []int{16, 32, 64} {
 		for _, epl := range []int{2, 24} {
-			lps := pes * 64
-			rate := func(useTram bool) float64 {
-				rt := newRuntime(machine.Stampede(pes))
-				res, err := pdes.Run(rt, pdes.Config{
-					LPs: lps, EventsPerLP: epl, TargetEvents: lps * epl * 2,
-					UseTram: useTram, Seed: 12,
-				})
-				if err != nil {
-					panic(err)
-				}
-				return res.EventRate
-			}
-			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\n", pes, epl, rate(false), rate(true))
+			cfgs = append(cfgs, cfg{pes, epl})
 		}
+	}
+	type point struct{ direct, tram float64 }
+	pts, err := sweep(len(cfgs), func(i int) (point, error) {
+		pes, epl := cfgs[i].pes, cfgs[i].epl
+		lps := pes * 64
+		rate := func(useTram bool) float64 {
+			rt := newRuntime(machine.Stampede(pes))
+			res, err := pdes.Run(rt, pdes.Config{
+				LPs: lps, EventsPerLP: epl, TargetEvents: lps * epl * 2,
+				UseTram: useTram, Seed: 12,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return res.EventRate
+		}
+		return point{direct: rate(false), tram: rate(true)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "PEs\tevents_per_LP\tdirect_ev_per_s\ttram_ev_per_s")
+	for i, c := range cfgs {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\n", c.pes, c.epl, pts[i].direct, pts[i].tram)
 	}
 	return tw.Flush()
 }
@@ -327,11 +401,24 @@ func Fig17CloudLeanMD(w io.Writer) error {
 		}
 		return leanmdSteady(res, 8)
 	}
+	pesList := []int{32, 64, 128, 256}
+	type point struct{ heteroNo, heteroLB, homoLB float64 }
+	pts, err := sweep(len(pesList), func(i int) (point, error) {
+		pes := pesList[i]
+		return point{
+			heteroNo: run(pes, true, false),
+			heteroLB: run(pes, true, true),
+			homoLB:   run(pes, false, true),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "PEs\tHeteroNoLB_s\tHeteroLB_s\tHomoLB_s")
-	for _, pes := range []int{32, 64, 128, 256} {
+	for i, pes := range pesList {
 		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pes,
-			run(pes, true, false), run(pes, true, true), run(pes, false, true))
+			pts[i].heteroNo, pts[i].heteroLB, pts[i].homoLB)
 	}
 	return tw.Flush()
 }

@@ -2,13 +2,14 @@ package figures
 
 import (
 	"bytes"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"4", "5", "6", "7", "8L", "8R", "9", "10", "11", "12", "13", "14", "15a", "15b", "16", "17"}
+	want := []string{"4", "5", "6", "7", "8L", "8R", "9", "10", "11", "12", "13", "14", "15a", "15b", "16", "17", "S"}
 	figs := All()
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures registered, want %d", len(figs), len(want))
@@ -44,27 +45,76 @@ func TestFastFiguresProduceTables(t *testing.T) {
 	}
 }
 
-// A figure's table is a pure function of virtual time, so it must be
-// byte-identical whichever engine computed it. Fig 8R is the fastest
-// figure that still exercises arrays, checkpointing, and reductions.
-func TestFigureCrossBackend(t *testing.T) {
-	f, _ := ByID("8R")
-	render := func(be string) string {
-		SetBackend(be)
-		defer SetBackend("")
-		var buf bytes.Buffer
-		if err := f.Run(&buf); err != nil {
-			t.Fatalf("%s backend: %v", be, err)
+// stripHostMetrics drops `#~` comment lines (wall-clock and heap
+// measurements of the generating host) so comparisons see only the
+// deterministic virtual-time table.
+func stripHostMetrics(s string) string {
+	lines := strings.Split(s, "\n")
+	kept := lines[:0]
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#~") {
+			continue
 		}
-		return buf.String()
+		kept = append(kept, ln)
 	}
-	seq := render("sequential")
-	par := render("parallel")
-	if seq != par {
-		t.Fatalf("figure %s output diverged across backends:\nsequential:\n%s\nparallel:\n%s", f.ID, seq, par)
+	return strings.Join(kept, "\n")
+}
+
+// A figure's table is a pure function of virtual time, so it must be
+// byte-identical whichever engine computed it. Three tiers keep the gate
+// proportionate: -short runs Fig 8R only (the fastest figure that still
+// exercises arrays, checkpointing, and reductions); the default adds the
+// other fast figures, staying inside the tier-1 race-detector budget; and
+// CHARMGO_FIGS_FULL=1 sweeps the entire registry (several minutes — run
+// without -race, as scripts/check.sh does in a dedicated step).
+//
+// SeqOnly figures (7, 14) drive AMPI rank goroutines that park inside
+// handlers, which the parallel engine's phase/commit split cannot host —
+// they are skipped with that reason, matching cmd/figures' behaviour
+// under -backend parallel. Figure S is skipped even in the full sweep:
+// at 8192 virtual PEs the parallel engine's run takes tens of minutes on
+// small hosts, and S's determinism is pinned the same way as everyone
+// else's where it matters — its table is byte-compared across sweep
+// worker counts.
+func TestFigureCrossBackend(t *testing.T) {
+	ids := []string{"8R"}
+	if os.Getenv("CHARMGO_FIGS_FULL") != "" {
+		ids = nil
+		for _, f := range All() {
+			if f.ID != "S" {
+				ids = append(ids, f.ID)
+			}
+		}
+	} else if !testing.Short() {
+		ids = []string{"4", "6", "8R"}
 	}
-	if len(strings.Split(seq, "\n")) < 4 {
-		t.Fatalf("figure %s produced a trivial table:\n%s", f.ID, seq)
+	for _, id := range ids {
+		f, ok := ByID(id)
+		if !ok {
+			t.Fatalf("figure %s missing from registry", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			if f.SeqOnly {
+				t.Skipf("figure %s is SeqOnly: AMPI rank goroutines park inside handlers, so it only runs on the sequential engine", f.ID)
+			}
+			render := func(be string) string {
+				SetBackend(be)
+				defer SetBackend("")
+				var buf bytes.Buffer
+				if err := f.Run(&buf); err != nil {
+					t.Fatalf("%s backend: %v", be, err)
+				}
+				return buf.String()
+			}
+			seq := stripHostMetrics(render("sequential"))
+			par := stripHostMetrics(render("parallel"))
+			if seq != par {
+				t.Fatalf("figure %s output diverged across backends:\nsequential:\n%s\nparallel:\n%s", f.ID, seq, par)
+			}
+			if len(strings.Split(seq, "\n")) < 4 {
+				t.Fatalf("figure %s produced a trivial table:\n%s", f.ID, seq)
+			}
+		})
 	}
 }
 

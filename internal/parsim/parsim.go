@@ -80,11 +80,16 @@ type Options struct {
 	Workers int
 }
 
-// event mirrors des.Event with a shard binding and phase-pipeline state.
+// event mirrors the des engines' event forms with a shard binding and
+// phase-pipeline state.
 type event struct {
 	at    des.Time
 	fn    func()        // global body (shard < 0)
-	sfn   func() func() // sharded two-phase body
+	sfn   func() func() // sharded two-phase body (closure form)
+	pfn   des.PhaseFn   // sharded two-phase body (preallocated form)
+	cfn   des.CommitFn  // sharded commit-only body (never launched early)
+	a     any
+	b     int64
 	seq   uint64
 	pos   int // heap index, -1 when popped or cancelled
 	shard int // -1 for global events
@@ -282,6 +287,40 @@ func (e *Engine) AtShard(shard int, t des.Time, fn func() func()) des.Handle {
 	return des.HandleFor(ev)
 }
 
+// AtShardFn schedules a two-phase event from a preallocated PhaseFn. It is
+// launchable on workers exactly like the closure form.
+func (e *Engine) AtShardFn(shard int, t des.Time, fn des.PhaseFn, a any, b int64) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("parsim: scheduling event at %v before now %v", t, e.now))
+	}
+	if shard < 0 || shard >= len(e.launchedOn) {
+		panic(fmt.Sprintf("parsim: shard %d out of range [0,%d)", shard, len(e.launchedOn)))
+	}
+	e.checkSchedule(shard, t)
+	ev := &event{at: t, pfn: fn, a: a, b: b, seq: e.seq, shard: shard}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return des.HandleFor(ev)
+}
+
+// AtShardCommit schedules a sharded event whose entire body runs at commit
+// position on the driver. It participates in shard ordering (the launch
+// scan will not run a later same-shard phase past it) but is never handed
+// to a worker: its body may touch global state, exactly like any commit.
+func (e *Engine) AtShardCommit(shard int, t des.Time, fn des.CommitFn, a any, b int64) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("parsim: scheduling event at %v before now %v", t, e.now))
+	}
+	if shard < 0 || shard >= len(e.launchedOn) {
+		panic(fmt.Sprintf("parsim: shard %d out of range [0,%d)", shard, len(e.launchedOn)))
+	}
+	e.checkSchedule(shard, t)
+	ev := &event{at: t, cfn: fn, a: a, b: b, seq: e.seq, shard: shard}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return des.HandleFor(ev)
+}
+
 // After schedules fn to run d seconds from now as a global event.
 func (e *Engine) After(d des.Time, fn func()) des.Handle {
 	if d < 0 {
@@ -385,7 +424,14 @@ func (e *Engine) step(horizon des.Time) {
 		commit = ev.commit
 	} else {
 		e.stats.Inline++
-		commit = ev.sfn()
+		switch {
+		case ev.cfn != nil:
+			ev.cfn(ev.a, ev.b, ev.at)
+		case ev.pfn != nil:
+			commit = ev.pfn(ev.a, ev.b, ev.at)
+		default:
+			commit = ev.sfn()
+		}
 	}
 	if commit != nil {
 		commit()
@@ -443,6 +489,12 @@ func (e *Engine) launch(horizon des.Time) {
 		if minGlobal != nil && precedes(minGlobal, ev) {
 			continue
 		}
+		if ev.cfn != nil {
+			// Commit-only bodies touch global state; they run inline on the
+			// driver at pop. Leaving the shard unlaunched this scan keeps
+			// same-shard ordering intact.
+			continue
+		}
 		e.launchEvent(ev)
 	}
 }
@@ -487,6 +539,10 @@ func runPhase(ev *event) {
 			ev.pval, ev.panicked = r, true
 		}
 	}()
+	if ev.pfn != nil {
+		ev.commit = ev.pfn(ev.a, ev.b, ev.at)
+		return
+	}
 	ev.commit = ev.sfn()
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Mode selects what a traversal does.
@@ -267,22 +268,69 @@ func Slice[T any](p *Pup, v *[]T, elem func(*Pup, *T)) {
 	}
 }
 
+// cursorPool recycles Pup cursors: Size sits on the runtime's per-send
+// message-sizing path, where a fresh cursor per call is pure garbage.
+var cursorPool = sync.Pool{New: func() any { return new(Pup) }}
+
 // Size measures the serialized size of obj.
 func Size(obj Pupable) int {
-	s := NewSizer()
+	s := cursorPool.Get().(*Pup)
+	*s = Pup{mode: Sizing}
 	obj.Pup(s)
-	return s.Bytes()
+	n := s.off
+	s.buf = nil
+	cursorPool.Put(s)
+	return n
 }
 
 // Pack serializes obj into a fresh buffer.
 func Pack(obj Pupable) []byte {
-	buf := make([]byte, Size(obj))
-	pk := NewPacker(buf)
+	return PackTo(nil, obj)
+}
+
+// PackTo serializes obj into buf, reusing its capacity and growing it as
+// needed; it returns the packed bytes. Pair with GetBuffer/PutBuffer to
+// recycle pack buffers across migrations and checkpoints.
+func PackTo(buf []byte, obj Pupable) []byte {
+	n := Size(obj)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	pk := cursorPool.Get().(*Pup)
+	*pk = Pup{mode: Packing, buf: buf}
 	obj.Pup(pk)
-	if pk.Bytes() != len(buf) {
-		panic(fmt.Sprintf("pup: sizing/packing disagreement: %d vs %d (unstable Pup method?)", pk.Bytes(), len(buf)))
+	off := pk.off
+	pk.buf = nil
+	cursorPool.Put(pk)
+	if off != n {
+		panic(fmt.Sprintf("pup: sizing/packing disagreement: %d vs %d (unstable Pup method?)", off, n))
 	}
 	return buf
+}
+
+// bufPool recycles pack buffers (as *[]byte to keep Put allocation-free in
+// the common already-pooled case).
+var bufPool sync.Pool
+
+// GetBuffer returns a zero-length buffer from the pack-buffer pool; grow it
+// through PackTo and return it with PutBuffer.
+func GetBuffer() []byte {
+	if b, ok := bufPool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// PutBuffer returns a buffer (typically the result of PackTo on a GetBuffer
+// buffer) to the pool. The caller must not retain it.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
 }
 
 // Unpack restores obj from data, returning an error if the Pup method does

@@ -104,6 +104,13 @@ type peBuffers struct {
 	peers  []int
 	bufs   [][]item
 	armed  []bool // timed flush scheduled for this peer
+
+	// free recycles item slices on this PE: a received batch's backing
+	// array, once drained, seeds the next outgoing buffer instead of being
+	// garbage. Strictly PE-local (filled by this PE's batch deliveries,
+	// drained by this PE's submissions), so it needs no synchronization on
+	// the parallel backend.
+	free [][]item
 }
 
 // Stats counts TRAM activity.
@@ -233,6 +240,12 @@ func (c *Client) route(ctx *charm.Ctx, it item) {
 		c.sendBatch(ctx, hop, []item{it}, false)
 		return
 	}
+	if pb.bufs[pi] == nil {
+		if n := len(pb.free); n > 0 {
+			pb.bufs[pi] = pb.free[n-1]
+			pb.free = pb.free[:n-1]
+		}
+	}
 	pb.bufs[pi] = append(pb.bufs[pi], it)
 	if h := c.rt.Trace(); h != nil {
 		// Capture the virtual time before deferring: elapsed keeps
@@ -292,10 +305,18 @@ func (c *Client) FlushAll(ctx *charm.Ctx) {
 }
 
 // onBatch receives an aggregated message: deliver local items, re-buffer
-// the rest toward their next dimension.
+// the rest toward their next dimension. The received slice is dead after
+// the loop (items are copied out by value), so full-size backing arrays are
+// recycled into this PE's free list; undersized ones (timed or direct-send
+// batches) are left for the collector.
 func (c *Client) onBatch(ctx *charm.Ctx, msg any) {
-	for _, it := range msg.(batch).items {
+	b := msg.(batch)
+	for _, it := range b.items {
 		c.route(ctx, it)
+	}
+	if cap(b.items) >= c.opts.BufItems {
+		clear(b.items) // drop payload references before pooling
+		c.pes[ctx.MyPE()].free = append(c.pes[ctx.MyPE()].free, b.items[:0])
 	}
 }
 

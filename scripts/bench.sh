@@ -9,27 +9,41 @@
 #   scripts/bench.sh            # full run, rewrites BENCH_parsim.json
 #   scripts/bench.sh --smoke    # small config, no file written; CI gate
 #   scripts/bench.sh --workers 4
+#   scripts/bench.sh --scale    # 1k/8k/64k virtual PEs, rewrites BENCH_scale.json
+#   scripts/bench.sh --gate     # re-run scale configs, fail on >20% regression
+#                               # against the committed BENCH_scale.json budgets
+#                               # (memory metrics gate hard; events/sec warns)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 smoke=0
+scale=0
+gate=0
 workers=8
 while [ $# -gt 0 ]; do
 	case "$1" in
 	--smoke) smoke=1 ;;
+	--scale) scale=1 ;;
+	--gate) gate=1 ;;
 	--workers)
 		shift
 		workers="$1"
 		;;
 	*)
-		echo "usage: scripts/bench.sh [--smoke] [--workers N]" >&2
+		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--workers N]" >&2
 		exit 2
 		;;
 	esac
 	shift
 done
 
+if [ "$gate" = 1 ]; then
+	exec go run ./cmd/parsimbench -gate BENCH_scale.json
+fi
+if [ "$scale" = 1 ]; then
+	exec go run ./cmd/parsimbench -scale -out BENCH_scale.json
+fi
 if [ "$smoke" = 1 ]; then
 	exec go run ./cmd/parsimbench -smoke -workers "$workers"
 fi

@@ -23,6 +23,20 @@ done
 
 scripts/bench.sh --smoke
 
+# Full-registry cross-backend identity: every figure's table byte-identical
+# on the sequential and parallel engines (SeqOnly figures 7/14 and the
+# paper-scale Figure S skip with a recorded reason). Runs without -race —
+# the sweep is minutes of simulation, and the race-flavored coverage of the
+# same property is the CrossBackend loop above.
+CHARMGO_FIGS_FULL=1 go test -count=1 -timeout 40m -run TestFigureCrossBackend ./internal/figures/
+
+# Memory-budget gate: re-run the 1k/8k/64k virtual-PE scale benchmark and
+# compare allocs/event, bytes/event, steady-state allocs, live heap, and
+# the nil-payload runtime allocs/event against the committed
+# BENCH_scale.json. Memory metrics are host-independent and fail the gate
+# at >20% over budget; events/sec only warns (it depends on the host).
+scripts/bench.sh --gate
+
 # Tracing overhead: the same LeanMD run untraced vs fully traced, recorded
 # for the PR record. The untraced path must stay a nil check.
 go run ./cmd/projections -selfbench -smoke -out BENCH_projections.json
