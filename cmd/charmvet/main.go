@@ -7,25 +7,67 @@
 // exits nonzero when any are found. The same suite runs in CI through
 // TestCharmvetClean, so the CLI is for local iteration: run it after
 // touching event-producing code or a Pup method.
+//
+// Flags:
+//
+//	-analyzers a,b    run only the named analyzers
+//	-why              print each finding's root→sink call chain, one hop
+//	                  per line, instead of the inline (via ...) suffix
+//	-json             machine-readable output: a JSON array of findings
+//	-baseline FILE    suppress findings recorded in FILE; only new
+//	                  findings count toward the exit status
+//	-update-baseline  rewrite the -baseline file (default
+//	                  charmvet.baseline) from the current findings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"charmgo/internal/analysis"
 )
 
 func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
+		why       = flag.Bool("why", false, "print full call chains, one hop per line")
+		names     = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		baseline  = flag.String("baseline", "", "baseline file of known findings to suppress")
+		updateB   = flag.Bool("update-baseline", false, "rewrite the baseline file from current findings")
+		baseDeflt = "charmvet.baseline"
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: charmvet [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: charmvet [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range analysis.DefaultSuite().Analyzers {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	suite := analysis.DefaultSuite()
+	if *names != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite.Analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "charmvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		suite.Analyzers = picked
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -36,9 +78,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	findings := analysis.DefaultSuite().Run(pkgs)
-	for _, f := range findings {
-		fmt.Println(f)
+	findings := suite.Run(pkgs)
+
+	if *updateB {
+		file := *baseline
+		if file == "" {
+			file = baseDeflt
+		}
+		if err := os.WriteFile(file, []byte(analysis.FormatBaseline(findings)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "charmvet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "charmvet: wrote %d finding(s) to %s\n", len(findings), file)
+		return
+	}
+
+	suppressed := 0
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmvet:", err)
+			os.Exit(2)
+		}
+		base, err := analysis.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmvet:", err)
+			os.Exit(2)
+		}
+		findings, suppressed = analysis.FilterBaseline(findings, base)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "charmvet:", err)
+			os.Exit(2)
+		}
+	case *why:
+		for _, f := range findings {
+			// The chain is shown hop by hop below; drop its inline form.
+			if i := strings.Index(f.Message, " (via "); i >= 0 {
+				f.Message = f.Message[:i]
+			}
+			fmt.Println(f)
+			for i, hop := range f.Chain {
+				fmt.Printf("    %s%s\n", strings.Repeat("  ", i), hop)
+			}
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "charmvet: %d baseline finding(s) suppressed\n", suppressed)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "charmvet: %d violation(s)\n", len(findings))

@@ -235,6 +235,7 @@ func (e *Env) rankOf(obj charm.Chare) *Rank { return e.ranks[obj.(*rankChare).ID
 
 // segment runs the rank until it blocks again, within ctx's execution.
 func (e *Env) segment(ctx *charm.Ctx, r *Rank, w wake) {
+	//charmvet:retain (cleared below before segment returns; the rank goroutine only touches it while parked inside this same delivery)
 	r.ctx = ctx
 	r.blocked = notBlocked
 	r.resume <- w

@@ -1,22 +1,36 @@
 // Package analysis implements charmvet, a vet-style static-analysis suite
 // that enforces the invariants the runtime's determinism and migratability
-// guarantees rest on. Five analyzers cover the classic bug classes of a
-// migratable-objects runtime built on a deterministic DES core:
+// guarantees rest on. The v2 suite reasons about the module the way the
+// runtime executes it: a whole-module call graph (callgraph.go) identifies
+// the functions the engine invokes as events — entry methods, PE handlers,
+// commit closures, Pup methods — and the analyzers check what those events
+// can reach, not what package a file happens to sit in:
 //
-//   - detmap: no map-order-dependent iteration in event-producing packages
+//   - dettaint: no nondeterminism source (wall clock, global math/rand,
+//     map-order iteration, select, goroutine spawn) reachable from an
+//     entry method, commit closure, or Pup method — reported with the
+//     full call chain
 //
-//   - walltime: no wall clock or global math/rand in simulation code
+//   - retaincheck: no pooled object (*charm.Ctx, runtime messages) stored
+//     into state that outlives the handler invocation
 //
-//   - pupcheck: every field of a chare struct is covered by its Pup method
+//   - phasepure: parsim's two-phase discipline — phase-side handler code
+//     must route global effects through Ctx.Defer, and commit closures
+//     must not read phase-side chare state
 //
-//   - nospawn: no goroutines or selects inside DES-driven packages
+//   - pupcheck: every field of a chare struct is covered by its Pup
+//     method, descending one level into embedded and named struct fields
 //
-//   - poolcheck: no use of a pooled object after it is released to its pool
+//   - poolcheck: no use of a pooled object after it is released to its
+//     pool (intra-procedural, runs everywhere)
 //
 // The suite is stdlib-only (go/parser, go/ast, go/types); imports are
-// resolved from compiler export data via `go list -export`. It runs as a
-// CLI (cmd/charmvet) and as a tier-1 test (TestCharmvetClean), so a
-// violation reintroduced anywhere fails `go test ./...`.
+// resolved from compiler export data via `go list -export`, with module
+// packages type-checked from source in one shared type universe so the
+// call graph can resolve cross-package calls exactly. It runs as a CLI
+// (cmd/charmvet, with -json/-why/-baseline) and as a tier-1 test
+// (TestCharmvetClean), so a violation reintroduced anywhere fails
+// `go test ./...`.
 package analysis
 
 import (
@@ -30,9 +44,12 @@ import (
 
 // Finding is one rule violation.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	// Chain is the call path from the analysis root to the finding,
+	// outermost first, for analyzers that reason interprocedurally.
+	Chain []string `json:"chain,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -43,13 +60,11 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	// Scoped analyzers run only on packages the suite marks critical for
-	// them; unscoped analyzers run everywhere.
-	Scoped bool
-	Run    func(*Pass)
+	Run  func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the module-wide
+// call graph shared by every pass of a suite run.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -57,6 +72,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Path     string
+	Graph    *Graph
 
 	waivers  map[string]map[fileLine]bool // waiver name -> waived file:line
 	findings *[]Finding
@@ -64,16 +80,34 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportChainf(pos, nil, format, args...)
+}
+
+// ReportChainf records a finding at pos carrying a root→sink call chain.
+func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
 // TypeOf returns the type of e, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
+}
+
+// pkgNodes returns the call-graph nodes whose bodies live in this pass's
+// package, in deterministic graph order.
+func (p *Pass) pkgNodes() []*Node {
+	var nodes []*Node
+	for _, n := range p.Graph.Nodes {
+		if n.Pkg.Path == p.Path {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 // Waiver directives. A directive comment waives the statement on its own
@@ -102,6 +136,15 @@ const (
 	// release call (for example re-releasing under a different name, or a
 	// release helper that the caller knows is a no-op on this path).
 	WaiverPooled = "charmvet:pooled"
+	// WaiverRetain marks a deliberate store of a pooled object into
+	// longer-lived state — the pool implementations themselves, and
+	// runtime structures whose lifecycle provably returns the object
+	// before reuse.
+	WaiverRetain = "charmvet:retain"
+	// WaiverPhase marks a deliberate phase-side write to shared state —
+	// state that is PE-local by construction, or sequential-backend-only
+	// paths.
+	WaiverPhase = "charmvet:phase"
 )
 
 // Waived reports whether a directive comment covers the line of pos: on
@@ -129,7 +172,10 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				for _, name := range []string{WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim, WaiverPupSkip, WaiverPooled} {
+				for _, name := range []string{
+					WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim,
+					WaiverPupSkip, WaiverPooled, WaiverRetain, WaiverPhase,
+				} {
 					if text == name || strings.HasPrefix(text, name+" ") {
 						pos := fset.Position(c.Pos())
 						// Waive the directive's own line and the next one,
@@ -144,60 +190,23 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 	return w
 }
 
-// Suite binds analyzers to the package sets they police.
+// Suite is a set of analyzers run over the whole module at once.
 type Suite struct {
 	Analyzers []*Analyzer
-	// Critical maps analyzer name -> import-path prefixes the analyzer is
-	// scoped to. Ignored for unscoped analyzers.
-	Critical map[string][]string
-	// Exclude lists import-path prefixes no analyzer visits (test
-	// fixtures containing deliberate violations).
+	// Exclude lists import-path prefixes whose findings are dropped and
+	// whose functions never act as call-graph roots (test fixtures
+	// containing deliberate violations).
 	Exclude []string
 }
 
-// DefaultSuite is the charmgo policy: detmap and nospawn guard the
-// packages that produce or order simulation events; walltime guards every
-// internal package (virtual time is the only clock of the simulated
-// machine); pupcheck guards every package that defines a Pup method.
+// DefaultSuite is the charmgo policy. Scoping is by reachability, not by
+// package list: dettaint and phasepure follow the call graph from the
+// functions the runtime invokes as events, and retaincheck/poolcheck/
+// pupcheck run everywhere their trigger shapes appear.
 func DefaultSuite() *Suite {
 	return &Suite{
-		Analyzers: []*Analyzer{DetMap, WallTime, PupCheck, NoSpawn, PoolCheck},
-		Critical: map[string][]string{
-			PoolCheck.Name: {
-				"charmgo/internal/des",
-				"charmgo/internal/parsim",
-				"charmgo/internal/charm",
-				"charmgo/internal/pup",
-				"charmgo/internal/tram",
-				"charmgo/internal/ckpt",
-			},
-			DetMap.Name: {
-				"charmgo/internal/des",
-				"charmgo/internal/parsim",
-				"charmgo/internal/charm",
-				"charmgo/internal/machine",
-				"charmgo/internal/lb",
-				"charmgo/internal/tram",
-				"charmgo/internal/ckpt",
-				"charmgo/internal/projections",
-				"charmgo/internal/chaos",
-			},
-			NoSpawn.Name: {
-				"charmgo/internal/des",
-				"charmgo/internal/parsim",
-				"charmgo/internal/charm",
-				"charmgo/internal/machine",
-				"charmgo/internal/lb",
-				"charmgo/internal/tram",
-				"charmgo/internal/ckpt",
-				"charmgo/internal/projections",
-				"charmgo/internal/chaos",
-			},
-			WallTime.Name: {
-				"charmgo/internal",
-			},
-		},
-		Exclude: []string{"charmgo/internal/analysis/fixtures"},
+		Analyzers: []*Analyzer{DetTaint, RetainCheck, PhasePure, PupCheck, PoolCheck},
+		Exclude:   []string{"charmgo/internal/analysis/fixtures"},
 	}
 }
 
@@ -210,20 +219,25 @@ func hasPrefix(path string, prefixes []string) bool {
 	return false
 }
 
-// Run applies the suite to pkgs and returns all findings in file order.
+// Run builds the call graph over pkgs once, applies every analyzer to
+// every non-excluded package, and returns all findings in file order.
 func (s *Suite) Run(pkgs []*Package) []Finding {
+	graph := NewGraph(pkgs, s.Exclude)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		if hasPrefix(pkg.Path, s.Exclude) {
 			continue
 		}
 		for _, a := range s.Analyzers {
-			if a.Scoped && !hasPrefix(pkg.Path, s.Critical[a.Name]) {
-				continue
-			}
-			RunAnalyzer(a, pkg, &findings)
+			RunAnalyzer(a, pkg, graph, &findings)
 		}
 	}
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by file, line, then analyzer.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -234,13 +248,13 @@ func (s *Suite) Run(pkgs []*Package) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
 }
 
 // RunAnalyzer applies a single analyzer to one package, appending to
-// findings. Tests use it to drive an analyzer over a fixture regardless of
-// suite scoping.
-func RunAnalyzer(a *Analyzer, pkg *Package, findings *[]Finding) {
+// findings. graph must cover at least pkg (tests build one over a fixture
+// package alone). Tests use it to drive an analyzer over a fixture
+// regardless of suite composition.
+func RunAnalyzer(a *Analyzer, pkg *Package, graph *Graph, findings *[]Finding) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -248,6 +262,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package, findings *[]Finding) {
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
 		Path:     pkg.Path,
+		Graph:    graph,
 		waivers:  buildWaivers(pkg.Fset, pkg.Files),
 		findings: findings,
 	}

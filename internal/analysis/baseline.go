@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support for incremental adoption: a committed file of known
+// findings that CI tolerates, so a new analyzer can land before every
+// legacy finding is triaged, while any *new* finding still fails the
+// build.
+//
+// A baseline entry keys a finding by analyzer, file base name, and message
+// — deliberately not by line number, so unrelated edits above a known
+// finding do not churn the baseline. The message includes the call chain
+// suffix for interprocedural findings, so a finding that becomes reachable
+// through a new path counts as new.
+
+// FindingKey returns the baseline key of f.
+func FindingKey(f Finding) string {
+	return fmt.Sprintf("%s\t%s\t%s", f.Analyzer, filepath.Base(f.Pos.Filename), f.Message)
+}
+
+// ParseBaseline reads a baseline: one key per line, '#' comments and blank
+// lines ignored.
+func ParseBaseline(r io.Reader) (map[string]bool, error) {
+	base := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line] = true
+	}
+	return base, sc.Err()
+}
+
+// FilterBaseline drops findings whose key appears in base, returning the
+// new findings and the count suppressed.
+func FilterBaseline(findings []Finding, base map[string]bool) (fresh []Finding, suppressed int) {
+	for _, f := range findings {
+		if base[FindingKey(f)] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
+}
+
+// FormatBaseline renders findings as a baseline file: sorted, deduplicated,
+// with a header comment.
+func FormatBaseline(findings []Finding) string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, f := range findings {
+		k := FindingKey(f)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# charmvet baseline: known findings tolerated during incremental adoption.\n")
+	b.WriteString("# One finding per line: analyzer<TAB>file<TAB>message. Regenerate with\n")
+	b.WriteString("# `go run ./cmd/charmvet -update-baseline ./...`; shrink it, never grow it.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

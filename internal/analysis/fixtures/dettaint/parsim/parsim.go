@@ -4,14 +4,21 @@
 // gets a finding, proving the waiver covers only annotated lines.
 package parsim
 
-// GoodWorkerSpawn mirrors the engine's phase-worker launch: the waiver is
-// honored because this is a parsim package.
-func GoodWorkerSpawn(worker func()) {
-	//charmvet:parsim (phase workers execute provably independent events)
-	go worker()
+import "charmgo/internal/charm"
+
+func use(fns ...any) {}
+
+func register() { use(onWork) }
+
+func onWork(obj any, ctx *charm.Ctx, msg any) {
+	launchWorkers()
 }
 
-// BadUnwaivedSpawn has no waiver and is flagged even inside parsim.
-func BadUnwaivedSpawn(fn func()) {
-	go fn() // want `go statement`
+// launchWorkers mirrors the engine's phase-worker launch: the waiver is
+// honored because this is a parsim package.
+func launchWorkers() {
+	//charmvet:parsim (phase workers execute provably independent events)
+	go func() {}()
+
+	go func() {}() // want `go statement`
 }

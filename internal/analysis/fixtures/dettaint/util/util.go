@@ -1,0 +1,18 @@
+// Package util holds the sink half of the dettaint deep-reachability
+// fixture: StepB reads the wall clock, two calls below the entry method in
+// the parent dettaint package and across a package boundary. The v1
+// walltime analyzer scanned files intra-procedurally within hand-curated
+// package lists, so this bug was invisible to it by construction; dettaint
+// reports it with the full entry-method→sink chain.
+// TestDettaintDeepWallclock asserts both halves.
+package util
+
+import stdtime "time"
+
+func StepA() {
+	stepB()
+}
+
+func stepB() {
+	_ = stdtime.Now() // want `time.Now`
+}

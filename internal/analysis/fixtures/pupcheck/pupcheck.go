@@ -46,3 +46,80 @@ type other struct{ X int }
 func (o *other) Pup(p *Pup) {}
 
 var _ = (&other{}).Pup
+
+// state is an embedded state struct: promoted selections (c.N) pup its
+// fields one by one, so the checker descends and reports the forgotten
+// sibling. Before the one-level descent this embedding got no field
+// coverage at all — the promoted reference marked only the leaf.
+type state struct {
+	N    int
+	Lost float64
+}
+
+type embChare struct {
+	state
+	A int
+}
+
+func (c *embChare) Pup(p *pup.Pup) { // want `field state.Lost is not referenced in Pup`
+	p.Int(&c.A)
+	p.Int(&c.N)
+}
+
+// inner has its own Pup; a wholesale delegation covers everything.
+type inner struct {
+	A, B int
+}
+
+func (i *inner) Pup(p *pup.Pup) {
+	p.Int(&i.A)
+	p.Int(&i.B)
+}
+
+type delegChare struct {
+	Sub inner
+	K   int
+}
+
+func (c *delegChare) Pup(p *pup.Pup) {
+	c.Sub.Pup(p)
+	p.Int(&c.K)
+}
+
+// partialChare pups its named sub-struct field by field but forgets B.
+type partialChare struct {
+	Sub2 inner
+}
+
+func (c *partialChare) Pup(p *pup.Pup) { // want `field Sub2.B is not referenced in Pup`
+	p.Int(&c.Sub2.A)
+}
+
+// helpChare delegates by handing the sub-struct's address to a helper:
+// terminal use, coverage is the helper's responsibility.
+type helpChare struct {
+	Sub3 inner
+}
+
+func (c *helpChare) Pup(p *pup.Pup) {
+	pupInner(p, &c.Sub3)
+}
+
+func pupInner(p *pup.Pup, i *inner) {
+	p.Int(&i.A)
+	p.Int(&i.B)
+}
+
+// skipState shows //pup:skip is honored one level down too.
+type skipState struct {
+	N     int
+	cache int //pup:skip (rebuilt on demand)
+}
+
+type skipChare struct {
+	S skipState
+}
+
+func (c *skipChare) Pup(p *pup.Pup) {
+	p.Int(&c.S.N)
+}

@@ -1,0 +1,57 @@
+// Package retaincheck is a charmvet test fixture. Each `// want` comment
+// marks an expected retaincheck finding on its line; the package is
+// excluded from the real suite and exists only for the analyzer unit
+// tests. The pooled type under test is the real *charm.Ctx — valid only
+// for the delivery it was issued for, recycled immediately after.
+package retaincheck
+
+import "charmgo/internal/charm"
+
+type keeper struct {
+	ctx *charm.Ctx
+	n   int
+}
+
+var leakedCtx *charm.Ctx
+
+var allCtx []*charm.Ctx
+
+type pair struct {
+	c *charm.Ctx
+}
+
+func use(fns ...any) {}
+
+func register() { use(onKeep, onOK) }
+
+func onKeep(obj any, ctx *charm.Ctx, msg any) {
+	k := obj.(*keeper)
+	k.ctx = ctx // want `ctx stored into k.ctx`
+
+	leakedCtx = ctx // want `stored into leakedCtx`
+
+	allCtx = append(allCtx, ctx) // want `appended to a slice`
+
+	_ = pair{c: ctx} // want `placed in a composite literal`
+
+	later(func() { touch(ctx) }) // want `captured by a closure passed to later`
+}
+
+func later(f func()) {}
+
+func touch(ctx *charm.Ctx) {}
+
+func onOK(obj any, ctx *charm.Ctx, msg any) {
+	// Passing the Ctx on keeps it within the delivery; method calls on it
+	// are its whole point.
+	touch(ctx)
+	_ = ctx.MyPE()
+
+	// Defer closures run and are dropped before the runtime recycles the
+	// Ctx, so capturing it there is sanctioned.
+	ctx.Defer(func() { touch(ctx) })
+
+	// A deliberate retention site carries the waiver.
+	//charmvet:retain (fixture: deliberate)
+	leakedCtx = ctx
+}

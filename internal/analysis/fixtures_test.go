@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"fmt"
+	"go/ast"
 	"strings"
 	"sync"
 	"testing"
@@ -9,17 +10,26 @@ import (
 	"charmgo/internal/analysis"
 )
 
+// fixtureWorld is every fixture package plus one call graph over all of
+// them (no root exclusions: fixture roots are the point).
+type fixtureWorld struct {
+	byPath map[string]*analysis.Package
+	all    []*analysis.Package
+	graph  *analysis.Graph
+}
+
 // loadFixtures loads every fixture package once for all analyzer tests.
-var loadFixtures = sync.OnceValues(func() (map[string]*analysis.Package, error) {
+var loadFixtures = sync.OnceValues(func() (*fixtureWorld, error) {
 	pkgs, err := analysis.Load("../..", "./internal/analysis/fixtures/...")
 	if err != nil {
 		return nil, err
 	}
-	byPath := map[string]*analysis.Package{}
+	w := &fixtureWorld{byPath: map[string]*analysis.Package{}, all: pkgs}
 	for _, p := range pkgs {
-		byPath[p.Path] = p
+		w.byPath[p.Path] = p
 	}
-	return byPath, nil
+	w.graph = analysis.NewGraph(pkgs, nil)
+	return w, nil
 })
 
 // checkFixture runs one analyzer over its fixture package and compares the
@@ -27,13 +37,13 @@ var loadFixtures = sync.OnceValues(func() (map[string]*analysis.Package, error) 
 // every finding must land on a marked line and match its substring, and
 // every mark must be hit — so each fixture proves both the positive and
 // the negative cases.
-func checkFixture(t *testing.T, a *analysis.Analyzer, path string) {
+func checkFixture(t *testing.T, a *analysis.Analyzer, path string) []analysis.Finding {
 	t.Helper()
-	fixtures, err := loadFixtures()
+	w, err := loadFixtures()
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	pkg := fixtures[path]
+	pkg := w.byPath[path]
 	if pkg == nil {
 		t.Fatalf("fixture package %s not loaded", path)
 	}
@@ -70,7 +80,7 @@ func checkFixture(t *testing.T, a *analysis.Analyzer, path string) {
 	}
 
 	var findings []analysis.Finding
-	analysis.RunAnalyzer(a, pkg, &findings)
+	analysis.RunAnalyzer(a, pkg, w.graph, &findings)
 	for _, f := range findings {
 		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
 		matched := false
@@ -90,14 +100,23 @@ func checkFixture(t *testing.T, a *analysis.Analyzer, path string) {
 			t.Errorf("%s: expected a finding matching %q, got none", m.key, m.want)
 		}
 	}
+	return findings
 }
 
-func TestDetMap(t *testing.T) {
-	checkFixture(t, analysis.DetMap, "charmgo/internal/analysis/fixtures/detmap")
+func TestDetTaint(t *testing.T) {
+	checkFixture(t, analysis.DetTaint, "charmgo/internal/analysis/fixtures/dettaint")
 }
 
-func TestWallTime(t *testing.T) {
-	checkFixture(t, analysis.WallTime, "charmgo/internal/analysis/fixtures/walltime")
+func TestDetTaintParsimWaiver(t *testing.T) {
+	checkFixture(t, analysis.DetTaint, "charmgo/internal/analysis/fixtures/dettaint/parsim")
+}
+
+func TestRetainCheck(t *testing.T) {
+	checkFixture(t, analysis.RetainCheck, "charmgo/internal/analysis/fixtures/retaincheck")
+}
+
+func TestPhasePure(t *testing.T) {
+	checkFixture(t, analysis.PhasePure, "charmgo/internal/analysis/fixtures/phasepure")
 }
 
 func TestPupCheck(t *testing.T) {
@@ -108,82 +127,79 @@ func TestPoolCheck(t *testing.T) {
 	checkFixture(t, analysis.PoolCheck, "charmgo/internal/analysis/fixtures/poolcheck")
 }
 
-func TestNoSpawn(t *testing.T) {
-	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/nospawn")
-}
+// TestDettaintDeepWallclock is the acceptance case for reachability: the
+// entry method (fixtures/dettaint.onTick) is wall-clock-free in its own
+// body and its own package, and the time.Now sits two calls down in the
+// sub-package fixtures/dettaint/util. An intra-procedural, package-scoped
+// analyzer — v1's walltime — finds nothing to flag in either place: the
+// entry package has no source, and the sink package has no entry point or
+// critical-list membership tying it to an event path. dettaint reports the
+// sink with the full three-hop chain.
+func TestDettaintDeepWallclock(t *testing.T) {
+	w, err := loadFixtures()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	entry := w.byPath["charmgo/internal/analysis/fixtures/dettaint"]
 
-func TestNoSpawnParsimWaiver(t *testing.T) {
-	checkFixture(t, analysis.NoSpawn, "charmgo/internal/analysis/fixtures/parsim")
-}
-
-func TestDetMapProjectionsFixture(t *testing.T) {
-	checkFixture(t, analysis.DetMap, "charmgo/internal/analysis/fixtures/projections")
-}
-
-// The event tracer's whole value rests on deterministic, virtual-time-only
-// recording, so internal/projections must sit inside every determinism
-// analyzer's scope.
-func TestProjectionsOnCriticalLists(t *testing.T) {
-	suite := analysis.DefaultSuite()
-	const pkg = "charmgo/internal/projections"
-	for _, name := range []string{analysis.DetMap.Name, analysis.NoSpawn.Name, analysis.WallTime.Name} {
-		prefixes := suite.Critical[name]
-		covered := false
-		for _, pre := range prefixes {
-			if pkg == pre || strings.HasPrefix(pkg, pre+"/") {
-				covered = true
+	// Half one: the file scan v1 performed sees no wall-clock call in the
+	// entry method's body.
+	for _, f := range entry.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "onTick" {
+				continue
 			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "stdtime" {
+						t.Errorf("fixture invalid: onTick's own body references time (%s); the deep-reachability case must keep the source two calls down", entry.Fset.Position(sel.Pos()))
+					}
+				}
+				return true
+			})
 		}
-		if !covered {
-			t.Errorf("%s's critical list %v does not cover %s", name, prefixes, pkg)
+	}
+
+	// Half two: dettaint reports the sink in util with the full chain
+	// from the entry method.
+	findings := checkFixture(t, analysis.DetTaint, "charmgo/internal/analysis/fixtures/dettaint/util")
+	found := false
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "time.Now") {
+			continue
 		}
+		found = true
+		if len(f.Chain) < 3 {
+			t.Errorf("deep wall-clock finding should carry a >=3-hop chain, got %v", f.Chain)
+		}
+		if !strings.Contains(strings.Join(f.Chain, " "), "onTick") {
+			t.Errorf("chain %v does not start at the entry method onTick", f.Chain)
+		}
+		if !strings.Contains(f.Chain[0], "[entry method]") {
+			t.Errorf("chain %v does not label its root as an entry method", f.Chain)
+		}
+	}
+	if !found {
+		t.Fatalf("no time.Now finding reported in the util sink package")
 	}
 }
 
-func TestWallTimeChaosFixture(t *testing.T) {
-	checkFixture(t, analysis.WallTime, "charmgo/internal/analysis/fixtures/chaos")
-}
-
-// The fault injector's reproducibility contract (same seed, same faults,
-// same report) is a determinism property, so internal/chaos must sit
-// inside every determinism analyzer's scope.
-func TestChaosOnCriticalLists(t *testing.T) {
-	suite := analysis.DefaultSuite()
-	const pkg = "charmgo/internal/chaos"
-	for _, name := range []string{analysis.DetMap.Name, analysis.NoSpawn.Name, analysis.WallTime.Name} {
-		prefixes := suite.Critical[name]
-		covered := false
-		for _, pre := range prefixes {
-			if pkg == pre || strings.HasPrefix(pkg, pre+"/") {
-				covered = true
-			}
-		}
-		if !covered {
-			t.Errorf("%s's critical list %v does not cover %s", name, prefixes, pkg)
-		}
-	}
-}
-
-// TestWaiversAreHonored double-checks the fixture waivers through the
-// suite path as well: running the default suite with the fixture exclusion
-// removed must flag fixture violations, proving the exclusion (not the
-// waivers) is what keeps fixtures out of TestCharmvetClean.
+// TestFixtureExclusion proves the suite's fixture exclusion (not the
+// waivers) is what keeps the deliberate violations out of
+// TestCharmvetClean: the default suite must report nothing on fixture
+// packages, and the same suite with the exclusion removed must flag them.
 func TestFixtureExclusion(t *testing.T) {
-	fixtures, err := loadFixtures()
+	w, err := loadFixtures()
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
 	suite := analysis.DefaultSuite()
-	var all []*analysis.Package
-	for _, p := range fixtures {
-		all = append(all, p)
-	}
-	if got := suite.Run(all); len(got) != 0 {
-		t.Errorf("default suite must exclude fixtures, got %d findings", len(got))
+	if got := suite.Run(w.all); len(got) != 0 {
+		t.Errorf("default suite must exclude fixtures, got %d findings: %v", len(got), got)
 	}
 	suite.Exclude = nil
-	suite.Critical[analysis.DetMap.Name] = append(suite.Critical[analysis.DetMap.Name], "charmgo/internal/analysis/fixtures")
-	if got := suite.Run(all); len(got) == 0 {
+	if got := suite.Run(w.all); len(got) == 0 {
 		t.Errorf("suite with exclusion removed should flag fixture violations")
 	}
 }

@@ -79,7 +79,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, &pc)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	// go list -deps emits packages in dependency order (a package follows
+	// its imports). Keep that order for type-checking so every intra-module
+	// import can resolve to the already source-checked package — the whole
+	// module then shares one type universe, which the call-graph layer
+	// requires (object identity across packages). Output order is sorted
+	// below once checking is done.
 
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -89,8 +94,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
+	imp := &sourceImporter{
+		fallback: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		srcs:     map[string]*types.Package{},
+	}
 	conf := types.Config{
-		Importer:    importer.ForCompiler(fset, "gc", lookup),
+		Importer:    imp,
 		FakeImportC: true,
 		Error:       func(error) {}, // collect what we can; a broken file should not sink the run
 	}
@@ -115,6 +124,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s: %v", t.ImportPath, err)
 		}
+		imp.srcs[t.ImportPath] = tpkg
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,
 			Dir:   t.Dir,
@@ -124,5 +134,27 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Info:  info,
 		})
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// sourceImporter resolves imports of already type-checked target packages
+// to their source-checked *types.Package, falling back to compiler export
+// data for everything else (stdlib, dep-only packages). Source preference
+// keeps the module in one type universe: a *types.Func seen from an
+// importing package is the same object the defining package declared.
+type sourceImporter struct {
+	fallback types.ImporterFrom
+	srcs     map[string]*types.Package
+}
+
+func (m *sourceImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *sourceImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if p, ok := m.srcs[path]; ok {
+		return p, nil
+	}
+	return m.fallback.ImportFrom(path, dir, 0)
 }

@@ -20,10 +20,9 @@ import (
 // reassigned. Deferred releases are exempt (they run at function exit), and
 // a deliberate post-release use can carry a //charmvet:pooled waiver.
 var PoolCheck = &Analyzer{
-	Name:   "poolcheck",
-	Doc:    "flags uses of a pooled object after it was released to its pool",
-	Scoped: true,
-	Run:    runPoolCheck,
+	Name: "poolcheck",
+	Doc:  "flags uses of a pooled object after it was released to its pool",
+	Run:  runPoolCheck,
 }
 
 var releasePrefixes = []string{"put", "release", "free", "recycle"}

@@ -373,11 +373,19 @@ func (a *App) leafSet() map[charm.Index]bool {
 // collective + one configuration message per block.
 func (a *App) rebuildTopology(install bool) map[charm.Index]topoMsg {
 	leaves := a.leafSet()
-	out := make(map[charm.Index]topoMsg, len(leaves))
+	// Iterate leaves in index order, not map order: the a.err latch below
+	// keeps the *last* violation seen, and ghost-list construction should
+	// not depend on Go's randomized map iteration (charmvet: dettaint).
+	ordered := make([]charm.Index, 0, len(leaves))
 	for idx := range leaves {
+		ordered = append(ordered, idx)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Less(ordered[j]) })
+	out := make(map[charm.Index]topoMsg, len(leaves))
+	for _, idx := range ordered {
 		out[idx] = topoMsg{}
 	}
-	for idx := range leaves {
+	for _, idx := range ordered {
 		x, y, z, d := idx.Coords()
 		side := 1 << d
 		tm := out[idx]
@@ -427,8 +435,8 @@ func (a *App) rebuildTopology(install bool) map[charm.Index]topoMsg {
 		}
 		out[idx] = tm
 	}
-	// RecvFrom lists accumulated in leaf-map order; sort for determinism.
-	for idx := range out {
+	// RecvFrom lists accumulated in sender order; sort for determinism.
+	for _, idx := range ordered {
 		tm := out[idx]
 		for d := 0; d < 3; d++ {
 			sort.Slice(tm.RecvFrom[d], func(i, j int) bool {
@@ -438,9 +446,9 @@ func (a *App) rebuildTopology(install bool) map[charm.Index]topoMsg {
 		out[idx] = tm
 	}
 	if install {
-		for idx, tm := range out {
+		for _, idx := range ordered {
 			b := a.blocks.Get(idx).(*block)
-			b.Topo = tm
+			b.Topo = out[idx]
 		}
 	}
 	return out

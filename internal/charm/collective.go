@@ -148,6 +148,7 @@ func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
 		}
 		ctx.fx.fns = append(ctx.fx.fns, func() {
 			rt.inflight++
+			//charmvet:retain (effect closure: runs at this delivery's commit, before the message could be recycled)
 			rt.enqueue(m, p)
 		})
 	}

@@ -63,6 +63,7 @@ func (p *peState) takeCtx(rt *Runtime, el *element, at des.Time) *Ctx {
 // releaseCtx recycles a delivery context at the end of its commit.
 func (p *peState) releaseCtx(ctx *Ctx) {
 	*ctx = Ctx{}
+	//charmvet:retain (this IS the pool: the spare slot the next delivery draws from)
 	p.ctxSpare = ctx
 }
 
@@ -223,6 +224,7 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 		c.rt.send(m, at)
 		return
 	}
+	//charmvet:retain (effect closure: runs at this delivery's commit, before Ctx and message are recycled)
 	c.fx.fns = append(c.fx.fns, func() { c.rt.send(m, at) })
 }
 
@@ -247,6 +249,7 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 		c.rt.send(m, at)
 		return
 	}
+	//charmvet:retain (effect closure: runs at this delivery's commit, before Ctx and message are recycled)
 	c.fx.fns = append(c.fx.fns, func() { c.rt.send(m, at) })
 }
 

@@ -69,6 +69,7 @@ func msgLess(a, b *message) bool {
 }
 
 func (q *msgQueue) push(m *message) {
+	//charmvet:retain (the queue owns the message until pop; recycling happens only after delivery commits)
 	h := append(*q, m)
 	*q = h
 	// Sift the hole up instead of swapping: half the writes.
@@ -81,6 +82,7 @@ func (q *msgQueue) push(m *message) {
 		h[i] = h[p]
 		i = p
 	}
+	//charmvet:retain (heap sift: placing the owned message into its slot)
 	h[i] = m
 }
 
@@ -110,6 +112,7 @@ func (q *msgQueue) pop() *message {
 		h[i] = h[c]
 		i = c
 	}
+	//charmvet:retain (heap sift: placing the owned message into its slot)
 	h[i] = m
 	return top
 }

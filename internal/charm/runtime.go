@@ -529,6 +529,7 @@ func (rt *Runtime) arrive(m *message, dst int) {
 		return
 	}
 	// Element does not exist yet: buffer at home until insertion.
+	//charmvet:retain (home-PE buffering: the runtime owns the message until the element exists and delivery commits)
 	rt.pending[eid] = append(rt.pending[eid], m)
 }
 
@@ -621,6 +622,7 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		// shipped functions) reach global state freely, so the whole
 		// execution belongs in the commit. The closure is built once per
 		// PE and reads the pending delivery from p.
+		//charmvet:retain (single-slot handoff to commitPE; commit(i) runs before phase(i+1), so the slot empties before recycling)
 		p.pendM, p.pendAt = m, at
 		if p.commitPE == nil {
 			p.commitPE = func() {
@@ -687,6 +689,7 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 	// The commit closure is built once per PE; the pending delivery rides
 	// in p (commit(i) runs before phase(i+1) on this shard, so at most one
 	// is in flight), keeping the steady-state execute path allocation-free.
+	//charmvet:retain (single-slot handoff to commitDeliver; commit(i) runs before phase(i+1), so the slot empties before recycling)
 	p.pendM, p.pendEl, p.pendCtx, p.pendAt = m, el, ctx, at
 	if p.commitDeliver == nil {
 		p.commitDeliver = func() {
