@@ -1,6 +1,7 @@
 // chaos runs deterministic fault-injection campaigns: for each app it
 // probes a failure-free run, derives a seeded crash plan spread over the
-// mid-run, and re-executes under injected crashes on both backends,
+// mid-run, and re-executes under injected crashes on all three backends
+// (sequential, conservative-parallel, optimistic),
 // asserting that the surviving run's final application results and full
 // state digest are byte-identical to the failure-free run's. The report
 // (BENCH_chaos.json) carries detection latency, recovery time, and the

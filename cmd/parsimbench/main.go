@@ -43,6 +43,7 @@ import (
 	"charmgo/internal/apps/stencil"
 	"charmgo/internal/charm"
 	"charmgo/internal/machine"
+	"charmgo/internal/optsim"
 	"charmgo/internal/parsim"
 	"charmgo/internal/pup"
 )
@@ -74,6 +75,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
 	workers := flag.Int("workers", 8, "parsim worker goroutines (and GOMAXPROCS) for the parallel run")
 	micro := flag.Bool("micro", false, "run the LeanMD/PDES calendar-vs-heap engine microbenchmarks")
+	backend := flag.String("backend", "", "benchmark the named backend ('optimistic') against sequential and conservative-parallel on a low-lookahead PDES run")
 	scale := flag.Bool("scale", false, "run the 1k/8k/64k virtual-PE scale benchmark")
 	gate := flag.String("gate", "", "re-run the scale benchmark and fail on >20% regression against this budget file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,6 +113,10 @@ func main() {
 		emit(runMicro(*smoke), *out)
 	case *scale:
 		emit(runScale(*smoke), *out)
+	case *backend == "optimistic":
+		emit(runOptsim(*smoke, *workers), *out)
+	case *backend != "":
+		fatal(fmt.Errorf("unknown -backend %q (want optimistic)", *backend))
 	default:
 		emit(runParsim(*smoke, *workers), *out)
 	}
@@ -194,6 +200,134 @@ func run(pes int, backend string, workers int, cfg stencil.Config) (int64, strin
 	ns := time.Since(start).Nanoseconds()
 	summary := fmt.Sprintf("events=%d residuals=%v done=%v", rt.Engine().Executed(), res.Residuals, res.IterDone)
 	return ns, summary, rt.Engine()
+}
+
+// ---- -backend optimistic: Time Warp vs conservative vs sequential ----
+
+// optsimResult is the BENCH_optsim.json payload: the same low-lookahead
+// PDES/PHOLD run on all three backends, with the Time Warp engine's
+// speculation accounting. The workload is deliberately low-α (lookahead
+// tiny relative to the mean event spacing), the regime where conservative
+// windows contain almost nothing runnable and optimism is the only source
+// of parallelism.
+type optsimResult struct {
+	Benchmark    string `json:"benchmark"`
+	Machine      string `json:"machine"`
+	LPs          int    `json:"lps"`
+	EventsPerLP  int    `json:"events_per_lp"`
+	TargetEvents int    `json:"target_events"`
+	// Alpha = lookahead / (lookahead + mean extra delay): the fraction of
+	// an average event gap the conservative scheduler can prove safe.
+	Lookahead float64 `json:"lookahead"`
+	MeanDelay float64 `json:"mean_delay"`
+	Alpha     float64 `json:"alpha"`
+
+	HostCPUs   int `json:"host_cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+
+	SequentialNsOp      int64   `json:"sequential_ns_per_op"`
+	ParallelNsOp        int64   `json:"parallel_ns_per_op"`
+	OptimisticNsOp      int64   `json:"optimistic_ns_per_op"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	SpeedupVsParallel   float64 `json:"speedup_vs_parallel"`
+
+	// Speculation accounting (see internal/optsim's Stats).
+	Launched           uint64  `json:"spec_launched"`
+	Committed          uint64  `json:"spec_committed"`
+	RolledBack         uint64  `json:"spec_rolled_back"`
+	Inline             uint64  `json:"inline_events"`
+	GlobalEvents       uint64  `json:"global_events"`
+	MaxInFlight        int     `json:"max_in_flight"`
+	MaxGVTLagSec       float64 `json:"max_gvt_lag_sec"`
+	RollbackRatio      float64 `json:"rollback_ratio"`
+	WastedWorkFraction float64 `json:"wasted_work_fraction"`
+	SnapshotCount      uint64  `json:"snapshots"`
+	SnapshotBytes      uint64  `json:"snapshot_bytes"`
+
+	DigestsIdentical bool `json:"digests_identical"`
+}
+
+func runOptsim(smoke bool, workers int) optsimResult {
+	pes, lps, target := 16, 256, 200000
+	if smoke {
+		pes, lps, target = 8, 64, 8000
+	}
+	cfg := pdes.Config{
+		LPs: lps, EventsPerLP: 8, TargetEvents: target, Seed: 42,
+		// Low α: the conservative window covers ~1% of the mean event gap,
+		// so YAWNS commits nearly everything inline while Time Warp can
+		// still speculate shard-by-shard past the frontier.
+		Lookahead: 0.05, MeanDelay: 4.0,
+	}
+
+	runtime.GOMAXPROCS(workers)
+
+	seqNs, seqSummary, _ := runPDESBench(pes, "sequential", 0, cfg)
+	parNs, parSummary, _ := runPDESBench(pes, "parallel", workers, cfg)
+	optNs, optSummary, optRT := runPDESBench(pes, "optimistic", workers, cfg)
+	st := optRT.Engine().(*optsim.Engine).EngineStats()
+	snaps, snapBytes := optRT.SpecSnapshotStats()
+
+	r := optsimResult{
+		Benchmark:    "PDES/phold-low-alpha",
+		Machine:      fmt.Sprintf("Testbed(%d)", pes),
+		LPs:          lps,
+		EventsPerLP:  cfg.EventsPerLP,
+		TargetEvents: target,
+		Lookahead:    cfg.Lookahead,
+		MeanDelay:    cfg.MeanDelay,
+		Alpha:        cfg.Lookahead / (cfg.Lookahead + cfg.MeanDelay),
+
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: workers,
+		Workers:    workers,
+
+		SequentialNsOp:      seqNs,
+		ParallelNsOp:        parNs,
+		OptimisticNsOp:      optNs,
+		SpeedupVsSequential: float64(seqNs) / float64(optNs),
+		SpeedupVsParallel:   float64(parNs) / float64(optNs),
+
+		Launched:           st.Launched,
+		Committed:          st.Committed,
+		RolledBack:         st.RolledBack,
+		Inline:             st.Inline,
+		GlobalEvents:       st.Global,
+		MaxInFlight:        st.MaxInFlight,
+		MaxGVTLagSec:       float64(st.MaxGVTLag),
+		RollbackRatio:      st.RollbackRatio(),
+		WastedWorkFraction: st.WastedFraction(),
+		SnapshotCount:      snaps,
+		SnapshotBytes:      snapBytes,
+
+		DigestsIdentical: seqSummary == parSummary && seqSummary == optSummary,
+	}
+	if !r.DigestsIdentical {
+		fmt.Fprintf(os.Stderr, "parsimbench: backend divergence!\n  sequential: %s\n  parallel:   %s\n  optimistic: %s\n",
+			seqSummary, parSummary, optSummary)
+		os.Exit(1)
+	}
+	return r
+}
+
+// runPDESBench executes one PDES run and returns wall-clock ns, a result
+// summary for the cross-backend identity check, and the runtime.
+func runPDESBench(pes int, backend string, workers int, cfg pdes.Config) (int64, string, *charm.Runtime) {
+	mc := machine.Testbed(pes)
+	mc.Backend = backend
+	mc.ParallelWorkers = workers
+	rt := charm.New(machine.New(mc))
+	start := time.Now()
+	res, err := pdes.Run(rt, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parsimbench: %s run: %v\n", backend, err)
+		os.Exit(1)
+	}
+	ns := time.Since(start).Nanoseconds()
+	summary := fmt.Sprintf("events=%d committed=%d windows=%d elapsed=%v maxvt=%v",
+		rt.Engine().Executed(), res.Committed, res.Windows, res.Elapsed, res.MaxVT)
+	return ns, summary, rt
 }
 
 // ---- -micro mode: calendar-queue engine vs reference heap engine ----

@@ -24,6 +24,10 @@
 //   - poolcheck: no use of a pooled object after it is released to its
 //     pool (intra-procedural, runs everywhere)
 //
+//   - specstate: phase-side code must not write //pup:skip fields of
+//     Pup-bearing types — a Time Warp rollback rebuilds the chare
+//     factory-fresh, so such writes are reset instead of restored
+//
 // The suite is stdlib-only (go/parser, go/ast, go/types); imports are
 // resolved from compiler export data via `go list -export`, with module
 // packages type-checked from source in one shared type universe so the
@@ -145,6 +149,11 @@ const (
 	// state that is PE-local by construction, or sequential-backend-only
 	// paths.
 	WaiverPhase = "charmvet:phase"
+	// WaiverSpecState marks a //pup:skip field (declaration placement) or a
+	// single write to one (write-site placement) as safe under Time Warp
+	// rollback: the factory reset is equivalent to restoring it, or the
+	// owning app is pinned to the non-speculative backends.
+	WaiverSpecState = "charmvet:specstate"
 )
 
 // Waived reports whether a directive comment covers the line of pos: on
@@ -175,6 +184,7 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 				for _, name := range []string{
 					WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim,
 					WaiverPupSkip, WaiverPooled, WaiverRetain, WaiverPhase,
+					WaiverSpecState,
 				} {
 					if text == name || strings.HasPrefix(text, name+" ") {
 						pos := fset.Position(c.Pos())
@@ -205,7 +215,7 @@ type Suite struct {
 // pupcheck run everywhere their trigger shapes appear.
 func DefaultSuite() *Suite {
 	return &Suite{
-		Analyzers: []*Analyzer{DetTaint, RetainCheck, PhasePure, PupCheck, PoolCheck},
+		Analyzers: []*Analyzer{DetTaint, RetainCheck, PhasePure, PupCheck, PoolCheck, SpecState},
 		Exclude:   []string{"charmgo/internal/analysis/fixtures"},
 	}
 }

@@ -92,8 +92,9 @@ type Graph struct {
 	// Named types of the module, for interface dispatch.
 	namedTypes []*types.Named
 
-	reach      map[*Node]reachEdge // lazy: full reachability from all roots
-	phaseReach map[*Node]reachEdge // lazy: phase-context reachability
+	reach      map[*Node]reachEdge  // lazy: full reachability from all roots
+	phaseReach map[*Node]reachEdge  // lazy: phase-context reachability
+	skipFields map[*types.Var]bool  // lazy: //pup:skip fields (specstate)
 }
 
 type staticSite struct {

@@ -1,0 +1,79 @@
+// Package specstate is a charmvet test fixture. Each `// want` comment
+// marks an expected specstate finding on its line; the package is
+// excluded from the real suite and exists only for the analyzer unit
+// tests. The rule: phase-side code must not write //pup:skip fields of a
+// Pup-bearing type — on the optimistic backend a rollback unpacks the
+// chare's PUP snapshot into a factory-fresh object, so a skip field comes
+// back reset, not restored.
+package specstate
+
+import (
+	"charmgo/internal/charm"
+	"charmgo/internal/pup"
+)
+
+type cell struct {
+	N      int64
+	hits   int   //pup:skip (outstanding-reply counter: NOT rollback-safe)
+	cache  []int //pup:skip (scratch: NOT rollback-safe)
+	Pupped int64 // restored normally: the //pup:skip above must not bleed onto this line
+	//charmvet:specstate (fixture: rebuild-on-demand memo; a factory reset only forces a recompute)
+	memo int //pup:skip (rebuilt before every read)
+	gen  int //pup:skip //charmvet:specstate (fixture: trailing shared-comment placement)
+}
+
+func (c *cell) Pup(p *pup.Pup) {
+	p.Int64(&c.N)
+	p.Int64(&c.Pupped)
+}
+
+func use(fns ...any) {}
+
+func register() { use(onWrite, onHelper, onWaived, onCommit) }
+
+func onWrite(obj any, ctx *charm.Ctx, msg any) {
+	c := obj.(*cell)
+
+	// Pup'd state is snapshotted before the handler and restored on
+	// rollback: the normal case, no finding.
+	c.N++
+	c.Pupped++
+
+	c.hits++                     // want `speculative-phase write to non-pup'd field hits`
+	c.cache = append(c.cache, 1) // want `speculative-phase write to non-pup'd field cache`
+	c.cache[0] = 2               // want `speculative-phase write to non-pup'd field cache`
+}
+
+func onHelper(obj any, ctx *charm.Ctx, msg any) {
+	scribble(obj.(*cell))
+}
+
+// scribble is one frame below the entry method; the finding carries the
+// chain.
+func scribble(c *cell) {
+	c.hits = 0 // want `speculative-phase write to non-pup'd field hits`
+}
+
+func onWaived(obj any, ctx *charm.Ctx, msg any) {
+	c := obj.(*cell)
+
+	//charmvet:specstate (fixture: deliberate write-site waiver)
+	c.hits = 0
+
+	// memo and gen carry declaration-side exemptions (own-line-above and
+	// trailing shared-comment placement): no finding anywhere.
+	c.memo = 4
+	c.gen++
+}
+
+func onCommit(obj any, ctx *charm.Ctx, msg any) {
+	c := obj.(*cell)
+	// A commit closure runs only for speculations that survive to their
+	// pop, so a skip-field write there needs no undo: out of scope.
+	ctx.Defer(func() { c.hits = 0 })
+}
+
+// orphanScribble is unreachable from any entry point: no finding.
+func orphanScribble(c *cell) {
+	c.hits = 7
+}

@@ -127,6 +127,10 @@ func TestPoolCheck(t *testing.T) {
 	checkFixture(t, analysis.PoolCheck, "charmgo/internal/analysis/fixtures/poolcheck")
 }
 
+func TestSpecState(t *testing.T) {
+	checkFixture(t, analysis.SpecState, "charmgo/internal/analysis/fixtures/specstate")
+}
+
 // TestDettaintDeepWallclock is the acceptance case for reachability: the
 // entry method (fixtures/dettaint.onTick) is wall-clock-free in its own
 // body and its own package, and the time.Now sits two calls down in the

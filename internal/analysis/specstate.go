@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpecState checks chare state against the optimistic backend's rollback
+// contract (see internal/charm/speculation.go): before a speculated
+// handler mutates a chare, the runtime snapshots it by PUP-packing the
+// object, and a rollback unpacks that image into a *factory-fresh*
+// element. Fields waived with //pup:skip are therefore not restored — they
+// come back holding whatever the factory gives them, exactly as after a
+// migration. A speculative-phase write to such a field is invisible to the
+// rollback machinery: if the field carries state across handler
+// executions (a counter of outstanding replies, a partially filled
+// scratch buffer), a rollback resets it while the pup'd state rewinds,
+// and the re-executed handlers observe a chare that never existed — the
+// bit-identical commit order the backend guarantees is gone.
+//
+// The rule: code reachable in phase context from an entry method or PE
+// handler must not write a //pup:skip field of a type that has a Pup
+// method. Two waiver placements exist:
+//
+//   - //charmvet:specstate on (or above) the write site — this one write
+//     is rollback-safe (e.g. an idempotent reset a re-execution repeats).
+//
+//   - //charmvet:specstate at the field declaration — in the trailing
+//     comment alongside //pup:skip, or on its own line above — the field
+//     is exempt everywhere: a rebuild-on-demand cache whose factory reset
+//     merely forces a recompute, an idempotent rebind every handler
+//     repeats, or the chare belongs to an app pinned to the
+//     sequential/conservative backends. The declaration placement keeps a
+//     per-field decision in one documented spot instead of scattered over
+//     every write.
+//
+// Known conservatisms: mutation through a call (`copy(c.buf, x)`, passing
+// `&c.buf` to a helper) is not tracked, matching phasepure's Rule A
+// (DESIGN.md §11); only the direct write shapes `c.f = v`, `c.f.g = v`,
+// `c.f[i] = v`, and `c.f++` are.
+var SpecState = &Analyzer{
+	Name: "specstate",
+	Doc:  "flags speculative-phase writes to //pup:skip chare fields, which a Time Warp rollback resets instead of restoring",
+	Run:  runSpecState,
+}
+
+func runSpecState(pass *Pass) {
+	skip := pass.Graph.specSkipFields()
+	if len(skip) == 0 {
+		return
+	}
+	reach := pass.Graph.PhaseReach()
+	for _, n := range pass.pkgNodes() {
+		if _, ok := reach[n]; !ok {
+			continue
+		}
+		chain := pass.Graph.Chain(reach, n)
+		inspectShallow(n.body(), func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					pass.flagSkipWrite(lhs, skip, chain)
+				}
+			case *ast.IncDecStmt:
+				pass.flagSkipWrite(x.X, skip, chain)
+			}
+			return true
+		})
+	}
+}
+
+// flagSkipWrite reports lhs when its selection path crosses a //pup:skip
+// field of a Pup-bearing type: the direct write `c.f = v` and writes into
+// the field's interior (`c.f.g = v`, `c.f[i] = v`) both mutate state the
+// rollback snapshot never captured.
+func (p *Pass) flagSkipWrite(lhs ast.Expr, skip map[*types.Var]bool, chain []string) {
+	for e := unparen(lhs); ; {
+		switch b := e.(type) {
+		case *ast.SelectorExpr:
+			if s := p.Info.Selections[b]; s != nil && s.Kind() == types.FieldVal {
+				if f, ok := s.Obj().(*types.Var); ok && skip[f] {
+					if p.Waived(WaiverSpecState, lhs.Pos()) {
+						return
+					}
+					p.ReportChainf(lhs.Pos(), chain, "speculative-phase write to non-pup'd field %s; a Time Warp rollback rebuilds the chare factory-fresh, so this write is reset rather than restored — pup the field, defer the write through ctx.Defer, or annotate //charmvet:specstate%s",
+						f.Name(), chainSuffix(chain))
+					return
+				}
+			}
+			e = unparen(b.X)
+		case *ast.IndexExpr:
+			e = unparen(b.X)
+		case *ast.StarExpr:
+			e = unparen(b.X)
+		default:
+			return
+		}
+	}
+}
+
+// specSkipFields collects, module-wide, the //pup:skip fields of every
+// type with a Pup method, minus fields exempted by //charmvet:specstate at
+// their declaration. Built once per graph: writes and declarations can sit
+// in different packages, so a per-pass waiver map would miss the
+// declaration-side directives. Directive attachment is stricter than the
+// generic waiver map's line/line+1 rule: a trailing //pup:skip must not
+// bleed onto the *next* field of the struct (which may be fully pupped),
+// so a directive on the line above a field counts only when that line is
+// not itself a field of the same struct. The exemption is matched anywhere
+// in a comment, so it can share the field's trailing comment with the
+// //pup:skip directive (`f T //pup:skip //charmvet:specstate (why)`).
+func (g *Graph) specSkipFields() map[*types.Var]bool {
+	if g.skipFields != nil {
+		return g.skipFields
+	}
+	g.skipFields = map[*types.Var]bool{}
+	type dirSet struct{ skip, exempt map[fileLine]bool }
+	dirsByPkg := map[*Package]dirSet{}
+	collect := func(pkg *Package) dirSet {
+		if d, ok := dirsByPkg[pkg]; ok {
+			return d
+		}
+		d := dirSet{skip: map[fileLine]bool{}, exempt: map[fileLine]bool{}}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					pos := pkg.Fset.Position(c.Pos())
+					fl := fileLine{pos.Filename, pos.Line}
+					if text == WaiverPupSkip || strings.HasPrefix(text, WaiverPupSkip+" ") {
+						d.skip[fl] = true
+					}
+					if strings.Contains(text, WaiverSpecState) {
+						d.exempt[fl] = true
+					}
+				}
+			}
+		}
+		dirsByPkg[pkg] = d
+		return d
+	}
+	for _, n := range g.Nodes {
+		if n.Fn == nil || !isPupMethod(n.Fn) {
+			continue
+		}
+		st := recvStructOf(n.Fn.Type().(*types.Signature).Recv().Type())
+		if st == nil {
+			continue
+		}
+		d := collect(n.Pkg)
+		fieldLines := map[fileLine]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			pos := n.Pkg.Fset.Position(st.Field(i).Pos())
+			fieldLines[fileLine{pos.Filename, pos.Line}] = true
+		}
+		at := func(m map[fileLine]bool, fl fileLine) bool {
+			if m[fl] {
+				return true
+			}
+			above := fileLine{fl.file, fl.line - 1}
+			return m[above] && !fieldLines[above]
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			pos := n.Pkg.Fset.Position(f.Pos())
+			fl := fileLine{pos.Filename, pos.Line}
+			if at(d.skip, fl) && !at(d.exempt, fl) {
+				g.skipFields[f] = true
+			}
+		}
+	}
+	return g.skipFields
+}

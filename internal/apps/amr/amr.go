@@ -191,7 +191,7 @@ type block struct {
 	// Merge assembly (when acting as a freshly inserted parent).
 	MergeGot int
 
-	app *App //pup:skip (rebound by the array factory on arrival)
+	app *App //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (b *block) Pup(p *pup.Pup) {

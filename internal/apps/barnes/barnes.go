@@ -179,18 +179,23 @@ type piece struct {
 	ID   int
 	Step int
 	Ps   []float64 // pstride per particle
-	app  *App      //pup:skip (rebound by the array factory on arrival)
+	app  *App      //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 
 	// Per-step phase state (rebuilt each step; not serialized beyond
 	// what correctness needs — pieces only migrate between steps, where
-	// this state is reconstructable).
-	tree       *node     //pup:skip (rebuilt when treeStep != Step)
-	treeStep   int       //pup:skip (step the current tree was built for)
-	sums       []summary //pup:skip (per-step scratch)
-	nearReqs   int       //pup:skip (responses we still owe ourselves)
-	nearSent   []int     //pup:skip (pieces we asked for near-field work)
-	Fs         []float64 //pup:skip (recomputed every gravity phase)
-	pendingReq []gravReq //pup:skip (per-step scratch)
+	// this state is reconstructable). The //charmvet:specstate waivers
+	// record that barnes is pinned to the sequential/conservative
+	// backends: this mid-step scratch is NOT rollback-safe (a Time Warp
+	// rollback would factory-reset it while the pup'd state rewinds), so
+	// it must be pupped or commit-deferred before barnes can run on the
+	// optimistic backend.
+	tree       *node     //pup:skip //charmvet:specstate (see above)
+	treeStep   int       //pup:skip //charmvet:specstate (see above)
+	sums       []summary //pup:skip //charmvet:specstate (see above)
+	nearReqs   int       //pup:skip //charmvet:specstate (see above)
+	nearSent   []int     //pup:skip //charmvet:specstate (see above)
+	Fs         []float64 //pup:skip //charmvet:specstate (see above)
+	pendingReq []gravReq //pup:skip //charmvet:specstate (see above)
 	InSync     bool
 }
 

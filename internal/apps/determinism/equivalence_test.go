@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"charmgo/internal/apps/amr"
 	"charmgo/internal/apps/leanmd"
 	"charmgo/internal/apps/pdes"
 	"charmgo/internal/apps/stencil"
@@ -14,11 +15,13 @@ import (
 )
 
 // The cross-backend equivalence suite: every app must produce a
-// bit-identical run digest on the sequential engine and on the parsim
-// parallel engine, at several GOMAXPROCS settings. The digest covers the
-// full utilization/message trace, the executed-event count, and the
-// runtime statistics, so "identical" here means the parallel backend
-// reproduced the sequential run event for event.
+// bit-identical run digest on the sequential engine, the conservative
+// parsim engine, and the optimistic optsim engine, at several GOMAXPROCS
+// settings. The digest covers the full utilization/message trace, the
+// executed-event count, and the runtime statistics, so "identical" here
+// means each parallel backend reproduced the sequential run event for
+// event — optsim additionally proving that every speculation it rolled
+// back left no trace in chare state, location caches, or scheduler queues.
 
 // withBackend overlays a backend selection on a machine config factory.
 func withBackend(mk func() machine.Config, backend string) func() machine.Config {
@@ -29,19 +32,25 @@ func withBackend(mk func() machine.Config, backend string) func() machine.Config
 	}
 }
 
+// parallelBackends are the engines that must reproduce the sequential
+// digest bit for bit.
+var parallelBackends = []string{"parallel", "optimistic"}
+
 func assertCrossBackend(t *testing.T, name string, mk func() machine.Config, run func(rt *charm.Runtime) string) {
 	t.Helper()
 	seq := digestedRun(t, withBackend(mk, "sequential"), run)
-	for _, procs := range []int{1, 2, 8} {
-		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
-			prev := runtime.GOMAXPROCS(procs)
-			defer runtime.GOMAXPROCS(prev)
-			par := digestedRun(t, withBackend(mk, "parallel"), run)
-			if par != seq {
-				t.Errorf("%s: parallel backend diverged from sequential at GOMAXPROCS=%d:\n  sequential: %s\n  parallel:   %s",
-					name, procs, seq, par)
-			}
-		})
+	for _, backend := range parallelBackends {
+		for _, procs := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/gomaxprocs=%d", backend, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				par := digestedRun(t, withBackend(mk, backend), run)
+				if par != seq {
+					t.Errorf("%s: %s backend diverged from sequential at GOMAXPROCS=%d:\n  sequential: %s\n  %s:   %s",
+						name, backend, procs, seq, backend, par)
+				}
+			})
+		}
 	}
 }
 
@@ -81,6 +90,29 @@ func TestPDESCrossBackend(t *testing.T) {
 				t.Fatal(err)
 			}
 			return fmt.Sprintf("committed=%d windows=%d maxvt=%v", res.Committed, res.Windows, res.MaxVT)
+		})
+}
+
+// TestAMRCrossBackend covers the dynamic Insert/Destroy path: AMR remeshing
+// creates and destroys blocks mid-run, with distributed LB migrating them,
+// so this is the test that keeps element-table minting, home-PE message
+// buffering, and location-cache invalidation identical across all three
+// backends (AMR was SeqOnly before the parallel backends learned to handle
+// dynamic element populations).
+func TestAMRCrossBackend(t *testing.T) {
+	cfg := amr.Config{
+		MinDepth: 2, MaxDepth: 5, StartDepth: 3, BlockSize: 8,
+		Steps: 8, RemeshPeriod: 3, Rebalance: true, PerCellWork: 200e-9,
+	}
+	assertCrossBackend(t, "amr",
+		func() machine.Config { return machine.Testbed(16) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Distributed{Seed: 11})
+			res, err := amr.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("mass=%v blocks=%v remesh=%d", res.Mass, res.Blocks, res.Remeshes)
 		})
 }
 

@@ -172,7 +172,7 @@ type cell struct {
 	WaitMig bool
 	InSync  bool
 
-	app *App //pup:skip (rebound by the array factory on arrival)
+	app *App //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (c *cell) Pup(p *pup.Pup) {
@@ -213,7 +213,7 @@ type compute struct {
 	GotB   bool
 	InSync bool
 
-	app *App //pup:skip (rebound by the array factory on arrival)
+	app *App //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (cp *compute) Pup(p *pup.Pup) {
@@ -288,6 +288,7 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 			Migratable: true,
 			ResumeEP:   epCellResume,
 			HomeMap:    cellMap,
+			Bounds:     []int{cfg.CellsX, cfg.CellsY, cfg.CellsZ}, // dense 3-D grid
 			EntryNames: []string{
 				epCellStart:  "start",
 				epCellForces: "forces",

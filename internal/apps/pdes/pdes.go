@@ -153,7 +153,7 @@ type lp struct {
 	RngLo uint64
 	RngHi uint64
 
-	app *App //pup:skip (rebound by the array factory on arrival)
+	app *App //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (l *lp) Pup(p *pup.Pup) {
@@ -218,6 +218,7 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 	a.lps = rt.DeclareArray("pdes_lps", func() charm.Chare { return &lp{app: a} },
 		handlers, charm.ArrayOpts{
 			Migratable: true,
+			Bounds:     []int{cfg.LPs}, // dense 1-D index space: flat location tables
 			HomeMap: func(idx charm.Index, numPEs int) int {
 				return idx.I() * numPEs / cfg.LPs // block map: LPs/PE contiguity
 			},

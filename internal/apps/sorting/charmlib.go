@@ -53,7 +53,7 @@ type sorter struct {
 	GotSegs       int
 	PendingSegs   [][]uint64
 
-	lib *CharmSortLib //pup:skip (rebound by the array factory on arrival)
+	lib *CharmSortLib //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (s *sorter) Pup(p *pup.Pup) {

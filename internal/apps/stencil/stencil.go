@@ -105,7 +105,7 @@ type block struct {
 	// Started flips on the start broadcast; ghosts can overtake it.
 	Started bool
 
-	app *App //pup:skip (rebound on arrival; not serialized)
+	app *App //pup:skip //charmvet:specstate (idempotent rebind: every handler writes the pointer the factory installs)
 }
 
 func (b *block) Pup(p *pup.Pup) {

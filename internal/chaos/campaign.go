@@ -227,8 +227,10 @@ type Bench struct {
 	Plan    Plan           `json:"plan"`
 	Probe   float64        `json:"probe_elapsed"` // failure-free duration used to place crashes
 	Results []BenchBackend `json:"results"`
-	// CrossBackendMatch: sequential and parallel chaos runs converged to
-	// the same final state digest.
+	// CrossBackendMatch: every backend's chaos run (sequential,
+	// conservative-parallel, optimistic) converged to the same final state
+	// digest — fault detection, checkpoint rollback, and Time Warp
+	// speculation all collapse to one execution.
 	CrossBackendMatch bool `json:"cross_backend_match"`
 }
 
@@ -246,7 +248,7 @@ func floatsEqual(a, b []float64) bool {
 
 // RunCampaign probes an app's failure-free duration, derives a seeded
 // crash plan spread over its mid-run, and runs clean and chaos
-// executions on both backends, asserting value and state identity.
+// executions on all three backends, asserting value and state identity.
 func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
 	spec, err := specFor(app)
 	if err != nil {
@@ -259,7 +261,7 @@ func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
 	plan := CrashPlan(seed, crashes, spec.numPEs, 0.45*probe.elapsed, 0.95*probe.elapsed)
 	b := &Bench{App: app, Seed: seed, Crashes: crashes, Plan: plan, Probe: probe.elapsed}
 
-	for _, backend := range []string{"sequential", "parallel"} {
+	for _, backend := range []string{"sequential", "parallel", "optimistic"} {
 		clean := probe
 		if backend != "sequential" {
 			if clean, err = spec.run(backend, nil, seed); err != nil {
@@ -293,8 +295,11 @@ func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
 		}
 		b.Results = append(b.Results, bb)
 	}
-	b.CrossBackendMatch = len(b.Results) == 2 &&
-		b.Results[0].ChaosDigest == b.Results[1].ChaosDigest &&
-		b.Results[0].CleanDigest == b.Results[1].CleanDigest
+	b.CrossBackendMatch = len(b.Results) > 1
+	for _, r := range b.Results[1:] {
+		if r.ChaosDigest != b.Results[0].ChaosDigest || r.CleanDigest != b.Results[0].CleanDigest {
+			b.CrossBackendMatch = false
+		}
+	}
 	return b, nil
 }

@@ -14,16 +14,16 @@ import (
 
 // assertCampaign checks the headline invariant for one app: K injected
 // mid-run crashes, detected and recovered mid-run, and the final
-// application results are bit-identical to the failure-free run on both
-// backends.
+// application results are bit-identical to the failure-free run on all
+// three backends (sequential, conservative-parallel, optimistic).
 func assertCampaign(t *testing.T, app string, crashes int, seed int64) *Bench {
 	t.Helper()
 	b, err := RunCampaign(app, crashes, seed)
 	if err != nil {
 		t.Fatalf("%s campaign: %v", app, err)
 	}
-	if len(b.Results) != 2 {
-		t.Fatalf("%s: want 2 backends, got %d", app, len(b.Results))
+	if len(b.Results) != 3 {
+		t.Fatalf("%s: want 3 backends, got %d", app, len(b.Results))
 	}
 	for _, r := range b.Results {
 		if r.Survived != crashes {
@@ -52,7 +52,7 @@ func assertCampaign(t *testing.T, app string, crashes int, seed int64) *Bench {
 		}
 	}
 	if !b.CrossBackendMatch {
-		t.Errorf("%s: sequential and parallel backends disagree on final state", app)
+		t.Errorf("%s: backends disagree on final state", app)
 	}
 	return b
 }

@@ -19,7 +19,7 @@ const (
 //
 // No wall clock is consulted anywhere: pings, acks, and deadlines are all
 // virtual-time events with latencies from the machine model, so detection
-// is deterministic and identical on both backends. The control messages
+// is deterministic and identical on all three backends. The control messages
 // themselves are modeled as zero-cost (they do not occupy PE compute
 // time) — the idealization a dedicated monitoring thread would justify.
 type detector struct {

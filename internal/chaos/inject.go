@@ -13,7 +13,7 @@ import (
 // transmit.
 //
 // Determinism: OnTransmit is called from commit context in global commit
-// order, which is identical on both backends, and the seeded RNG is
+// order, which is identical on all three backends, and the seeded RNG is
 // consulted only when a window actually matches a message — so adding a
 // fault window perturbs no random draw outside it.
 type injector struct {

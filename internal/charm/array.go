@@ -30,6 +30,14 @@ type ArrayOpts struct {
 	// EntryNames labels the entry methods (parallel to the handlers
 	// slice) for traces and profiles; missing names render as "ep<N>".
 	EntryNames []string
+	// Bounds declares a dense rectangular index space: with Bounds of
+	// length d (1–3), every index is Idx1/Idx2/Idx3 with coordinate i in
+	// [0, Bounds[i]). Declaring bounds lets the location manager replace
+	// its per-key hash maps with flat per-array tables — one array load
+	// instead of a map lookup on the send-side resolve and the eid mint
+	// paths. Indices outside the bounds (or arrays without Bounds, like
+	// AMR's bitvector octree) keep using the map path.
+	Bounds []int
 }
 
 // Array is a chare array: an indexed collection of migratable objects.
@@ -62,6 +70,15 @@ type Array struct {
 	// per-step reductions over large arrays allocate nothing.
 	spareVals []any
 	spareHave []bool
+
+	// Dense index-space support (ArrayOpts.Bounds): linKind is the index
+	// kind the bounds describe (0 when unbounded), linDims the extents
+	// normalized to three axes, linCap their product. eidTab flattens the
+	// key→eid map for in-bounds indices (-1 = unminted).
+	linKind uint8
+	linDims [3]int
+	linCap  int
+	eidTab  []int32
 }
 
 // DeclareArray registers a chare array type: a factory producing empty
@@ -81,12 +98,50 @@ func (rt *Runtime) DeclareArray(name string, factory func() Chare, handlers []Ha
 		elems:      map[Index]*element{},
 		ranksDirty: true,
 	}
+	if n := len(opts.Bounds); n >= 1 && n <= 3 {
+		a.linKind = [4]uint8{0, Kind1D, Kind2D, Kind3D}[n]
+		a.linDims = [3]int{1, 1, 1}
+		a.linCap = 1
+		for i, b := range opts.Bounds {
+			if b <= 0 {
+				panic(fmt.Sprintf("charm: non-positive bound %d for array %s", b, name))
+			}
+			a.linDims[i] = b
+			a.linCap *= b
+		}
+		if a.linCap > 1<<22 {
+			// A flat table this size loses to the map; ignore the bounds.
+			a.linKind, a.linCap = 0, 0
+		} else {
+			a.eidTab = make([]int32, a.linCap)
+			for i := range a.eidTab {
+				a.eidTab[i] = -1
+			}
+		}
+	} else if len(opts.Bounds) != 0 {
+		panic(fmt.Sprintf("charm: array %s declares %d-dimensional bounds; 1-3 supported", name, len(opts.Bounds)))
+	}
 	rt.arrays = append(rt.arrays, a)
 	rt.arrayNames[name] = a
 	for _, p := range rt.pes {
 		p.byArr = append(p.byArr, 0)
+		p.locDense = append(p.locDense, nil)
 	}
 	return a
+}
+
+// lin maps an in-bounds index to its dense offset, or -1 when the array is
+// unbounded or the index falls outside the declared box. Pure arithmetic —
+// safe from phase context.
+func (a *Array) lin(idx Index) int {
+	if idx.Kind != a.linKind {
+		return -1
+	}
+	i, j, k := idx.I(), idx.J(), idx.K()
+	if uint(i) >= uint(a.linDims[0]) || uint(j) >= uint(a.linDims[1]) || uint(k) >= uint(a.linDims[2]) {
+		return -1
+	}
+	return (i*a.linDims[1]+j)*a.linDims[2] + k
 }
 
 // ArrayByName looks up a declared array.
@@ -348,6 +403,10 @@ func (rt *Runtime) CompactElementTable() bool {
 	rt.elemTab = make([]*element, 0, live)
 	rt.owner = make([]int32, 0, live)
 	for _, a := range rt.arrays {
+		// Dense eid tables lazily refill from the new numbering via eidOf.
+		for i := range a.eidTab {
+			a.eidTab[i] = -1
+		}
 		for _, idx := range a.Keys() {
 			el := a.elems[idx]
 			el.eid = int32(len(rt.elemTab))
@@ -358,6 +417,9 @@ func (rt *Runtime) CompactElementTable() bool {
 	}
 	for _, p := range rt.pes {
 		p.locCache = nil
+		for i := range p.locDense {
+			p.locDense[i] = nil
+		}
 	}
 	rt.tableEpoch++
 	return true

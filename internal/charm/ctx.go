@@ -28,6 +28,7 @@ type Ctx struct {
 	loadFS  int64    // speed-normalized compute so far, integer femtoseconds
 	exitReq bool
 	fx      *fxList // nil: immediate mode; non-nil: buffered (parallel phase)
+	phase   bool    // true while an element handler runs (vs commit context)
 	cause   uint64  // trace ID of the send that triggered this execution
 }
 
@@ -85,10 +86,27 @@ func (c *Ctx) emit(fn func()) {
 // handler bodies concurrently.
 func (c *Ctx) Defer(fn func()) { c.emit(fn) }
 
+// deferStruct queues a structural element-table mutation (Insert/Destroy).
+// Unlike plain effects, these must never apply mid-handler: the parallel
+// backends cannot make a phase's insert visible before its commit, so the
+// rest of the handler — in particular the destination resolution that
+// prices later sends — must see pre-handler tables on every backend. In a
+// sequential phase this lazily switches the context to buffered mode, so
+// the mutation and every subsequent effect replay at commit in call order,
+// exactly as the parallel backends interleave them. In commit context
+// (PE handlers, replayed effects) the mutation applies inline as before.
+func (c *Ctx) deferStruct(fn func()) {
+	if c.fx == nil && c.phase {
+		c.fx = &fxList{}
+	}
+	c.emit(fn)
+}
+
 // flushFX replays the buffered effects in call order and switches the
 // context to immediate mode first, so an effect that defers further work
 // runs it inline at its own position in the order.
 func (c *Ctx) flushFX() {
+	c.phase = false
 	if c.fx == nil {
 		return
 	}
@@ -263,10 +281,17 @@ func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
 	if !ok {
 		panic("charm: LocalInvoke on non-local element " + key.String())
 	}
+	if sp := c.rt.specFor(c.pe); sp != nil {
+		// Speculative execution is about to mutate a second chare; image
+		// it too so a rollback restores the whole execution.
+		sp.snapshotElem(c.rt.spec, el)
+	}
 	sub := c.rt.newCtxAt(c.pe, el, c.start)
 	sub.fx = c.fx // share the caller's effect buffer (and its mode)
+	sub.phase = c.phase
 	sub.cause = c.cause
 	arr.handlers[ep](el.obj, sub, payload)
+	c.fx = sub.fx // pick up a deferStruct upgrade so the caller buffers too
 	c.elapsed += sub.elapsed
 	c.loadFS += sub.loadFS
 	if sub.exitReq {
@@ -326,10 +351,11 @@ func (c *Ctx) Insert(arr *Array, idx Index, obj Chare) {
 	if c.elem != nil {
 		gen, haveGen = c.elem.redGen, true
 	}
-	c.emit(func() {
-		c.rt.insertElement(arr, idx, obj, c.pe, true)
+	rt, pe := c.rt, c.pe
+	c.deferStruct(func() {
+		rt.insertElement(arr, idx, obj, pe, true)
 		if haveGen {
-			if el, ok := c.rt.pes[c.pe].elems[elemKey{array: arr.id, idx: idx}]; ok {
+			if el, ok := rt.pes[pe].elems[elemKey{array: arr.id, idx: idx}]; ok {
 				el.redGen = gen
 			}
 		}
@@ -345,5 +371,6 @@ func (c *Ctx) Destroy(arr *Array, idx Index) {
 	if !ok {
 		panic("charm: Destroy of non-local element " + key.String())
 	}
-	c.emit(func() { c.rt.removeElement(el) })
+	rt := c.rt
+	c.deferStruct(func() { rt.removeElement(el) })
 }

@@ -108,19 +108,31 @@ func (rt *Runtime) dropInjected(m *message, dst int, t des.Time) {
 // different order.
 type LocCacheSnapshot struct {
 	caches []map[elemKey]locEnt
+	dense  [][][]locEnt // [pe][array] flat hint tables (nil = absent)
 	// tableEpoch records the element-table numbering the cached eids refer
 	// to; restoring across a CompactElementTable would stamp messages with
 	// remapped ids, so Restore refuses it.
 	tableEpoch uint64
 }
 
-// SnapshotLocCaches deep-copies every PE's location cache.
+// SnapshotLocCaches deep-copies every PE's location cache (both the hash
+// maps and the dense per-array hint tables).
 func (rt *Runtime) SnapshotLocCaches() *LocCacheSnapshot {
 	s := &LocCacheSnapshot{
 		caches:     make([]map[elemKey]locEnt, len(rt.pes)),
+		dense:      make([][][]locEnt, len(rt.pes)),
 		tableEpoch: rt.tableEpoch,
 	}
 	for i, p := range rt.pes {
+		for aid, t := range p.locDense {
+			if t == nil {
+				continue
+			}
+			if s.dense[i] == nil {
+				s.dense[i] = make([][]locEnt, len(p.locDense))
+			}
+			s.dense[i][aid] = append([]locEnt(nil), t...)
+		}
 		if len(p.locCache) == 0 {
 			continue
 		}
@@ -148,6 +160,13 @@ func (rt *Runtime) RestoreLocCaches(s *LocCacheSnapshot) {
 			}
 		}
 		p.locCache = c
+		for aid := range p.locDense {
+			var t []locEnt
+			if s != nil && i < len(s.dense) && s.dense[i] != nil && aid < len(s.dense[i]) && s.dense[i][aid] != nil {
+				t = append([]locEnt(nil), s.dense[i][aid]...)
+			}
+			p.locDense[aid] = t
+		}
 	}
 }
 

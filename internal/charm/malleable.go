@@ -28,6 +28,9 @@ func (rt *Runtime) SetActivePEs(n int) {
 	}
 	for _, pe := range rt.pes {
 		clear(pe.locCache)
+		for i := range pe.locDense {
+			pe.locDense[i] = nil
+		}
 	}
 	// A reconfiguration is a natural quiescent cut for long-running AMR or
 	// shrink/expand jobs; compact the location tables opportunistically so

@@ -6,6 +6,7 @@ import (
 
 	"charmgo/internal/des"
 	"charmgo/internal/machine"
+	"charmgo/internal/optsim"
 	"charmgo/internal/parsim"
 	"charmgo/internal/projections/metrics"
 	"charmgo/internal/pup"
@@ -111,6 +112,11 @@ type peState struct {
 	// hit stamps the message for map-free routing at every later hop.
 	// Allocated lazily on the first hint.
 	locCache map[elemKey]locEnt
+	// locDense is the flat-table form of locCache, one table per array id
+	// for arrays with declared Bounds small enough to store flat (entries
+	// with pe < 0 are empty). Allocated lazily per (PE, array) on the
+	// first hint; shard-local exactly like locCache.
+	locDense [][]locEnt
 
 	// dead marks a crashed PE (internal/chaos): it executes nothing and
 	// every message addressed to it is discarded until RecoverReset.
@@ -152,11 +158,15 @@ type Runtime struct {
 	eng  des.Engine
 	mach *machine.Machine
 
-	// parallel marks the parsim backend: element-handler contexts buffer
-	// their global effects (see Ctx.fx) so handler bodies can run
-	// concurrently, and PE→shard mapping follows the node layout.
+	// parallel marks the parsim and optsim backends: element-handler
+	// contexts buffer their global effects (see Ctx.fx) so handler bodies
+	// can run concurrently, and PE→shard mapping follows the node layout.
 	parallel bool
 	peShard  []int // PE id -> shard (node) id
+	// spec is the optimistic backend's speculation controller (nil
+	// elsewhere): per-shard undo logs that phases record into so a
+	// straggler can roll their shard-local mutations back.
+	spec *specController
 
 	pes            []*peState
 	arrays         []*Array
@@ -264,8 +274,15 @@ func New(m *machine.Machine) *Runtime {
 			Workers:   cfg.ParallelWorkers,
 		})
 		parallel = true
+	case "optimistic", "optsim":
+		eng = optsim.New(optsim.Options{
+			Shards:  m.NumNodes(),
+			Workers: cfg.ParallelWorkers,
+			Window:  des.Time(cfg.OptimisticWindow),
+		})
+		parallel = true
 	default:
-		panic(fmt.Sprintf("charm: unknown backend %q (want \"sequential\", \"heap\", or \"parallel\")", cfg.Backend))
+		panic(fmt.Sprintf("charm: unknown backend %q (want \"sequential\", \"heap\", \"parallel\", or \"optimistic\")", cfg.Backend))
 	}
 	rt := &Runtime{
 		eng:        eng,
@@ -286,6 +303,15 @@ func New(m *machine.Machine) *Runtime {
 	if pe, ok := eng.(*parsim.Engine); ok {
 		pe.RegisterMetrics(rt.metrics)
 	}
+	if oe, ok := eng.(*optsim.Engine); ok {
+		// Time Warp needs an undo controller: the engine rolls back a
+		// shard by asking it to restore the phase's shard-local mutations
+		// (the withheld commit closure already holds every global effect).
+		rt.spec = newSpecController(rt, m.NumNodes())
+		oe.SetController(rt.spec)
+		oe.RegisterMetrics(rt.metrics)
+		rt.spec.registerMetrics(rt.metrics)
+	}
 	// One backing slab for every peState: at paper-scale PE counts (8k–64k
 	// virtual PEs) per-PE allocations and map headers dominate the boot
 	// heap, so the states live in a single array and the per-PE maps stay
@@ -303,15 +329,27 @@ func New(m *machine.Machine) *Runtime {
 }
 
 // eidOf returns the dense element id for key k, minting a table entry on
-// first sight. Commit/global context only.
+// first sight. Commit/global context only. Arrays with declared Bounds
+// answer from a flat table; the key map stays authoritative (compaction
+// rebuilds it), with the table as a cache over it.
 func (rt *Runtime) eidOf(k elemKey) int32 {
-	if id, ok := rt.keyEID[k]; ok {
-		return id
+	a := rt.arrays[k.array]
+	off := a.lin(k.idx)
+	if off >= 0 {
+		if id := a.eidTab[off]; id >= 0 {
+			return id
+		}
 	}
-	id := int32(len(rt.elemTab))
-	rt.keyEID[k] = id
-	rt.elemTab = append(rt.elemTab, nil)
-	rt.owner = append(rt.owner, -1)
+	id, ok := rt.keyEID[k]
+	if !ok {
+		id = int32(len(rt.elemTab))
+		rt.keyEID[k] = id
+		rt.elemTab = append(rt.elemTab, nil)
+		rt.owner = append(rt.owner, -1)
+	}
+	if off >= 0 {
+		a.eidTab[off] = id
+	}
 	return id
 }
 
@@ -440,10 +478,51 @@ func (rt *Runtime) resolveEID(srcPE int, k elemKey) (int, int32) {
 	if el, ok := p.elems[k]; ok {
 		return el.pe, el.eid // local delivery
 	}
+	if t := p.locDense[k.array]; t != nil {
+		// Bounded array with a dense hint table on this PE: in-bounds keys
+		// live only here (cacheLoc never spills them to the map), so a miss
+		// is authoritative.
+		if off := rt.arrays[k.array].lin(k.idx); off >= 0 {
+			if ent := t[off]; ent.pe >= 0 && int(ent.pe) < rt.activePEs {
+				return int(ent.pe), ent.eid
+			}
+			return rt.homePE(k), -1
+		}
+	}
 	if ent, ok := p.locCache[k]; ok && int(ent.pe) < rt.activePEs {
 		return int(ent.pe), ent.eid
 	}
 	return rt.homePE(k), -1
+}
+
+// denseLocCap bounds the per-(PE, array) dense hint tables: beyond this
+// many slots the memory trade (8 bytes per possible index per PE) stops
+// paying for the map lookups it removes, and hints fall back to the map.
+const denseLocCap = 1 << 16
+
+// cacheLoc stores a location hint on p — in the array's flat table when it
+// is bounded and small enough, else the hash map. Shard-local phase
+// context (the hint-arrival event runs on p's shard).
+func (rt *Runtime) cacheLoc(p *peState, key elemKey, ent locEnt) {
+	a := rt.arrays[key.array]
+	if a.linCap > 0 && a.linCap <= denseLocCap {
+		if off := a.lin(key.idx); off >= 0 {
+			t := p.locDense[key.array]
+			if t == nil {
+				t = make([]locEnt, a.linCap)
+				for i := range t {
+					t[i].pe = -1
+				}
+				p.locDense[key.array] = t
+			}
+			t[off] = ent
+			return
+		}
+	}
+	if p.locCache == nil {
+		p.locCache = map[elemKey]locEnt{}
+	}
+	p.locCache[key] = ent
 }
 
 // resolve is resolveEID for callers that only want the PE guess.
@@ -550,10 +629,10 @@ func (rt *Runtime) updateLocCache(srcPE int, key elemKey, ownerPE, homePE int, e
 		// must die rather than poison the cache with a remapped eid.
 		if rt.epoch == epoch && rt.tableEpoch == tep {
 			p := rt.pes[srcPE]
-			if p.locCache == nil {
-				p.locCache = map[elemKey]locEnt{}
+			if sp := rt.specFor(srcPE); sp != nil {
+				sp.noteLocCache(rt, p, key)
 			}
-			p.locCache[key] = ent
+			rt.cacheLoc(p, key, ent)
 		}
 		return nil
 	})
@@ -611,11 +690,22 @@ func (rt *Runtime) pumpPhase(a any, b int64, at des.Time) func() {
 // engine runs phase and commit back to back, reproducing the historical
 // single-pass behaviour exactly.
 func (rt *Runtime) runOne(p *peState, at des.Time) func() {
+	// Under the optimistic backend this phase may be speculative: record
+	// every shard-local mutation in the shard's undo log so a straggler
+	// can roll it back (see speculation.go).
+	sp := rt.specFor(p.id)
+	if sp != nil {
+		sp.noteDequeue(p)
+	}
 	p.pumpAt = -1
 	if len(p.q) == 0 {
 		return nil
 	}
 	m := p.q.pop()
+	if sp != nil {
+		//charmvet:retain (rollback re-pushes the popped message before anything recycles it; on commit the slot is cleared without a putMsg)
+		sp.popped = m
+	}
 
 	if m.destPE >= 0 {
 		// PE-level handlers (collective fan-out, TRAM batch unpacking,
@@ -668,7 +758,11 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 			}
 		}
 	}
+	if sp != nil {
+		sp.snapshotElem(rt.spec, el)
+	}
 	ctx := p.takeCtx(rt, el, at)
+	ctx.phase = true
 	if rt.parallel {
 		ctx.fx = &fxList{}
 	}

@@ -1,0 +1,288 @@
+package charm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
+	"charmgo/internal/pup"
+)
+
+// This file is the runtime half of the optimistic (Time Warp) backend: the
+// speculation controller internal/optsim calls around every phase it runs
+// ahead of the commit frontier. The engine guarantees a speculation's
+// commit closure never runs unless the speculation survives to its pop, so
+// everything globally visible — sends, statistics, quiescence, reduction
+// merges — needs no undo at all: the closure is simply dropped. What the
+// controller must restore is the handful of shard-local mutations a phase
+// is allowed to make (see runOne and Ctx): the PE's pump arming, the
+// popped scheduler message, the recycled delivery context, the pending-
+// delivery slot, the executed chare's state, and a location-cache hint.
+//
+// Chare state is restored the way migration moves it: the dirty element's
+// object is PUP-packed into a pooled buffer before the handler runs
+// (incremental — only elements the speculation actually executes are
+// snapshotted) and unpacked into a factory-fresh object on rollback.
+// Fields waived with //pup:skip are rebuilt by the factory, not restored —
+// exactly the migration contract, and what the charmvet specstate rule
+// checks speculative phases against.
+
+// elemSnap is one dirty chare's pre-speculation image.
+type elemSnap struct {
+	el   *element
+	data []byte // pooled PUP image of el.obj
+
+	// Runtime-side element fields a phase may mutate (instrumentation and
+	// the AtSync/reduction flags; load accounting is commit-side).
+	msgsSent  uint64
+	bytesSent uint64
+	pos       [3]float64
+	hasPos    bool
+	atSync    bool
+	redGen    uint64
+	comm      map[elemKey]uint64
+}
+
+// shardSpec is the undo log of one shard's in-flight speculation. A
+// speculation is exactly one phase execution, so at most one dequeue and
+// one location-cache write can be logged; element snapshots accumulate
+// (LocalInvoke can touch several chares in one execution).
+type shardSpec struct {
+	active bool
+
+	// Dequeue undo (runOne): recorded on the driver in BeginSpec order,
+	// filled in by the phase before it touches the field it shadows.
+	p       *peState
+	pumpAt  des.Time
+	popped  *message
+	spare   *Ctx
+	pendM   *message
+	pendEl  *element
+	pendCtx *Ctx
+	pendAt  des.Time
+
+	els []elemSnap
+
+	// Location-cache undo (updateLocCache's phase body). cacheDense marks
+	// a write to the array's flat hint table (cacheOff its slot, cacheNil
+	// "the table itself was created by this speculation"); otherwise the
+	// map fields apply.
+	cacheP     *peState
+	cacheKey   elemKey
+	cacheEnt   locEnt
+	cacheOff   int
+	cacheDense bool
+	cacheHad   bool
+	cacheNil   bool
+}
+
+// specController implements optsim.Controller over the runtime's shard
+// (node) layout. BeginSpec/CommitSpec/RollbackSpec run on the engine's
+// driving goroutine; the note/snapshot hooks run inside the speculated
+// phase on a worker, ordered against the driver by the engine's job-
+// channel and done-channel edges.
+type specController struct {
+	rt     *Runtime
+	shards []shardSpec
+
+	// Snapshot counters feed the optsim.* metrics family. Phases on
+	// different shards snapshot concurrently, so these are atomics — the
+	// only speculation state shared across goroutines.
+	snapshots     atomic.Uint64
+	snapshotBytes atomic.Uint64
+	restores      atomic.Uint64
+}
+
+func newSpecController(rt *Runtime, shards int) *specController {
+	return &specController{rt: rt, shards: make([]shardSpec, shards)}
+}
+
+func (sc *specController) registerMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("optsim.snapshots", func() float64 { return float64(sc.snapshots.Load()) })
+	reg.GaugeFunc("optsim.snapshot_bytes", func() float64 { return float64(sc.snapshotBytes.Load()) })
+	reg.GaugeFunc("optsim.snapshot_restores", func() float64 { return float64(sc.restores.Load()) })
+}
+
+// specFor returns the undo log the phase running on pe should record into,
+// or nil when the execution is not speculative (sequential and parsim
+// backends, optsim inline pops, commit context). One nil check on the
+// non-speculative hot path.
+func (rt *Runtime) specFor(pe int) *shardSpec {
+	sc := rt.spec
+	if sc == nil {
+		return nil
+	}
+	if s := &sc.shards[rt.peShard[pe]]; s.active {
+		return s
+	}
+	return nil
+}
+
+// BeginSpec opens shard s's undo log. Runs on the driver strictly before
+// the phase is handed to a worker.
+func (sc *specController) BeginSpec(s int) {
+	sp := &sc.shards[s]
+	if sp.active {
+		panic(fmt.Sprintf("charm: BeginSpec on shard %d with a speculation already open", s))
+	}
+	*sp = shardSpec{active: true, els: sp.els[:0]}
+}
+
+// CommitSpec is fossil collection: the speculation committed, nothing below
+// the frontier can roll back, so the snapshots are garbage. Pooled PUP
+// buffers go back to the pool; everything else is dropped.
+func (sc *specController) CommitSpec(s int) {
+	sp := &sc.shards[s]
+	for i := range sp.els {
+		pup.PutBuffer(sp.els[i].data)
+		sp.els[i] = elemSnap{}
+	}
+	*sp = shardSpec{els: sp.els[:0]}
+}
+
+// RollbackSpec undoes the phase's shard-local mutations, in reverse of the
+// order the phase made them. The log may be partial — a phase that
+// panicked mid-handler logged only what it reached — so every restore is
+// guarded by its own recorded-marker.
+func (sc *specController) RollbackSpec(s int) {
+	sp := &sc.shards[s]
+
+	// Location-cache hint (mutually exclusive with a dequeue log — a
+	// speculation is a single phase — but guarded independently anyway).
+	if sp.cacheP != nil {
+		switch {
+		case sp.cacheDense && sp.cacheNil:
+			sp.cacheP.locDense[sp.cacheKey.array] = nil
+		case sp.cacheDense:
+			sp.cacheP.locDense[sp.cacheKey.array][sp.cacheOff] = sp.cacheEnt
+		case sp.cacheNil:
+			sp.cacheP.locCache = nil
+		case sp.cacheHad:
+			sp.cacheP.locCache[sp.cacheKey] = sp.cacheEnt
+		default:
+			delete(sp.cacheP.locCache, sp.cacheKey)
+		}
+	}
+
+	// Executed chares: unpack the pre-speculation image into a factory-
+	// fresh object, exactly as migration re-homes state.
+	for i := range sp.els {
+		snap := &sp.els[i]
+		el := snap.el
+		fresh := sc.rt.arrays[el.key.array].NewElement()
+		if err := pup.Unpack(snap.data, fresh); err != nil {
+			panic(fmt.Sprintf("charm: rollback pup of %v failed: %v", el.key, err))
+		}
+		pup.PutBuffer(snap.data)
+		el.obj = fresh
+		el.msgsSent, el.bytesSent = snap.msgsSent, snap.bytesSent
+		el.pos, el.hasPos = snap.pos, snap.hasPos
+		el.atSync, el.redGen = snap.atSync, snap.redGen
+		el.comm = snap.comm
+		sp.els[i] = elemSnap{}
+		sc.restores.Add(1)
+	}
+
+	// The dequeue: push the popped message back (the queue's (prio, seq)
+	// order is total, so re-pushing restores the identical pop order),
+	// re-arm the pump, and return the pending-delivery slot and recycled
+	// context to their pre-phase values. The context the dropped execution
+	// used is the old spare pointer itself — the execution is dead, so
+	// handing it back as the spare is exactly the recycling contract.
+	if sp.p != nil {
+		p := sp.p
+		if sp.popped != nil {
+			p.q.push(sp.popped)
+		}
+		p.pumpAt = sp.pumpAt
+		p.ctxSpare = sp.spare
+		p.pendM, p.pendEl, p.pendCtx, p.pendAt = sp.pendM, sp.pendEl, sp.pendCtx, sp.pendAt
+	}
+
+	*sp = shardSpec{els: sp.els[:0]}
+}
+
+// noteDequeue records the pump/queue/context state runOne is about to
+// shadow. Phase context, worker goroutine.
+func (sp *shardSpec) noteDequeue(p *peState) {
+	sp.p = p
+	sp.pumpAt = p.pumpAt
+	sp.spare = p.ctxSpare
+	sp.pendM, sp.pendEl, sp.pendCtx, sp.pendAt = p.pendM, p.pendEl, p.pendCtx, p.pendAt
+}
+
+// noteLocCache records the previous state of the location-cache slot the
+// hint write (rt.cacheLoc) is about to overwrite — the flat-table slot for
+// small bounded arrays, the map entry otherwise, mirroring cacheLoc's own
+// dispatch. Phase context, worker goroutine.
+func (sp *shardSpec) noteLocCache(rt *Runtime, p *peState, key elemKey) {
+	sp.cacheP = p
+	sp.cacheKey = key
+	a := rt.arrays[key.array]
+	if a.linCap > 0 && a.linCap <= denseLocCap {
+		if off := a.lin(key.idx); off >= 0 {
+			sp.cacheDense = true
+			sp.cacheOff = off
+			if t := p.locDense[key.array]; t != nil {
+				sp.cacheEnt = t[off]
+			} else {
+				sp.cacheNil = true
+			}
+			return
+		}
+	}
+	sp.cacheNil = p.locCache == nil
+	if !sp.cacheNil {
+		sp.cacheEnt, sp.cacheHad = p.locCache[key]
+	}
+}
+
+// snapshotElem images el before a speculated handler mutates it. Dedupes
+// by element — one execution can reach the same chare twice through
+// LocalInvoke, and the first image is the pre-speculation one. Phase
+// context, worker goroutine.
+func (sp *shardSpec) snapshotElem(sc *specController, el *element) {
+	for i := range sp.els {
+		if sp.els[i].el == el {
+			return
+		}
+	}
+	data := pup.PackTo(pup.GetBuffer(), el.obj)
+	var comm map[elemKey]uint64
+	if el.comm != nil {
+		comm = make(map[elemKey]uint64, len(el.comm))
+		//charmvet:ordered (map-to-map copy: the result is identical under any iteration order)
+		for k, v := range el.comm {
+			comm[k] = v
+		}
+	}
+	sp.els = append(sp.els, elemSnap{
+		el:        el,
+		data:      data,
+		msgsSent:  el.msgsSent,
+		bytesSent: el.bytesSent,
+		pos:       el.pos,
+		hasPos:    el.hasPos,
+		atSync:    el.atSync,
+		redGen:    el.redGen,
+		comm:      comm,
+	})
+	sc.snapshots.Add(1)
+	sc.snapshotBytes.Add(uint64(len(data)))
+}
+
+var _ interface {
+	BeginSpec(int)
+	CommitSpec(int)
+	RollbackSpec(int)
+} = (*specController)(nil)
+
+// SpecSnapshotStats reports how many chare snapshots the optimistic
+// backend has taken and their total PUP bytes (zero on other backends).
+func (rt *Runtime) SpecSnapshotStats() (snapshots, bytes uint64) {
+	if rt.spec == nil {
+		return 0, 0
+	}
+	return rt.spec.snapshots.Load(), rt.spec.snapshotBytes.Load()
+}

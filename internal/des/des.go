@@ -118,6 +118,23 @@ type SinkSetter interface {
 	SetTraceSink(TraceSink)
 }
 
+// SpecSink extends TraceSink with the speculation pipeline of the
+// optimistic (Time Warp) engine: a phase handed to a worker ahead of the
+// commit frontier (SpecLaunch), a speculation whose result was used at its
+// pop (SpecCommit), and a speculation undone by a straggler (SpecRollback).
+// All calls arrive on the driving goroutine. Launch and rollback decisions
+// depend only on heap state — never worker timing — so the call sequence
+// is deterministic run-to-run for a given workload, though it exists only
+// on the optimistic backend (conservative and sequential engines never
+// speculate, so recording these events forfeits cross-backend trace
+// identity; the projections tracer keeps them opt-in for that reason).
+type SpecSink interface {
+	TraceSink
+	SpecLaunch(shard int, at Time)
+	SpecCommit(shard int, at Time)
+	SpecRollback(shard int, at Time)
+}
+
 // Ref is an engine-internal event reference held by a Handle.
 type Ref interface {
 	// Live reports whether the event is still scheduled.

@@ -96,11 +96,19 @@ type Config struct {
 	// internal/des; "parallel" (alias "parsim") is the conservative
 	// parallel engine of internal/parsim, which shards the virtual PEs by
 	// node and uses Alpha (the minimum cross-node latency) as the
-	// lookahead bound. Both produce bit-identical runs.
+	// lookahead bound; "optimistic" (alias "optsim") is the Time Warp
+	// engine of internal/optsim, which speculates past any lookahead and
+	// rolls back stragglers. All produce bit-identical runs.
 	Backend string
-	// ParallelWorkers caps the parallel backend's worker goroutines;
+	// ParallelWorkers caps the parallel backends' worker goroutines;
 	// 0 means GOMAXPROCS.
 	ParallelWorkers int
+	// OptimisticWindow, when positive, bounds how far (in virtual seconds)
+	// past the commit frontier the optimistic backend may speculate. Zero
+	// means unbounded optimism. A finite window trades exposed parallelism
+	// for rollback risk on workloads whose cross-shard messages land close
+	// to the frontier.
+	OptimisticWindow float64
 
 	Thermal ThermalParams
 }

@@ -1,0 +1,738 @@
+// Package optsim is the optimistic (Time Warp) parallel execution backend
+// for the virtual machine: a des.Engine that speculatively executes event
+// phases beyond any lookahead window, rolls the affected shard back when a
+// straggler arrives in its speculated past, and commits global effects
+// strictly in (timestamp, sequence) order — so every run is bit-for-bit
+// identical to internal/des.Sequential, exactly like the conservative
+// engine of internal/parsim.
+//
+// # Why optimism
+//
+// The conservative engine may only run a shard's phase early when the
+// machine's lookahead α proves no earlier event can still reach that shard.
+// On low-α machine models the window admits almost no concurrency even
+// when the workload is embarrassingly parallel in practice (most messages
+// arrive much later than α). Time Warp inverts the bet: run every shard's
+// earliest pending phase now, detect the rare conflicting arrival, and pay
+// for it with a rollback.
+//
+// # Design
+//
+// The engine keeps the same single global heap and single driving goroutine
+// as parsim: events pop and commit in exact (at, seq) order, one at a time.
+// What changes is the launch rule and its safety net:
+//
+//   - Launch: before every pop, each shard's earliest pending two-phase
+//     event is handed to a worker — regardless of how far its timestamp
+//     lies beyond the heap top (bounded only by the optional optimism
+//     Window). A per-shard lazy-deletion min-heap tracks the shard minima,
+//     so the scan costs O(shards), not O(heap). At most one phase per
+//     shard is ever in flight, and never an event that follows the
+//     earliest pending global event (globals may touch every shard, so by
+//     the time one pops, every speculated phase has already committed and
+//     in-flight count is provably zero — the same solo-global guarantee
+//     the conservative engine enforces with its window).
+//
+//   - Straggler detection: phases touch only shard-local state, and shard
+//     state is mutated only by that shard's own commits — so the one way a
+//     speculation can be wrong is a *new* event scheduled into its past.
+//     Every scheduling entry point checks: a shard event earlier than the
+//     shard's in-flight phase, or a global event earlier than any in-flight
+//     phase, triggers a rollback of the affected shard(s) before the new
+//     event is accepted. Where parsim's checkSchedule panics, optsim
+//     recovers.
+//
+//   - Rollback: the engine waits for the phase to finish, discards its
+//     withheld commit closure, and asks the registered Controller to undo
+//     the phase's shard-local mutations (the runtime snapshots dirty chares
+//     with PUP before speculating — see charm's speculation controller).
+//     Because every globally visible effect of a phase — sends, reduction
+//     contributions, statistics — is buffered in the commit closure, which
+//     never ran, cancelling a speculation requires no anti-messages: the
+//     "sent" messages never entered the network. The event stays scheduled
+//     and simply runs again later, possibly inline at its pop.
+//
+//   - GVT and fossil collection: commits are serialized on the driver in
+//     (at, seq) order, so the Global Virtual Time is exact, not estimated —
+//     it is the timestamp of the last popped event (Now()). When a
+//     speculated event pops and its commit is used, the Controller's
+//     CommitSpec releases the shard's snapshot immediately: fossil
+//     collection is eager because nothing below the commit frontier can
+//     ever be rolled back.
+//
+// Equivalence with the sequential engine is by construction: the pop order,
+// sequence numbering, and commit order are identical, speculation only
+// moves *phase* execution earlier in wall-clock time, and every misordered
+// speculation is undone before its absence could be observed. Run/RunUntil
+// additionally roll back all still-in-flight speculations before
+// returning, so post-run machine state — not just committed output — is
+// bit-identical to the sequential engine's.
+package optsim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"charmgo/internal/des"
+	"charmgo/internal/projections/metrics"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Shards is the number of shards (virtual nodes). Events carry shard
+	// ids in [0, Shards); ids outside the range are treated as global.
+	Shards int
+	// Workers caps the worker goroutines running phases; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Window bounds optimism: phases launch only within [top, top+Window)
+	// of the heap top. Zero means unbounded speculation. A finite window
+	// trades exposed parallelism for rollback risk on workloads whose
+	// cross-shard messages routinely land close to the frontier.
+	Window des.Time
+}
+
+// Controller undoes speculative phase execution. The runtime registers one
+// (charm's speculation controller); a nil controller disables speculation
+// entirely — every event runs inline at its pop, which is correct but
+// serial.
+//
+// All three methods are called from the driving goroutine. BeginSpec(s)
+// runs before the phase is handed to a worker (the worker observes it
+// through the job-channel happens-before edge); CommitSpec(s) runs after
+// the speculated event's commit closure at its pop; RollbackSpec(s) runs
+// after the phase has finished, when a straggler invalidated it.
+type Controller interface {
+	BeginSpec(shard int)
+	CommitSpec(shard int)
+	RollbackSpec(shard int)
+}
+
+// event mirrors parsim's event form: shard binding plus pipeline state.
+type event struct {
+	at    des.Time
+	fn    func()        // global body (shard < 0)
+	sfn   func() func() // sharded two-phase body (closure form)
+	pfn   des.PhaseFn   // sharded two-phase body (preallocated form)
+	cfn   des.CommitFn  // sharded commit-only body (never launched early)
+	a     any
+	b     int64
+	seq   uint64
+	pos   int // heap index, -1 when popped or cancelled
+	shard int // -1 for global events
+
+	// Pipeline state, owned by the driver except as noted.
+	launched bool
+	done     chan struct{} // closed by the worker when the phase finishes
+	commit   func()        // written by the worker before close(done)
+	pval     any           // captured phase panic, re-raised at pop
+	panicked bool
+}
+
+// Live reports whether the event is still scheduled.
+func (ev *event) Live() bool { return ev.pos >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.pos = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.pos = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// precedes reports whether a comes before b in the engine's total event
+// order (timestamp, then scheduling sequence).
+func precedes(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// lazyHeap is a secondary min-heap of events in (at, seq) order with lazy
+// deletion: events that left the global heap (pos < 0 — popped or
+// cancelled) are discarded when they surface at the top. The engine keeps
+// one per shard (tracking each shard's earliest pending event) and one for
+// globals, replacing parsim's window-bounded scan of the global heap —
+// unbounded optimism has no window to bound such a scan with.
+type lazyHeap []*event
+
+func (h *lazyHeap) push(ev *event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !precedes(ev, a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = ev
+	*h = a
+}
+
+// peek returns the earliest still-scheduled event, discarding dead
+// entries, or nil when none remain.
+func (h *lazyHeap) peek() *event {
+	a := *h
+	for len(a) > 0 {
+		if top := a[0]; top.pos >= 0 {
+			*h = a
+			return top
+		}
+		n := len(a) - 1
+		last := a[n]
+		a[n] = nil
+		a = a[:n]
+		if n > 0 {
+			i := 0
+			for {
+				c := 2*i + 1
+				if c >= n {
+					break
+				}
+				if r := c + 1; r < n && precedes(a[r], a[c]) {
+					c = r
+				}
+				if !precedes(a[c], last) {
+					break
+				}
+				a[i] = a[c]
+				i = c
+			}
+			a[i] = last
+		}
+	}
+	*h = a
+	return nil
+}
+
+// Engine is the optimistic parallel event executor. It satisfies
+// des.Engine. Its methods must be called from the driving goroutine (or
+// from an event's commit) — the parallelism is internal.
+type Engine struct {
+	now      des.Time
+	seq      uint64
+	heap     eventHeap
+	stopped  bool
+	executed uint64
+
+	window  des.Time
+	workers int
+	ctrl    Controller
+
+	// Worker pool, alive only while Run/RunUntil executes.
+	jobs   chan *event
+	poolWG sync.WaitGroup
+
+	// In-flight speculation tracking, owned by the driver.
+	launchedOn []*event // per shard: the launched, not-yet-popped event
+	inFlight   int      // count of launched, not-yet-popped events
+
+	// Shard minima and pending globals, for the O(shards) launch scan.
+	shardQ  []lazyHeap
+	globals lazyHeap
+
+	stats Stats
+	sink  des.TraceSink
+	ssink des.SpecSink
+}
+
+// Stats aggregates speculation counters over the engine's lifetime. The
+// driver's launch and rollback decisions depend only on heap state at each
+// step — never on worker timing — so every counter is deterministic for a
+// given workload and backend.
+type Stats struct {
+	Launched    uint64   // speculative phase executions (including re-runs after rollback)
+	Committed   uint64   // speculations whose withheld commit was used at pop
+	RolledBack  uint64   // speculations undone by a straggler, cancel, or run exit
+	Inline      uint64   // sharded events run inline on the driver at pop
+	Global      uint64   // global events (always inline, always with zero in flight)
+	MaxInFlight int      // most concurrently speculated phases observed
+	MaxGVTLag   des.Time // furthest a speculation ever ran ahead of the commit frontier
+}
+
+// WastedFraction is the fraction of speculative phase executions whose
+// work was thrown away — the Time Warp overhead metric.
+func (s Stats) WastedFraction() float64 {
+	if s.Launched == 0 {
+		return 0
+	}
+	return float64(s.RolledBack) / float64(s.Launched)
+}
+
+// RollbackRatio is rollbacks per committed event — how often the
+// optimistic bet lost, normalized by useful progress.
+func (s Stats) RollbackRatio() float64 {
+	if c := s.Committed + s.Inline + s.Global; c > 0 {
+		return float64(s.RolledBack) / float64(c)
+	}
+	return 0
+}
+
+// EngineStats returns the speculation counters accumulated so far.
+func (e *Engine) EngineStats() Stats { return e.stats }
+
+// SetController installs the speculation undo controller. Without one the
+// engine never launches phases early.
+func (e *Engine) SetController(c Controller) { e.ctrl = c }
+
+// SetTraceSink installs (or, with nil, removes) the engine's phase-event
+// sink. PhaseStart/PhaseDone are called only from the driving goroutine at
+// the pop of each sharded event — the same positions, in the same total
+// order, as the sequential engine. A sink that additionally implements
+// des.SpecSink also receives speculation-pipeline events (launch, commit,
+// rollback), which exist only on this backend.
+func (e *Engine) SetTraceSink(s des.TraceSink) {
+	e.sink = s
+	e.ssink, _ = s.(des.SpecSink)
+}
+
+// GVT returns the Global Virtual Time: the commit frontier below which no
+// rollback can ever occur. Commits are serialized on the driving
+// goroutine, so GVT is exact — the timestamp of the last popped event —
+// rather than the estimate a distributed Time Warp must compute.
+func (e *Engine) GVT() des.Time { return e.now }
+
+// GlobalHorizon reports the safe scheduling horizon for global events.
+// Optimistic execution makes every instant safe: a global scheduled into a
+// speculation's past triggers a rollback instead of a violation, so the
+// horizon is simply Now() — exactly the sequential engine's answer, which
+// keeps fault-recovery timing (chaos schedules its rollbacks at the
+// horizon) bit-identical across the sequential and optimistic backends.
+func (e *Engine) GlobalHorizon() des.Time { return e.now }
+
+// RegisterMetrics exposes the engine's speculation counters through a
+// metrics registry.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("optsim.spec_launched", func() float64 { return float64(e.stats.Launched) })
+	reg.GaugeFunc("optsim.spec_committed", func() float64 { return float64(e.stats.Committed) })
+	reg.GaugeFunc("optsim.spec_rolled_back", func() float64 { return float64(e.stats.RolledBack) })
+	reg.GaugeFunc("optsim.inline_events", func() float64 { return float64(e.stats.Inline) })
+	reg.GaugeFunc("optsim.global_events", func() float64 { return float64(e.stats.Global) })
+	reg.GaugeFunc("optsim.max_in_flight", func() float64 { return float64(e.stats.MaxInFlight) })
+	reg.GaugeFunc("optsim.wasted_work_fraction", func() float64 { return e.stats.WastedFraction() })
+	reg.GaugeFunc("optsim.rollback_ratio", func() float64 { return e.stats.RollbackRatio() })
+	reg.GaugeFunc("optsim.gvt", func() float64 { return float64(e.now) })
+	reg.GaugeFunc("optsim.gvt_lag", func() float64 { return float64(e.gvtLag()) })
+	reg.GaugeFunc("optsim.max_gvt_lag", func() float64 { return float64(e.stats.MaxGVTLag) })
+}
+
+// gvtLag is how far the furthest in-flight speculation currently runs
+// ahead of the commit frontier.
+func (e *Engine) gvtLag() des.Time {
+	var lag des.Time
+	for _, le := range e.launchedOn {
+		if le != nil && le.at-e.now > lag {
+			lag = le.at - e.now
+		}
+	}
+	return lag
+}
+
+// New returns an optimistic engine with the clock at zero.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return &Engine{
+		window:     opts.Window,
+		workers:    w,
+		launchedOn: make([]*event, shards),
+		shardQ:     make([]lazyHeap, shards),
+	}
+}
+
+// Now returns the current virtual time (the exact GVT).
+func (e *Engine) Now() des.Time { return e.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Executed counts events that have run.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// preSchedule is the straggler/anti-message detector, run before every
+// event insertion: new work scheduled into the past of an in-flight
+// speculation invalidates it. A same-timestamp arrival is not a straggler —
+// the new event's larger sequence number orders it after the speculation.
+func (e *Engine) preSchedule(shard int, t des.Time) {
+	if shard < 0 {
+		if e.inFlight > 0 {
+			for s, le := range e.launchedOn {
+				if le != nil && t < le.at {
+					e.rollback(s)
+				}
+			}
+		}
+		return
+	}
+	if le := e.launchedOn[shard]; le != nil && t < le.at {
+		e.rollback(shard)
+	}
+}
+
+// schedule inserts a fully formed event into the global heap and, for
+// shard events, the shard's minima heap.
+func (e *Engine) schedule(ev *event) des.Handle {
+	e.seq++
+	heap.Push(&e.heap, ev)
+	if ev.shard >= 0 {
+		e.shardQ[ev.shard].push(ev)
+	} else {
+		e.globals.push(ev)
+	}
+	return des.HandleFor(ev)
+}
+
+// At schedules fn as a global event: it runs alone on the driver, with no
+// phases in flight.
+func (e *Engine) At(t des.Time, fn func()) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("optsim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.preSchedule(-1, t)
+	return e.schedule(&event{at: t, fn: fn, seq: e.seq, shard: -1})
+}
+
+func (e *Engine) checkShard(shard int) {
+	if shard < 0 || shard >= len(e.launchedOn) {
+		panic(fmt.Sprintf("optsim: shard %d out of range [0,%d)", shard, len(e.launchedOn)))
+	}
+}
+
+// AtShard schedules a two-phase event on a shard.
+func (e *Engine) AtShard(shard int, t des.Time, fn func() func()) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("optsim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.checkShard(shard)
+	e.preSchedule(shard, t)
+	return e.schedule(&event{at: t, sfn: fn, seq: e.seq, shard: shard})
+}
+
+// AtShardFn schedules a two-phase event from a preallocated PhaseFn.
+func (e *Engine) AtShardFn(shard int, t des.Time, fn des.PhaseFn, a any, b int64) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("optsim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.checkShard(shard)
+	e.preSchedule(shard, t)
+	return e.schedule(&event{at: t, pfn: fn, a: a, b: b, seq: e.seq, shard: shard})
+}
+
+// AtShardCommit schedules a sharded event whose entire body runs at commit
+// position on the driver. It participates in shard ordering (and straggler
+// detection: an arrival in a speculation's past rolls the shard back) but
+// is never handed to a worker.
+func (e *Engine) AtShardCommit(shard int, t des.Time, fn des.CommitFn, a any, b int64) des.Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("optsim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.checkShard(shard)
+	e.preSchedule(shard, t)
+	return e.schedule(&event{at: t, cfn: fn, a: a, b: b, seq: e.seq, shard: shard})
+}
+
+// After schedules fn to run d seconds from now as a global event.
+func (e *Engine) After(d des.Time, fn func()) des.Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("optsim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event whose phase is
+// speculatively in flight rolls the speculation back first — unlike the
+// conservative engine, a late cancellation is an ordinary straggler here,
+// not a protocol violation.
+func (e *Engine) Cancel(h des.Handle) {
+	ref := h.EventRef()
+	if ref == nil {
+		return
+	}
+	ev, ok := ref.(*event)
+	if !ok {
+		panic("optsim: Cancel of a handle from a different engine")
+	}
+	if ev.launched {
+		e.rollback(ev.shard)
+	}
+	if ev.pos < 0 {
+		return
+	}
+	heap.Remove(&e.heap, ev.pos)
+}
+
+// Stop makes Run return before the next pop.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. Before
+// returning, every still-in-flight speculation is rolled back, so the
+// machine state Run leaves behind is exactly the sequential engine's state
+// at the same stop point — shard-local state included.
+func (e *Engine) Run() {
+	e.stopped = false
+	defer e.shutdownPool()
+	defer e.rollbackAll()
+	for !e.stopped && len(e.heap) > 0 {
+		e.step(des.Forever)
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if it is ahead of the last event). Like Run, it rolls back any
+// remaining speculations before returning.
+func (e *Engine) RunUntil(t des.Time) {
+	e.stopped = false
+	defer e.shutdownPool()
+	defer e.rollbackAll()
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= t {
+		e.step(t)
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// step launches eligible speculations, then pops and commits the next
+// event in heap order. horizon (inclusive) bounds execution for RunUntil.
+func (e *Engine) step(horizon des.Time) {
+	e.launch(horizon)
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at // the exact GVT: nothing at or below this can roll back
+	e.executed++
+
+	if ev.shard < 0 {
+		// The launch rule never speculates past the earliest pending
+		// global, and preSchedule rolls back speculations that a later-
+		// scheduled global would precede — so a popping global always
+		// finds zero phases in flight, exactly like parsim.
+		if e.inFlight > 0 {
+			e.drainLaunched()
+			panic(fmt.Sprintf("optsim: internal: global event at t=%v popped with %d speculations in flight", ev.at, e.inFlight))
+		}
+		e.stats.Global++
+		ev.fn()
+		return
+	}
+
+	if e.sink != nil {
+		e.sink.PhaseStart(ev.shard, ev.at)
+	}
+	var commit func()
+	speculated := ev.launched
+	if speculated {
+		if e.launchedOn[ev.shard] != ev {
+			panic("optsim: internal: popped a launched event that is not its shard's in-flight speculation")
+		}
+		e.launchedOn[ev.shard] = nil
+		e.inFlight--
+		<-ev.done
+		if ev.panicked {
+			// Re-raise deterministically in pop order, not worker order.
+			// No PhaseDone: the sequential engine panics out of the phase
+			// body before reaching its PhaseDone too.
+			e.drainLaunched()
+			panic(ev.pval)
+		}
+		e.stats.Committed++
+		commit = ev.commit
+	} else {
+		if e.launchedOn[ev.shard] != nil {
+			panic("optsim: internal: shard event popped past its in-flight speculation")
+		}
+		e.stats.Inline++
+		switch {
+		case ev.cfn != nil:
+			ev.cfn(ev.a, ev.b, ev.at)
+		case ev.pfn != nil:
+			commit = ev.pfn(ev.a, ev.b, ev.at)
+		default:
+			commit = ev.sfn()
+		}
+	}
+	if commit != nil {
+		commit()
+	}
+	if speculated {
+		// Fossil collection: the commit frontier passed this speculation,
+		// so its snapshot can never be needed again.
+		if e.ctrl != nil {
+			e.ctrl.CommitSpec(ev.shard)
+		}
+		if e.ssink != nil {
+			e.ssink.SpecCommit(ev.shard, ev.at)
+		}
+	}
+	if e.sink != nil {
+		e.sink.PhaseDone(ev.shard, ev.at)
+	}
+}
+
+// launch hands every eligible shard minimum to the worker pool: not a
+// commit-only body, not the heap top (the driver runs that inline and
+// overlaps with the launches), not at or past the earliest pending global,
+// and within the optimism window when one is configured.
+func (e *Engine) launch(horizon des.Time) {
+	if e.ctrl == nil || len(e.launchedOn) < 2 || len(e.heap) < 2 {
+		return
+	}
+	top := e.heap[0]
+	limit := des.Forever
+	if e.window > 0 {
+		limit = top.at + e.window
+	}
+	minGlobal := e.globals.peek()
+	for s := range e.shardQ {
+		if e.launchedOn[s] != nil {
+			continue
+		}
+		ev := e.shardQ[s].peek()
+		if ev == nil || ev == top || ev.cfn != nil {
+			continue
+		}
+		if ev.at >= limit || ev.at > horizon {
+			continue
+		}
+		if minGlobal != nil && precedes(minGlobal, ev) {
+			continue
+		}
+		e.launchEvent(ev)
+	}
+}
+
+// launchEvent hands one event's phase to the worker pool as a speculation.
+func (e *Engine) launchEvent(ev *event) {
+	if e.jobs == nil {
+		e.jobs = make(chan *event, len(e.launchedOn))
+		for w := 0; w < e.workers; w++ {
+			e.poolWG.Add(1)
+			//charmvet:parsim (speculative phase workers execute shard-disjoint events; misspeculations are rolled back)
+			go e.worker()
+		}
+	}
+	e.ctrl.BeginSpec(ev.shard)
+	ev.launched = true
+	ev.done = make(chan struct{})
+	e.launchedOn[ev.shard] = ev
+	e.inFlight++
+	if e.inFlight > e.stats.MaxInFlight {
+		e.stats.MaxInFlight = e.inFlight
+	}
+	if lag := ev.at - e.now; lag > e.stats.MaxGVTLag {
+		e.stats.MaxGVTLag = lag
+	}
+	e.stats.Launched++
+	if e.ssink != nil {
+		e.ssink.SpecLaunch(ev.shard, ev.at)
+	}
+	e.jobs <- ev
+}
+
+// rollback undoes shard s's in-flight speculation: wait for the phase,
+// discard its withheld commit (the speculative sends it buffered never
+// entered the network — dropping the closure is the anti-message), and let
+// the controller restore the shard-local state the phase mutated. The
+// event itself stays scheduled and runs again at or before its pop.
+func (e *Engine) rollback(s int) {
+	ev := e.launchedOn[s]
+	<-ev.done
+	e.launchedOn[s] = nil
+	e.inFlight--
+	ev.launched = false
+	ev.done = nil
+	ev.commit = nil
+	ev.pval, ev.panicked = nil, false
+	e.ctrl.RollbackSpec(s)
+	e.stats.RolledBack++
+	if e.ssink != nil {
+		e.ssink.SpecRollback(s, ev.at)
+	}
+}
+
+// rollbackAll undoes every in-flight speculation (run exit, Stop).
+func (e *Engine) rollbackAll() {
+	for s, le := range e.launchedOn {
+		if le != nil {
+			e.rollback(s)
+		}
+	}
+}
+
+// worker drains the job channel, running one phase at a time.
+func (e *Engine) worker() {
+	defer e.poolWG.Done()
+	for ev := range e.jobs {
+		runPhase(ev)
+	}
+}
+
+// runPhase executes one event's phase, capturing panics so the driver can
+// re-raise them in deterministic pop order (or discard them on rollback —
+// a straggler that would have prevented the panic sequentially prevents it
+// here too, by rolling the panicked speculation back before its pop).
+func runPhase(ev *event) {
+	defer close(ev.done)
+	defer func() {
+		if r := recover(); r != nil {
+			ev.pval, ev.panicked = r, true
+		}
+	}()
+	if ev.pfn != nil {
+		ev.commit = ev.pfn(ev.a, ev.b, ev.at)
+		return
+	}
+	ev.commit = ev.sfn()
+}
+
+// drainLaunched waits for every in-flight phase (panic path only; normal
+// exits roll them back instead).
+func (e *Engine) drainLaunched() {
+	for _, ev := range e.heap {
+		if ev != nil && ev.launched {
+			<-ev.done
+		}
+	}
+}
+
+// shutdownPool stops the workers after finishing all handed-out phases, so
+// no goroutine outlives Run/RunUntil.
+func (e *Engine) shutdownPool() {
+	if e.jobs == nil {
+		return
+	}
+	close(e.jobs)
+	e.poolWG.Wait()
+	e.jobs = nil
+	e.drainLaunched()
+}

@@ -14,11 +14,13 @@ import (
 )
 
 // The observability acceptance gate: an identical app run on the
-// sequential and the parsim parallel backend must produce byte-identical
-// event logs — same events, same virtual timestamps, same monotone event
-// IDs. The log serialization (WriteLog) is the comparison unit, so any
-// divergence in hook-call order, timestamping, or ID assignment anywhere
-// in the runtime shows up as a byte diff here.
+// sequential, the conservative parsim, and the optimistic optsim backend
+// must produce byte-identical event logs — same events, same virtual
+// timestamps, same monotone event IDs. The log serialization (WriteLog)
+// is the comparison unit, so any divergence in hook-call order,
+// timestamping, or ID assignment anywhere in the runtime shows up as a
+// byte diff here. (Spec lifecycle events are opt-in precisely because
+// they would break this identity; see TestSpecEventsRecorded.)
 
 // tracedRun executes an app with a tracer attached (engine phase events
 // included) and returns the serialized event log.
@@ -45,16 +47,18 @@ func assertTraceCrossBackend(t *testing.T, name string, mk func() machine.Config
 	if len(seq) == 0 {
 		t.Fatalf("%s: sequential run produced an empty trace", name)
 	}
-	for _, procs := range []int{1, 2, 8} {
-		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
-			prev := runtime.GOMAXPROCS(procs)
-			defer runtime.GOMAXPROCS(prev)
-			par := tracedRun(t, mk, "parallel", run)
-			if !bytes.Equal(seq, par) {
-				t.Fatalf("%s: event log diverged across backends at GOMAXPROCS=%d (%d vs %d bytes); first diff at byte %d",
-					name, procs, len(seq), len(par), firstDiff(seq, par))
-			}
-		})
+	for _, backend := range []string{"parallel", "optimistic"} {
+		for _, procs := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/gomaxprocs=%d", backend, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				par := tracedRun(t, mk, backend, run)
+				if !bytes.Equal(seq, par) {
+					t.Fatalf("%s: event log diverged on %s backend at GOMAXPROCS=%d (%d vs %d bytes); first diff at byte %d",
+						name, backend, procs, len(seq), len(par), firstDiff(seq, par))
+				}
+			})
+		}
 	}
 }
 
@@ -85,6 +89,58 @@ func TestLeanMDTraceCrossBackend(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+}
+
+// TestSpecEventsRecorded exercises the opt-in speculation lifecycle
+// trace: on the optimistic backend with SpecEvents on, the log must
+// contain launch and commit events (and be internally consistent:
+// commits + rollbacks never exceed launches), and two identical runs
+// must produce byte-identical logs — speculation decisions are made by
+// the driver, so the extra events are as deterministic as the rest.
+func TestSpecEventsRecorded(t *testing.T) {
+	cfg := pdes.Config{
+		LPs: 32, EventsPerLP: 8, TargetEvents: 2000, Seed: 7,
+	}
+	specRun := func() []byte {
+		mcfg := machine.Testbed(8)
+		mcfg.Backend = "optimistic"
+		rt := charm.New(machine.New(mcfg))
+		tr := Attach(rt, Options{EngineEvents: true, SpecEvents: true})
+		if _, err := pdes.Run(rt, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Dropped() != 0 {
+			t.Fatalf("dropped %d events", tr.Dropped())
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		var launches, commits, rollbacks int
+		for _, e := range tr.Events() {
+			switch e.Kind {
+			case KSpecLaunch:
+				launches++
+			case KSpecCommit:
+				commits++
+			case KSpecRollback:
+				rollbacks++
+			}
+		}
+		if launches == 0 || commits == 0 {
+			t.Fatalf("optimistic run recorded no speculation (launch=%d commit=%d)", launches, commits)
+		}
+		if commits+rollbacks > launches {
+			t.Fatalf("spec accounting broken: %d launches but %d commits + %d rollbacks",
+				launches, commits, rollbacks)
+		}
+		return buf.Bytes()
+	}
+	a, b := specRun(), specRun()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("spec-event trace not reproducible (%d vs %d bytes); first diff at byte %d",
+			len(a), len(b), firstDiff(a, b))
+	}
 }
 
 func TestPDESTraceCrossBackend(t *testing.T) {

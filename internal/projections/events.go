@@ -53,6 +53,14 @@ const (
 	// KFault: Entry = fault kind ("crash", "drop", "delay", "straggler",
 	// "detect", "rollback", "recover"), PE = affected PE (-1 machine-wide).
 	KFault
+	// KSpecLaunch / KSpecCommit / KSpecRollback are Time Warp speculation
+	// lifecycle events from the optimistic engine: PE = shard, At = the
+	// speculated event's timestamp. Recorded only with Options.SpecEvents
+	// (they exist on no other backend, so they are excluded from the
+	// cross-backend byte-identity contract).
+	KSpecLaunch
+	KSpecCommit
+	KSpecRollback
 )
 
 var kindNames = [...]string{
@@ -67,9 +75,12 @@ var kindNames = [...]string{
 	KCheckpoint: "checkpoint",
 	KTramBuffer: "tram-buffer",
 	KTramFlush:  "tram-flush",
-	KPhaseStart: "phase-start",
-	KPhaseCommit: "phase-commit",
-	KFault:       "fault",
+	KPhaseStart:   "phase-start",
+	KPhaseCommit:  "phase-commit",
+	KFault:        "fault",
+	KSpecLaunch:   "spec-launch",
+	KSpecCommit:   "spec-commit",
+	KSpecRollback: "spec-rollback",
 }
 
 // String returns the kind's log token.

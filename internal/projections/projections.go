@@ -18,6 +18,15 @@ type Options struct {
 	// events (needed for the phase-parallelism timeline). Off by default:
 	// they roughly double the event volume.
 	EngineEvents bool
+	// SpecEvents also records the optimistic engine's speculation
+	// lifecycle (launch/commit/rollback per shard). Off by default: spec
+	// events exist only on the optimistic backend, so recording them
+	// breaks the byte-identity of a trace against the other backends —
+	// they are for studying the Time Warp engine itself. Requires
+	// EngineEvents (the sink installation is shared). Within one backend
+	// the launch/rollback decisions are driver-deterministic, so traces
+	// remain bit-reproducible run to run.
+	SpecEvents bool
 }
 
 // ring is a bounded circular event buffer.
@@ -238,6 +247,32 @@ func (t *Tracer) shardRing(shard int) int {
 		return shard
 	}
 	return t.driverRing()
+}
+
+// ---- des.SpecSink (optimistic backend; gated by Options.SpecEvents) ----
+
+// SpecLaunch records a shard starting to execute an event speculatively.
+func (t *Tracer) SpecLaunch(shard int, at des.Time) {
+	if !t.opts.SpecEvents {
+		return
+	}
+	t.record(t.shardRing(shard), Event{Kind: KSpecLaunch, At: at, PE: shard})
+}
+
+// SpecCommit records a speculation surviving to its pop and committing.
+func (t *Tracer) SpecCommit(shard int, at des.Time) {
+	if !t.opts.SpecEvents {
+		return
+	}
+	t.record(t.shardRing(shard), Event{Kind: KSpecCommit, At: at, PE: shard})
+}
+
+// SpecRollback records a straggler squashing a shard's speculation.
+func (t *Tracer) SpecRollback(shard int, at des.Time) {
+	if !t.opts.SpecEvents {
+		return
+	}
+	t.record(t.shardRing(shard), Event{Kind: KSpecRollback, At: at, PE: shard})
 }
 
 // idxString renders an element index, empty for PE handlers (array "").

@@ -108,18 +108,29 @@ func (p *Pup) Uint64(v *uint64) {
 	}
 }
 
+// The composite helpers below (Int64, Int, Int32, Bool, Float64, Float32)
+// write *v back only when unpacking. Packing and sizing traversals must be
+// pure readers of the object graph: the optimistic backend PUP-snapshots a
+// chare from a speculative phase on one worker while phases on other
+// shards legitimately read state shared with it (zero-copy message
+// payloads), and a same-value write-back is still a data race.
+
 // Int64 pups an int64.
 func (p *Pup) Int64(v *int64) {
 	u := uint64(*v)
 	p.Uint64(&u)
-	*v = int64(u)
+	if p.mode == Unpacking {
+		*v = int64(u)
+	}
 }
 
 // Int pups an int (always 8 bytes on the wire).
 func (p *Pup) Int(v *int) {
 	u := uint64(int64(*v))
 	p.Uint64(&u)
-	*v = int(int64(u))
+	if p.mode == Unpacking {
+		*v = int(int64(u))
+	}
 }
 
 // Uint32 pups a uint32.
@@ -137,7 +148,9 @@ func (p *Pup) Uint32(v *uint32) {
 func (p *Pup) Int32(v *int32) {
 	u := uint32(*v)
 	p.Uint32(&u)
-	*v = int32(u)
+	if p.mode == Unpacking {
+		*v = int32(u)
+	}
 }
 
 // Uint8 pups a byte.
@@ -158,21 +171,27 @@ func (p *Pup) Bool(v *bool) {
 		u = 1
 	}
 	p.Uint8(&u)
-	*v = u != 0
+	if p.mode == Unpacking {
+		*v = u != 0
+	}
 }
 
 // Float64 pups a float64.
 func (p *Pup) Float64(v *float64) {
 	u := math.Float64bits(*v)
 	p.Uint64(&u)
-	*v = math.Float64frombits(u)
+	if p.mode == Unpacking {
+		*v = math.Float64frombits(u)
+	}
 }
 
 // Float32 pups a float32.
 func (p *Pup) Float32(v *float32) {
 	u := math.Float32bits(*v)
 	p.Uint32(&u)
-	*v = math.Float32frombits(u)
+	if p.mode == Unpacking {
+		*v = math.Float32frombits(u)
+	}
 }
 
 // String pups a string with a length prefix.

@@ -13,6 +13,10 @@
 #   scripts/bench.sh --gate     # re-run scale configs, fail on >20% regression
 #                               # against the committed BENCH_scale.json budgets
 #                               # (memory metrics gate hard; events/sec warns)
+#   scripts/bench.sh --optsim   # three-backend PHOLD at low lookahead,
+#                               # rewrites BENCH_optsim.json (speculation
+#                               # stats, rollback ratio, wasted work)
+#   scripts/bench.sh --optsim --smoke  # small config, no file written
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,24 +24,32 @@ cd "$(dirname "$0")/.."
 smoke=0
 scale=0
 gate=0
+optsim=0
 workers=8
 while [ $# -gt 0 ]; do
 	case "$1" in
 	--smoke) smoke=1 ;;
 	--scale) scale=1 ;;
 	--gate) gate=1 ;;
+	--optsim) optsim=1 ;;
 	--workers)
 		shift
 		workers="$1"
 		;;
 	*)
-		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--workers N]" >&2
+		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--workers N]" >&2
 		exit 2
 		;;
 	esac
 	shift
 done
 
+if [ "$optsim" = 1 ]; then
+	if [ "$smoke" = 1 ]; then
+		exec go run ./cmd/parsimbench -backend optimistic -smoke -workers "$workers"
+	fi
+	exec go run ./cmd/parsimbench -backend optimistic -out BENCH_optsim.json -workers "$workers"
+fi
 if [ "$gate" = 1 ]; then
 	exec go run ./cmd/parsimbench -gate BENCH_scale.json
 fi

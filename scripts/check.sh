@@ -16,15 +16,20 @@ go run ./cmd/charmvet -baseline charmvet.baseline ./...
 go run ./cmd/charmvet -json ./... > /dev/null
 go test -race ./...
 
-# Sequential vs parallel backend must produce bit-identical digests no
-# matter how many host threads the phase workers are spread over. The
-# projections suite holds the event-log flavor of the same guarantee:
-# byte-identical traces across backends.
+# All three backends (sequential, conservative-parallel, optimistic) must
+# produce bit-identical digests no matter how many host threads the phase
+# workers are spread over — for the optimistic engine that covers
+# speculation, rollback, and the commit pipeline. The projections suite
+# holds the event-log flavor of the same guarantee: byte-identical traces
+# across backends.
 for procs in 1 2 8; do
 	GOMAXPROCS=$procs go test -race -count=1 -run 'CrossBackend' ./internal/apps/determinism/ ./internal/projections/
 done
 
 scripts/bench.sh --smoke
+# Time Warp smoke: three-backend PHOLD at low lookahead; exits nonzero if
+# the backends' digests diverge.
+scripts/bench.sh --optsim --smoke
 
 # Full-registry cross-backend identity: every figure's table byte-identical
 # on the sequential and parallel engines (SeqOnly figures 7/14 and the
@@ -45,7 +50,7 @@ scripts/bench.sh --gate
 go run ./cmd/projections -selfbench -smoke -out BENCH_projections.json
 
 # Chaos soak: every campaign app survives its injected crashes with final
-# values and state digests byte-identical to the failure-free run, on both
-# backends. The driver exits nonzero on any mismatch, unsurvived crash, or
-# cross-backend divergence; the report itself is byte-deterministic.
+# values and state digests byte-identical to the failure-free run, on all
+# three backends. The driver exits nonzero on any mismatch, unsurvived
+# crash, or cross-backend divergence; the report is byte-deterministic.
 go run ./cmd/chaos -out BENCH_chaos.json
