@@ -25,6 +25,7 @@ import (
 	"charmgo/internal/malleable"
 	"charmgo/internal/projections"
 	"charmgo/internal/pup"
+	"charmgo/internal/telemetry"
 	"charmgo/internal/trace"
 )
 
@@ -47,13 +48,14 @@ func main() {
 	args := flag.String("args", "", "client command arguments")
 	pes := flag.Int("pes", 64, "server: processing elements")
 	objs := flag.Int("objs", 256, "server: worker chares")
+	telemetryAddr := flag.String("telemetry", "", "server: serve live introspection (/status, /metrics, /events, pprof) on this address")
 	flag.Parse()
 
 	switch {
 	case *connect != "":
 		client(*connect, *cmd, *args)
 	case *listen != "":
-		serve(*listen, *pes, *objs)
+		serve(*listen, *pes, *objs, *telemetryAddr)
 	default:
 		fmt.Fprintln(os.Stderr, "need -listen or -connect; see -help")
 		os.Exit(2)
@@ -75,9 +77,21 @@ func client(addr, cmd, args string) {
 	fmt.Println(result)
 }
 
-func serve(addr string, pes, objs int) {
+func serve(addr string, pes, objs int, telemetryAddr string) {
 	rt := charm.New(machine.New(machine.Stampede(pes)))
 	rt.SetBalancer(lb.Greedy{})
+	var tel *telemetry.Telemetry
+	if telemetryAddr != "" {
+		tel = telemetry.Attach(rt, telemetry.Options{})
+		defer tel.DumpOnPanic()
+		tsrv, err := telemetry.Serve(telemetryAddr, tel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: http://%s\n", tsrv.Addr())
+	}
 	tr := trace.New(rt, 0.05)
 	tr.Start()
 	events := projections.Attach(rt, projections.Options{})
@@ -157,5 +171,8 @@ func serve(addr string, pes, objs int) {
 	fmt.Printf("steerable job on %s (%d PEs, %d chares); commands: pes shrink expand stats timeline trace ckpt stop\n",
 		bound, rt.NumPEs(), arr.Len())
 	srv.Drive(0.05, func() bool { return stopped && rt.Engine().Pending() == 0 })
+	if tel != nil {
+		tel.Final()
+	}
 	fmt.Printf("job stopped at t=%.2fs (virtual)\n", float64(rt.Now()))
 }

@@ -14,6 +14,7 @@ import (
 	"charmgo/internal/machine"
 	"charmgo/internal/malleable"
 	"charmgo/internal/projections"
+	"charmgo/internal/telemetry"
 	"charmgo/internal/trace"
 
 	"charmgo/internal/apps/leanmd"
@@ -36,9 +37,22 @@ func main() {
 	perfetto := flag.String("perfetto", "", "record an event trace and write Chrome trace-event JSON here")
 	eventsOut := flag.String("events", "", "record an event trace and write the raw event log here")
 	profile := flag.Bool("profile", false, "record an event trace and print the projections summary")
+	telemetryAddr := flag.String("telemetry", "", "serve live introspection (/status, /metrics, /events, pprof) on this address, e.g. :8080")
 	flag.Parse()
 
 	rt := charm.New(machine.New(pickMachine(*mach, *pes)))
+	var tel *telemetry.Telemetry
+	if *telemetryAddr != "" {
+		tel = telemetry.Attach(rt, telemetry.Options{})
+		defer tel.DumpOnPanic()
+		srv, err := telemetry.Serve(*telemetryAddr, tel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s\n", srv.Addr())
+	}
 	cfg := leanmd.Config{
 		CellsX: *cells, CellsY: *cells, CellsZ: *cells,
 		AtomsPerCell: *atoms, Gaussian: *gaussian, Steps: *steps, Seed: 1,
@@ -90,6 +104,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if tel != nil {
+		tel.Final()
 	}
 	ts := res.StepTimes()
 	fmt.Printf("atoms=%d steps=%d PEs=%d machine=%s\n", res.Atoms, len(ts), rt.NumPEs(), *mach)

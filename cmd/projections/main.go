@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -29,7 +30,7 @@ import (
 func main() {
 	app := flag.String("app", "leanmd", "app to trace: leanmd, pdes")
 	pes := flag.Int("pes", 16, "processing elements")
-	backend := flag.String("backend", "sequential", "engine backend: sequential, parallel")
+	backend := flag.String("backend", "sequential", "engine backend: sequential, parallel, optimistic")
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	top := flag.Int("top", 10, "profile rows to print")
 	perfetto := flag.String("perfetto", "", "write Chrome trace-event JSON here (load at ui.perfetto.dev)")
@@ -93,10 +94,11 @@ func runAppOn(rt *charm.Runtime, app string, scale int) {
 }
 
 func traceRun(app string, pes int, backend string, scale, top int, perfetto, logOut string) {
-	_, tr := runApp(app, pes, scale, backend)
+	rt, tr := runApp(app, pes, scale, backend)
 	if err := tr.WriteSummary(os.Stdout, top); err != nil {
 		fatal(err)
 	}
+	writeSpecSummary(os.Stdout, rt)
 	events := tr.Events()
 	if perfetto != "" {
 		writeTo(perfetto, func(f *os.File) error { return projections.WritePerfetto(f, events) })
@@ -106,6 +108,31 @@ func traceRun(app string, pes int, backend string, scale, top int, perfetto, log
 		writeTo(logOut, func(f *os.File) error { return projections.WriteLog(f, events) })
 		fmt.Printf("event log: %d events to %s\n", len(events), logOut)
 	}
+}
+
+// writeSpecSummary appends the Time Warp section to the text summary: the
+// optsim.* gauges the optimistic engine and the runtime's snapshot
+// controller export into the metric registry at run end. Self-suppressing
+// on backends that never speculate (the gauges are absent or zero).
+func writeSpecSummary(w io.Writer, rt *charm.Runtime) {
+	vals := map[string]float64{}
+	for _, s := range rt.Metrics().Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals["optsim.spec_launched"] == 0 && vals["optsim.spec_rolled_back"] == 0 &&
+		vals["optsim.inline_events"] == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n== Speculation (Time Warp) ==\n")
+	fmt.Fprintf(w, "  launched %.0f  committed %.0f  rolled back %.0f  inline %.0f\n",
+		vals["optsim.spec_launched"], vals["optsim.spec_committed"],
+		vals["optsim.spec_rolled_back"], vals["optsim.inline_events"])
+	fmt.Fprintf(w, "  rollback ratio %.4f  wasted work %.1f%%  max in flight %.0f\n",
+		vals["optsim.rollback_ratio"], 100*vals["optsim.wasted_work_fraction"],
+		vals["optsim.max_in_flight"])
+	fmt.Fprintf(w, "  max GVT lag %.3g vs  snapshots %.0f (%.1f KB, %.0f restored)\n",
+		vals["optsim.max_gvt_lag"], vals["optsim.snapshots"],
+		vals["optsim.snapshot_bytes"]/1024, vals["optsim.snapshot_restores"])
 }
 
 func analyzeFile(path string, top int, perfetto string) {

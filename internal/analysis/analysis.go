@@ -133,6 +133,13 @@ const (
 	// internal/parsim's package comment), so the waiver must not leak into
 	// runtime or app code.
 	WaiverParsim = "charmvet:parsim"
+	// WaiverTelemetry marks the observability layer's wall-clock reads. It
+	// is honored only inside telemetry packages, and even there only for
+	// values that stay side-band: a waived read whose result flows into
+	// simulated time (des.Time) is still a finding, because a wall stamp
+	// entering simulation state breaks cross-backend digest identity no
+	// matter which package it came from.
+	WaiverTelemetry = "charmvet:telemetry"
 	// WaiverPupSkip marks a struct field deliberately absent from the
 	// type's Pup method (caches, runtime wiring rebuilt after migration).
 	WaiverPupSkip = "pup:skip"
@@ -183,8 +190,8 @@ func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[fileLin
 				text = strings.TrimSpace(text)
 				for _, name := range []string{
 					WaiverOrdered, WaiverWallclock, WaiverSpawn, WaiverParsim,
-					WaiverPupSkip, WaiverPooled, WaiverRetain, WaiverPhase,
-					WaiverSpecState,
+					WaiverTelemetry, WaiverPupSkip, WaiverPooled, WaiverRetain,
+					WaiverPhase, WaiverSpecState,
 				} {
 					if text == name || strings.HasPrefix(text, name+" ") {
 						pos := fset.Position(c.Pos())

@@ -39,7 +39,11 @@ import (
 // Waivers: //charmvet:wallclock (clock/rand), //charmvet:ordered (map
 // range), //charmvet:spawn (go/select). The parallel engine's worker
 // spawns carry //charmvet:parsim, honored only inside parsim packages so
-// the engine's license cannot be borrowed by runtime or app code.
+// the engine's license cannot be borrowed by runtime or app code. The
+// observability layer's wall-clock reads carry //charmvet:telemetry,
+// honored only inside telemetry packages — and even there a waived read
+// whose value flows into simulated time (a des.Time-typed expression) is
+// still reported: wall stamps must stay side-band.
 var DetTaint = &Analyzer{
 	Name: "dettaint",
 	Doc:  "flags nondeterminism sources reachable from runtime event entry points",
@@ -67,6 +71,9 @@ func runDetTaint(pass *Pass) {
 	parsimPkg := pass.Path == "charmgo/internal/parsim" ||
 		strings.HasPrefix(pass.Path, "charmgo/internal/parsim/") ||
 		strings.HasSuffix(pass.Path, "/parsim") // fixture package for the waiver tests
+	telemetryPkg := pass.Path == "charmgo/internal/telemetry" ||
+		strings.HasPrefix(pass.Path, "charmgo/internal/telemetry/") ||
+		strings.HasSuffix(pass.Path, "/telemetry") // fixture package for the waiver tests
 
 	for _, n := range pass.pkgNodes() {
 		if _, ok := reach[n]; !ok {
@@ -76,7 +83,7 @@ func runDetTaint(pass *Pass) {
 		inspectShallow(n.body(), func(x ast.Node) bool {
 			switch x := x.(type) {
 			case *ast.CallExpr:
-				pass.checkSourceCall(x, chain)
+				pass.checkSourceCall(x, chain, telemetryPkg, n.Body)
 			case *ast.RangeStmt:
 				pass.checkMapRange(x, n.enclosingBlock(), chain)
 			case *ast.GoStmt:
@@ -111,7 +118,7 @@ func runDetTaint(pass *Pass) {
 							return false // literal bodies are graph nodes
 						}
 						if call, ok := x.(*ast.CallExpr); ok {
-							pass.checkSourceCall(call, initChain)
+							pass.checkSourceCall(call, initChain, telemetryPkg, nil)
 						}
 						return true
 					})
@@ -125,8 +132,12 @@ func runDetTaint(pass *Pass) {
 // for the later sort call: the node's own body.
 func (n *Node) enclosingBlock() *ast.BlockStmt { return n.Body }
 
-// checkSourceCall flags wall-clock and global-rand calls.
-func (p *Pass) checkSourceCall(call *ast.CallExpr, chain []string) {
+// checkSourceCall flags wall-clock and global-rand calls. telemetryPkg and
+// body scope the //charmvet:telemetry waiver: the waiver is honored only
+// inside telemetry packages, and only when the read's value stays out of
+// des.Time-typed expressions in the enclosing function (body is nil for
+// package-level initializers, where no flow check applies).
+func (p *Pass) checkSourceCall(call *ast.CallExpr, chain []string, telemetryPkg bool, body *ast.BlockStmt) {
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -138,9 +149,19 @@ func (p *Pass) checkSourceCall(call *ast.CallExpr, chain []string) {
 	name := sel.Sel.Name
 	switch {
 	case pkgPath == "time" && wallClockFuncs[name]:
-		if !p.Waived(WaiverWallclock, call.Pos()) {
-			p.ReportChainf(call.Pos(), chain, "time.%s reads the wall clock on an event path; use virtual time (des.Engine) or annotate //charmvet:wallclock%s", name, chainSuffix(chain))
+		if p.Waived(WaiverWallclock, call.Pos()) {
+			return
 		}
+		if p.Waived(WaiverTelemetry, call.Pos()) {
+			switch {
+			case !telemetryPkg:
+				p.ReportChainf(call.Pos(), chain, "charmvet:telemetry waiver is only honored inside the telemetry layer; time.%s reads the wall clock on an event path%s", name, chainSuffix(chain))
+			case body != nil && p.flowsIntoSimTime(body, call):
+				p.ReportChainf(call.Pos(), chain, "time.%s is waived by charmvet:telemetry but its value flows into simulated time (des.Time); wall stamps must stay side-band%s", name, chainSuffix(chain))
+			}
+			return
+		}
+		p.ReportChainf(call.Pos(), chain, "time.%s reads the wall clock on an event path; use virtual time (des.Engine) or annotate //charmvet:wallclock%s", name, chainSuffix(chain))
 	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !globalRandExempt[name]:
 		if !p.Waived(WaiverWallclock, call.Pos()) {
 			p.ReportChainf(call.Pos(), chain, "rand.%s draws from the global math/rand source on an event path; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) or annotate //charmvet:wallclock%s", name, chainSuffix(chain))
@@ -241,6 +262,49 @@ func allSortedLater(body *ast.BlockStmt, rng *ast.RangeStmt, targets []string) b
 		}
 	}
 	return true
+}
+
+// flowsIntoSimTime reports whether call's result is used inside an
+// expression of simulated-time type: any enclosing expression typed
+// des.Time means the wall value reached simulation state (Go requires an
+// explicit conversion to cross into des.Time, so every such flow surfaces
+// as a des.Time-typed ancestor — a conversion, an arithmetic expression
+// over one, or a des.Time-taking call's argument conversion).
+func (p *Pass) flowsIntoSimTime(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	var stack []ast.Node
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == ast.Node(call) {
+			for _, anc := range stack {
+				if e, ok := anc.(ast.Expr); ok && isSimTime(p.TypeOf(e)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSimTime reports whether t is des.Time (matched by name and package
+// suffix so the check holds for the module's des package wherever the
+// module root sits).
+func isSimTime(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/des")
 }
 
 // packageOf resolves e to an imported package's path when e names a

@@ -93,6 +93,9 @@ func onSpawn(obj any, ctx *charm.Ctx, msg any) {
 
 	//charmvet:parsim (not honored here)
 	go spin() // want `charmvet:parsim waiver is only honored inside the parsim engine`
+
+	//charmvet:telemetry (not honored here: this is app code, not the telemetry layer)
+	_ = stdtime.Now() // want `charmvet:telemetry waiver is only honored inside the telemetry layer`
 }
 
 func spin() {}

@@ -1,0 +1,43 @@
+// Package telemetry is a charmvet test fixture for the
+// //charmvet:telemetry waiver: its import path ends in /telemetry, so the
+// waiver is honored here exactly as it is in the real observability layer.
+// Three cases pin the waiver's contract: a waived side-band read passes, a
+// waived read whose value flows into simulated time (des.Time) is still a
+// finding, and an unwaived read is a plain wall-clock finding — the waiver
+// covers only annotated lines, and only values that stay side-band.
+package telemetry
+
+import (
+	"time"
+
+	"charmgo/internal/charm"
+	"charmgo/internal/des"
+)
+
+func use(fns ...any) {}
+
+func register() { use(onObserve) }
+
+var base = time.Unix(0, 0)
+
+// wallProfile is the legitimate shape: the stamp feeds a profile counter
+// (an int64 side channel), never the simulation.
+var profileNs int64
+
+func onObserve(obj any, ctx *charm.Ctx, msg any) {
+	//charmvet:telemetry (side-band profile stamp)
+	profileNs += int64(time.Since(base))
+
+	leakIntoSimTime(ctx)
+
+	_ = time.Now() // want `time.Now reads the wall clock`
+}
+
+// leakIntoSimTime demonstrates the flow the waiver does NOT license: the
+// waived wall-clock value is converted into des.Time — a wall stamp
+// entering simulated time would make event order depend on host speed.
+func leakIntoSimTime(ctx *charm.Ctx) des.Time {
+	//charmvet:telemetry (waived, but the flow check still fires)
+	d := des.Time(float64(time.Since(base).Nanoseconds()) * 1e-9) // want `flows into simulated time`
+	return d
+}

@@ -111,6 +111,16 @@ func TestDetTaintParsimWaiver(t *testing.T) {
 	checkFixture(t, analysis.DetTaint, "charmgo/internal/analysis/fixtures/dettaint/parsim")
 }
 
+// TestDetTaintTelemetryWaiver pins the //charmvet:telemetry contract in a
+// package whose path qualifies for the waiver: a side-band waived read
+// passes, a waived read converted into des.Time is still a finding (the
+// flow check), and an unwaived read is a plain finding. The misuse case —
+// the waiver in a non-telemetry package — lives in the main dettaint
+// fixture.
+func TestDetTaintTelemetryWaiver(t *testing.T) {
+	checkFixture(t, analysis.DetTaint, "charmgo/internal/analysis/fixtures/dettaint/telemetry")
+}
+
 func TestRetainCheck(t *testing.T) {
 	checkFixture(t, analysis.RetainCheck, "charmgo/internal/analysis/fixtures/retaincheck")
 }

@@ -75,6 +75,7 @@ type Controller struct {
 	recovering bool
 	err        error
 	crashAt    map[int]float64
+	obs        Observer
 
 	// Records lists every survived failure, in detection order.
 	Records []RecoveryStat
@@ -176,6 +177,9 @@ func (c *Controller) failureDetected(pe int, at des.Time) {
 	if h := c.rt.Trace(); h != nil {
 		h.Fault(at, "detect", pe)
 	}
+	if c.obs != nil {
+		c.obs.FailureDetected(pe, at)
+	}
 	c.det.globalAt(at+2*c.det.alpha, func() { c.recover(pe, float64(at)) })
 }
 
@@ -222,6 +226,9 @@ func (c *Controller) recover(pe int, detectedAt float64) {
 		rt.Metrics().Counter("chaos.recoveries").Inc()
 		if h := rt.Trace(); h != nil {
 			h.Fault(rt.Now(), "recover", pe)
+		}
+		if c.obs != nil {
+			c.obs.Recovered(pe, rt.Now())
 		}
 		c.det.resume(rt.Now())
 		if c.opts.Restart != nil {

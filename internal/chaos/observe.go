@@ -1,0 +1,26 @@
+package chaos
+
+import "charmgo/internal/des"
+
+// Observer receives failure-handling milestones as they are committed:
+// detection (the heartbeat round whose deadline expired with a missing
+// ack) and the completion of the subsequent recovery. The telemetry layer
+// implements it to measure detection→recovery wall time and to trigger a
+// flight-recorder dump at the moment of detection — the postmortem window
+// when the pre-crash decision history is still in the ring.
+//
+// Calls arrive from commit/global-event context, at positions identical on
+// every backend. The observer is strictly side-band: nothing it does may
+// influence recovery. A nil observer (the default) is a nil check.
+type Observer interface {
+	// FailureDetected reports PE pe detected dead at virtual time at,
+	// before the recovery rollback is scheduled.
+	FailureDetected(pe int, at des.Time)
+	// Recovered reports the recovery for PE pe finished at virtual time
+	// at (the replay kick instant).
+	Recovered(pe int, at des.Time)
+}
+
+// SetObserver installs (or, with nil, removes) the failure observer.
+// Install before Run.
+func (c *Controller) SetObserver(o Observer) { c.obs = o }

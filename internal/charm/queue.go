@@ -2,6 +2,7 @@ package charm
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // message is one asynchronous entry-method invocation in flight or queued.
@@ -35,9 +36,41 @@ type message struct {
 
 var msgPool = sync.Pool{New: func() any { return new(message) }}
 
+// PoolStats counts message-pool traffic for the telemetry layer: Gets-Puts
+// is the number of live (checked-out) messages — the event-pool occupancy.
+// The counters are process-wide (the pool is), atomic (phase workers call
+// getMsg concurrently), and strictly side-band: nothing reads them on a
+// simulation path.
+type PoolStats struct {
+	Gets atomic.Uint64
+	Puts atomic.Uint64
+}
+
+// Outstanding returns the number of currently checked-out messages.
+func (ps *PoolStats) Outstanding() int64 {
+	return int64(ps.Gets.Load()) - int64(ps.Puts.Load())
+}
+
+// poolStats is nil until EnablePoolStats: the disabled hot path is one
+// atomic pointer load and a nil check per get/put.
+var poolStats atomic.Pointer[PoolStats]
+
+// EnablePoolStats turns on pool accounting (idempotent) and returns the
+// process-wide stats. telemetry.Attach calls it; once enabled it stays on.
+func EnablePoolStats() *PoolStats {
+	ps := &PoolStats{}
+	if poolStats.CompareAndSwap(nil, ps) {
+		return ps
+	}
+	return poolStats.Load()
+}
+
 // getMsg returns a zeroed message with destEID unresolved. Callers must set
 // destPE explicitly (-1 for element targets).
 func getMsg() *message {
+	if ps := poolStats.Load(); ps != nil {
+		ps.Gets.Add(1)
+	}
 	m := msgPool.Get().(*message)
 	m.destEID = -1
 	return m
@@ -46,6 +79,9 @@ func getMsg() *message {
 // putMsg recycles a message at its terminal point, dropping payload and
 // element references so the pool never pins application state.
 func putMsg(m *message) {
+	if ps := poolStats.Load(); ps != nil {
+		ps.Puts.Add(1)
+	}
 	*m = message{}
 	msgPool.Put(m)
 }

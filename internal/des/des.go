@@ -135,6 +135,48 @@ type SpecSink interface {
 	SpecRollback(shard int, at Time)
 }
 
+// Probe is the engine's wall-clock telemetry interface, implemented by
+// internal/telemetry. It is strictly side-band: engines call it to *report*
+// what they decided and to obtain wall-clock stamps, and nothing a probe
+// returns may influence scheduling — the digest of a run must be
+// byte-identical with and without a probe installed. Engines therefore
+// never read the wall clock themselves; the one clock in the tree lives
+// behind WallNow, inside the telemetry package, where charmvet's
+// //charmvet:telemetry waiver scopes it.
+//
+// All calls arrive on the driving goroutine. A nil probe (the default) is
+// the fast path: every call site is guarded by a single pointer check.
+type Probe interface {
+	// WallNow returns a monotonic wall-clock reading in nanoseconds.
+	// Engines use it to stamp launches and measure waits; the reference
+	// point is the probe's own.
+	WallNow() int64
+	// EventExecuted is called after every executed event with the number
+	// of still-pending events — the telemetry layer's heartbeat for
+	// publish throttling and commit-queue-depth tracking.
+	EventExecuted(shard int, at Time, pending int)
+	// PhaseWall reports one worker-launched phase after its commit:
+	// wallNs is launch→commit-done latency, stallNs the driver's wait for
+	// the phase result at pop, speculative whether the launch ran ahead
+	// of the commit frontier (optimistic backend).
+	PhaseWall(shard int, at Time, wallNs, stallNs int64, speculative bool)
+	// WindowStall reports a conservative launch scan that found events in
+	// the lookahead window but could launch none of them.
+	WindowStall(at Time)
+	// SpecLaunched reports an optimistic launch and how far ahead of the
+	// commit frontier (GVT) it ran.
+	SpecLaunched(shard int, at Time, gvtLag Time)
+	// SpecRolledBack reports an undone speculation; waitNs is the wall
+	// time the driver spent waiting for the doomed phase to finish.
+	SpecRolledBack(shard int, at Time, waitNs int64)
+}
+
+// ProbeSetter is implemented by engines that can report wall-clock
+// telemetry to a Probe. A nil probe (the default) disables reporting.
+type ProbeSetter interface {
+	SetProbe(Probe)
+}
+
 // Ref is an engine-internal event reference held by a Handle.
 type Ref interface {
 	// Live reports whether the event is still scheduled.

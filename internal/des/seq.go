@@ -99,6 +99,7 @@ type Sequential struct {
 	stopped  bool
 	executed uint64
 	sink     TraceSink
+	probe    Probe
 
 	slots []slot
 	free  int32 // free-list head, -1 when empty
@@ -150,6 +151,11 @@ func (e *Sequential) Executed() uint64 { return e.executed }
 // SetTraceSink installs (or, with nil, removes) the engine's phase-event
 // sink. Install it before Run; the zero-sink path is a nil check.
 func (e *Sequential) SetTraceSink(s TraceSink) { e.sink = s }
+
+// SetProbe installs (or, with nil, removes) the engine's wall-clock
+// telemetry probe. Install it before Run; the zero-probe path is a nil
+// check per event.
+func (e *Sequential) SetProbe(p Probe) { e.probe = p }
 
 // live reports whether the packed handle id refers to a still-scheduled
 // event.
@@ -541,6 +547,9 @@ func (e *Sequential) Step() bool {
 		if e.sink != nil {
 			e.sink.PhaseDone(shard, at)
 		}
+	}
+	if e.probe != nil {
+		e.probe.EventExecuted(shard, at, e.count)
 	}
 	return true
 }

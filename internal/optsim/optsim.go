@@ -129,6 +129,7 @@ type event struct {
 	commit   func()        // written by the worker before close(done)
 	pval     any           // captured phase panic, re-raised at pop
 	panicked bool
+	launchNs int64 // wall stamp at launch, 0 unless a probe is installed
 }
 
 // Live reports whether the event is still scheduled.
@@ -260,6 +261,7 @@ type Engine struct {
 	stats Stats
 	sink  des.TraceSink
 	ssink des.SpecSink
+	probe des.Probe
 }
 
 // Stats aggregates speculation counters over the engine's lifetime. The
@@ -311,6 +313,13 @@ func (e *Engine) SetTraceSink(s des.TraceSink) {
 	e.sink = s
 	e.ssink, _ = s.(des.SpecSink)
 }
+
+// SetProbe installs (or, with nil, removes) the engine's wall-clock
+// telemetry probe (internal/telemetry). Strictly side-band: the probe
+// observes speculation latency, rollback wall cost, and GVT lag, and
+// nothing it returns influences scheduling. The zero-probe path is a nil
+// check.
+func (e *Engine) SetProbe(p des.Probe) { e.probe = p }
 
 // GVT returns the Global Virtual Time: the commit frontier below which no
 // rollback can ever occur. Commits are serialized on the driving
@@ -543,6 +552,9 @@ func (e *Engine) step(horizon des.Time) {
 		}
 		e.stats.Global++
 		ev.fn()
+		if e.probe != nil {
+			e.probe.EventExecuted(ev.shard, ev.at, len(e.heap))
+		}
 		return
 	}
 
@@ -550,6 +562,7 @@ func (e *Engine) step(horizon des.Time) {
 		e.sink.PhaseStart(ev.shard, ev.at)
 	}
 	var commit func()
+	var stallNs int64
 	speculated := ev.launched
 	if speculated {
 		if e.launchedOn[ev.shard] != ev {
@@ -557,7 +570,13 @@ func (e *Engine) step(horizon des.Time) {
 		}
 		e.launchedOn[ev.shard] = nil
 		e.inFlight--
-		<-ev.done
+		if e.probe != nil {
+			t0 := e.probe.WallNow()
+			<-ev.done
+			stallNs = e.probe.WallNow() - t0
+		} else {
+			<-ev.done
+		}
 		if ev.panicked {
 			// Re-raise deterministically in pop order, not worker order.
 			// No PhaseDone: the sequential engine panics out of the phase
@@ -596,6 +615,12 @@ func (e *Engine) step(horizon des.Time) {
 	}
 	if e.sink != nil {
 		e.sink.PhaseDone(ev.shard, ev.at)
+	}
+	if e.probe != nil {
+		if speculated {
+			e.probe.PhaseWall(ev.shard, ev.at, e.probe.WallNow()-ev.launchNs, stallNs, true)
+		}
+		e.probe.EventExecuted(ev.shard, ev.at, len(e.heap))
 	}
 }
 
@@ -656,6 +681,10 @@ func (e *Engine) launchEvent(ev *event) {
 	if e.ssink != nil {
 		e.ssink.SpecLaunch(ev.shard, ev.at)
 	}
+	if e.probe != nil {
+		ev.launchNs = e.probe.WallNow()
+		e.probe.SpecLaunched(ev.shard, ev.at, ev.at-e.now)
+	}
 	e.jobs <- ev
 }
 
@@ -666,7 +695,14 @@ func (e *Engine) launchEvent(ev *event) {
 // event itself stays scheduled and runs again at or before its pop.
 func (e *Engine) rollback(s int) {
 	ev := e.launchedOn[s]
-	<-ev.done
+	var waitNs int64
+	if e.probe != nil {
+		t0 := e.probe.WallNow()
+		<-ev.done
+		waitNs = e.probe.WallNow() - t0
+	} else {
+		<-ev.done
+	}
 	e.launchedOn[s] = nil
 	e.inFlight--
 	ev.launched = false
@@ -677,6 +713,9 @@ func (e *Engine) rollback(s int) {
 	e.stats.RolledBack++
 	if e.ssink != nil {
 		e.ssink.SpecRollback(s, ev.at)
+	}
+	if e.probe != nil {
+		e.probe.SpecRolledBack(s, ev.at, waitNs)
 	}
 }
 

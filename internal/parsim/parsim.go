@@ -100,6 +100,7 @@ type event struct {
 	commit   func()        // written by the worker before close(done)
 	pval     any           // captured phase panic, re-raised at pop
 	panicked bool
+	launchNs int64 // wall stamp at launch, 0 unless a probe is installed
 }
 
 // Live reports whether the event is still scheduled.
@@ -172,6 +173,7 @@ type Engine struct {
 
 	stats Stats
 	sink  des.TraceSink
+	probe des.Probe
 }
 
 // Stats aggregates scheduling counters over the engine's lifetime; useful
@@ -191,6 +193,12 @@ func (e *Engine) EngineStats() Stats { return e.stats }
 // each sharded event and after its commit — the same positions, in the
 // same total order, as the sequential engine.
 func (e *Engine) SetTraceSink(s des.TraceSink) { e.sink = s }
+
+// SetProbe installs (or, with nil, removes) the engine's wall-clock
+// telemetry probe (internal/telemetry). Strictly side-band: the probe
+// observes launch latency, driver stalls, and window stalls, and nothing
+// it returns influences scheduling. The zero-probe path is a nil check.
+func (e *Engine) SetProbe(p des.Probe) { e.probe = p }
 
 // RegisterMetrics exposes the engine's scheduling counters through a
 // metrics registry.
@@ -399,6 +407,9 @@ func (e *Engine) step(horizon des.Time) {
 		}
 		e.stats.Global++
 		ev.fn()
+		if e.probe != nil {
+			e.probe.EventExecuted(ev.shard, ev.at, len(e.heap))
+		}
 		return
 	}
 
@@ -406,13 +417,20 @@ func (e *Engine) step(horizon des.Time) {
 		e.sink.PhaseStart(ev.shard, ev.at)
 	}
 	var commit func()
+	var stallNs int64
 	if ev.launched {
 		e.launchedOn[ev.shard] = nil
 		e.pending--
 		if e.pending == 0 {
 			e.maxLaunchedAt = 0
 		}
-		<-ev.done
+		if e.probe != nil {
+			t0 := e.probe.WallNow()
+			<-ev.done
+			stallNs = e.probe.WallNow() - t0
+		} else {
+			<-ev.done
+		}
 		e.stats.Launched++
 		if ev.panicked {
 			// Re-raise deterministically in pop order, not worker order.
@@ -438,6 +456,12 @@ func (e *Engine) step(horizon des.Time) {
 	}
 	if e.sink != nil {
 		e.sink.PhaseDone(ev.shard, ev.at)
+	}
+	if e.probe != nil {
+		if ev.launched {
+			e.probe.PhaseWall(ev.shard, ev.at, e.probe.WallNow()-ev.launchNs, stallNs, false)
+		}
+		e.probe.EventExecuted(ev.shard, ev.at, len(e.heap))
 	}
 }
 
@@ -478,6 +502,7 @@ func (e *Engine) launch(horizon des.Time) {
 			e.stack = append(e.stack, r)
 		}
 	}
+	launchedBefore := e.pending
 	for _, s := range e.touched {
 		ev := e.shardBest[s]
 		e.shardBest[s] = nil
@@ -496,6 +521,12 @@ func (e *Engine) launch(horizon des.Time) {
 			continue
 		}
 		e.launchEvent(ev)
+	}
+	if e.probe != nil && e.pending == 0 && launchedBefore == 0 {
+		// The window held work (the heap has >= 2 events; the scan ran) but
+		// nothing could overlap the coming pop: the lookahead window
+		// stalled the pipeline for this step.
+		e.probe.WindowStall(e.heap[0].at)
 	}
 }
 
@@ -518,6 +549,9 @@ func (e *Engine) launchEvent(ev *event) {
 	}
 	if e.pending > e.stats.MaxInFlight {
 		e.stats.MaxInFlight = e.pending
+	}
+	if e.probe != nil {
+		ev.launchNs = e.probe.WallNow()
 	}
 	e.jobs <- ev
 }

@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -51,6 +54,178 @@ func TestGaugeFuncLastWins(t *testing.T) {
 	snap := r.Snapshot()
 	if len(snap) != 1 || snap[0].Value != 2 {
 		t.Fatalf("last registration should win: %+v", snap)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("wall.phase")
+	tm.ObserveNs(100)
+	tm.ObserveNs(300)
+	tm.ObserveNs(200)
+	if tm.Count() != 3 || tm.SumNs() != 600 || tm.MaxNs() != 300 {
+		t.Fatalf("timer = count %d sum %d max %d, want 3/600/300", tm.Count(), tm.SumNs(), tm.MaxNs())
+	}
+	if r.Timer("wall.phase") != tm {
+		t.Fatal("Timer is not get-or-create")
+	}
+	snap := r.Snapshot()
+	want := map[string]float64{"wall.phase.count": 3, "wall.phase.sum_ns": 600, "wall.phase.max_ns": 300}
+	for _, s := range snap {
+		if v, ok := want[s.Name]; !ok || v != s.Value {
+			t.Fatalf("unexpected sample %+v", s)
+		}
+		delete(want, s.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing samples: %v", want)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{0, 1, 1, 5, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1007 {
+		t.Fatalf("hist = count %d sum %d, want 5/1007", h.Count(), h.Sum())
+	}
+	var m Metric
+	for _, em := range r.Export() {
+		if em.Name == "lat" {
+			m = em
+		}
+	}
+	if m.Kind != KindHistogram || len(m.Buckets) == 0 {
+		t.Fatalf("histogram export missing buckets: %+v", m)
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if last.Count != 5 {
+		t.Fatalf("final cumulative bucket = %d, want 5", last.Count)
+	}
+	for i := 1; i < len(m.Buckets); i++ {
+		if m.Buckets[i].Count < m.Buckets[i-1].Count || m.Buckets[i].Le <= m.Buckets[i-1].Le {
+			t.Fatalf("buckets not cumulative/increasing: %+v", m.Buckets)
+		}
+	}
+}
+
+func TestExportDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.z").Inc()
+	r.Gauge("b.g").Set(1)
+	r.Timer("a.t").ObserveNs(1)
+	r.Histogram("d.h").Observe(1)
+	r.GaugeFunc("e.f", func() float64 { return 9 })
+	first := r.Export()
+	for i := 0; i < 10; i++ {
+		again := r.Export()
+		if len(again) != len(first) {
+			t.Fatalf("export length changed: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j].Name != first[j].Name {
+				t.Fatalf("export order changed at %d: %q vs %q", j, again[j].Name, first[j].Name)
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Name <= first[i-1].Name {
+			t.Fatalf("export not sorted: %q before %q", first[i-1].Name, first[i].Name)
+		}
+	}
+}
+
+// TestConcurrentHammer drives every metric type, including get-or-create
+// map resolution, from parallel workers; run under -race it proves the
+// registry is safe for side-band (telemetry) mutation.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hammer.count").Inc()
+				r.Gauge("hammer.gauge").Set(float64(i))
+				r.Timer("hammer.timer").ObserveNs(int64(i))
+				r.Histogram("hammer.hist").Observe(uint64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+					r.Export()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hammer.count").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Timer("hammer.timer").Count(); got != workers*perWorker {
+		t.Fatalf("timer count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Timer("hammer.timer").MaxNs(); got != perWorker-1 {
+		t.Fatalf("timer max = %d, want %d", got, perWorker-1)
+	}
+	if got := r.Histogram("hammer.hist").Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rts.msgs_sent").Add(7)
+	r.Gauge("optsim.gvt").Set(1.5)
+	r.Timer("wall.phase").ObserveNs(2e9)
+	r.Histogram("wall.lat").Observe(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rts_msgs_sent counter", "rts_msgs_sent 7",
+		"# TYPE optsim_gvt gauge", "optsim_gvt 1.5",
+		"wall_phase_seconds_count 1", "wall_phase_seconds_sum 2",
+		"# TYPE wall_lat histogram", `wall_lat_bucket{le="+Inf"} 1`, "wall_lat_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Histogram("h").Observe(10)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var ms []Metric
+	if err := json.Unmarshal([]byte(b.String()), &ms); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, b.String())
+	}
+	if len(ms) != 2 || ms[0].Name != "a" || ms[0].Kind != KindCounter || ms[1].Kind != KindHistogram {
+		t.Fatalf("unexpected JSON export: %+v", ms)
+	}
+}
+
+func TestGaugeNegativeAndInf(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(-3.25)
+	if g.Value() != -3.25 {
+		t.Fatalf("gauge = %v, want -3.25", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatalf("gauge = %v, want +Inf", g.Value())
 	}
 }
 

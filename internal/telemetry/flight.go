@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"charmgo/internal/des"
+)
+
+// FlightEntry is one recorded engine decision. Seq is a global record
+// sequence (total order across shards), WallNs the wall stamp from the
+// owning Telemetry's clock, VT the virtual time of the decision.
+type FlightEntry struct {
+	Seq    uint64  `json:"seq"`
+	WallNs int64   `json:"wall_ns"`
+	VT     float64 `json:"vt"`
+	Shard  int     `json:"shard"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// FlightDump is the JSON artifact a Dump writes: the drained rings merged
+// into one seq-ordered history.
+type FlightDump struct {
+	Reason    string        `json:"reason"`
+	WrittenAt string        `json:"written_at"`
+	Shards    int           `json:"shards"`
+	RingSize  int           `json:"ring_size"`
+	Entries   []FlightEntry `json:"entries"`
+}
+
+// Recorder is the crash flight recorder: a fixed-size ring of recent
+// engine decisions per shard (plus one ring for driver-level records,
+// shard -1), dumped to a timestamped JSON artifact on panic, chaos
+// detection, or a rollback storm. Rings are bounded, so a 128k-PE run
+// carries the same memory cost per shard as a toy one.
+//
+// Note may be called from driver or commit context while Dump runs from a
+// panicking goroutine, so the rings are mutex-protected; the lock is
+// uncontended in normal operation.
+type Recorder struct {
+	mu    sync.Mutex
+	seq   uint64
+	size  int
+	rings [][]FlightEntry // rings[0] = driver (-1), rings[s+1] = shard s
+	fill  []uint64        // total records ever written per ring
+	dir   string
+	clock func() int64
+	dumps atomic.Uint32
+}
+
+// newRecorder sizes one ring per shard plus the driver ring.
+func newRecorder(shards, size int, dir string, clock func() int64) *Recorder {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Recorder{
+		size:  size,
+		rings: make([][]FlightEntry, shards+1),
+		fill:  make([]uint64, shards+1),
+		dir:   dir,
+		clock: clock,
+	}
+	for i := range r.rings {
+		r.rings[i] = make([]FlightEntry, size)
+	}
+	return r
+}
+
+// Note appends one record to shard's ring (shard -1 and out-of-range
+// shards land in the driver ring), overwriting the oldest when full.
+func (r *Recorder) Note(shard int, kind string, vt des.Time, detail string) {
+	idx := shard + 1
+	if idx < 1 || idx >= len(r.rings) {
+		idx = 0
+	}
+	wall := r.clock()
+	r.mu.Lock()
+	e := FlightEntry{Seq: r.seq, WallNs: wall, VT: float64(vt), Shard: shard, Kind: kind, Detail: detail}
+	r.seq++
+	r.rings[idx][r.fill[idx]%uint64(r.size)] = e
+	r.fill[idx]++
+	r.mu.Unlock()
+}
+
+// Seq returns the number of records ever written.
+func (r *Recorder) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dumps returns how many dump artifacts have been written.
+func (r *Recorder) Dumps() uint32 { return r.dumps.Load() }
+
+// Snapshot returns every retained record, oldest first in global seq
+// order.
+func (r *Recorder) Snapshot() []FlightEntry {
+	r.mu.Lock()
+	var out []FlightEntry
+	for i, ring := range r.rings {
+		n := r.fill[i]
+		kept := uint64(r.size)
+		if n < kept {
+			kept = n
+		}
+		for k := n - kept; k < n; k++ {
+			out = append(out, ring[k%uint64(r.size)])
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the retained history to a timestamped JSON artifact named
+// flightrec-<reason>-<n>-<stamp>.json in the recorder's directory and
+// returns its path. Failures are reported on stderr rather than raised:
+// the dump path runs during panics and failure handling, where a
+// secondary error must not mask the primary one.
+func (r *Recorder) Dump(reason string) (string, error) {
+	n := r.dumps.Add(1)
+	//charmvet:telemetry (artifact stamp; written to the dump file, never to simulation state)
+	stamp := time.Now().UTC().Format("20060102T150405.000Z")
+	doc := FlightDump{
+		Reason:    reason,
+		WrittenAt: stamp,
+		Shards:    len(r.rings) - 1,
+		RingSize:  r.size,
+		Entries:   r.Snapshot(),
+	}
+	path := filepath.Join(r.dir, fmt.Sprintf("flightrec-%s-%d-%s.json", reason, n, stamp))
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: flight-recorder dump %s failed: %v\n", reason, err)
+		return "", err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: flight recorder dumped to %s (%s, %d entries)\n", path, reason, len(doc.Entries))
+	return path, nil
+}
+
+// DumpOnPanic dumps the flight recorder when the calling goroutine is
+// panicking, then re-panics. Use as `defer tel.DumpOnPanic()` around the
+// run so a crash leaves a postmortem artifact:
+//
+//	tel := telemetry.Attach(rt, telemetry.Options{})
+//	defer tel.DumpOnPanic()
+//	rt.Run()
+func (t *Telemetry) DumpOnPanic() {
+	if r := recover(); r != nil {
+		t.flight.Note(-1, "panic", t.rt.Now(), fmt.Sprint(r))
+		t.flight.Dump("panic")
+		panic(r)
+	}
+}

@@ -1,0 +1,153 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"charmgo/internal/apps/stencil"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/telemetry"
+)
+
+// TestServerEndpoints runs a stencil job with the introspection server up,
+// polls /events concurrently with the run, and checks /status, /metrics,
+// and the stream contents after the final publication.
+func TestServerEndpoints(t *testing.T) {
+	cfg := machine.Testbed(8)
+	cfg.Backend = "parallel"
+	rt := charm.New(machine.New(cfg))
+	rt.SetBalancer(lb.Greedy{})
+	tel := telemetry.Attach(rt, telemetry.Options{
+		PublishInterval: time.Millisecond, // publish eagerly so the stream sees mid-run deltas
+		FlightDir:       t.TempDir(),
+	})
+	srv, err := telemetry.Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Stream /events while the run progresses; the final not-running
+	// publication ends the stream, so the reader goroutine terminates on
+	// its own.
+	lines := make(chan string, 64)
+	streamErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		resp, err := http.Get(base + "/events")
+		if err != nil {
+			streamErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			streamErr <- fmt.Errorf("events content-type %q", ct)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		streamErr <- sc.Err()
+	}()
+
+	if _, err := stencil.Run(rt, stencil.Config{GridN: 96, Chares: 12, Iters: 12, LBPeriod: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tel.Final()
+
+	// /status reflects the finished run.
+	var st telemetry.Status
+	getJSON(t, base+"/status", &st)
+	if st.Running {
+		t.Errorf("/status running = true after Final")
+	}
+	if st.Backend != "parallel" {
+		t.Errorf("/status backend = %q, want parallel", st.Backend)
+	}
+	if st.Executed == 0 || st.MsgsSent == 0 {
+		t.Errorf("/status shows no work: %+v", st)
+	}
+
+	// /metrics speaks Prometheus text format and carries the wall profile.
+	prom := getBody(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE wall_events counter",
+		"wall_phase_ns_seconds_count",
+		"wall_queue_depth_bucket{le=",
+		"rts_msg_pool_outstanding",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The stream terminated with the final publication and every line is
+	// valid NDJSON carrying deltas.
+	var got []string
+	for line := range lines {
+		got = append(got, line)
+	}
+	if err := <-streamErr; err != nil {
+		t.Fatalf("events stream: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("events stream produced no lines")
+	}
+	type eventLine struct {
+		Seq    uint64             `json:"seq"`
+		WallMs float64            `json:"wall_ms"`
+		VT     float64            `json:"vt"`
+		Deltas map[string]float64 `json:"deltas"`
+	}
+	var last eventLine
+	for i, line := range got {
+		var el eventLine
+		if err := json.Unmarshal([]byte(line), &el); err != nil {
+			t.Fatalf("events line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if el.Seq <= last.Seq {
+			t.Errorf("events line %d: seq %d not increasing past %d", i, el.Seq, last.Seq)
+		}
+		last = el
+	}
+	if _, ok := last.Deltas["wall.events"]; !ok && len(got) == 1 {
+		t.Errorf("final events line carries no wall.events delta: %v", last.Deltas)
+	}
+
+	// pprof is mounted.
+	if body := getBody(t, base+"/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("pprof cmdline endpoint empty")
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, err %v", url, resp.StatusCode, err)
+	}
+	return string(data)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(getBody(t, url)), v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}

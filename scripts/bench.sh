@@ -17,6 +17,11 @@
 #                               # rewrites BENCH_optsim.json (speculation
 #                               # stats, rollback ratio, wasted work)
 #   scripts/bench.sh --optsim --smoke  # small config, no file written
+#   scripts/bench.sh --telemetry       # telemetry-layer overhead (attached vs
+#                                      # detached on all three backends),
+#                                      # rewrites BENCH_telemetry.json; exits
+#                                      # nonzero if telemetry perturbs a digest
+#   scripts/bench.sh --telemetry --smoke  # small config, no file written
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +30,7 @@ smoke=0
 scale=0
 gate=0
 optsim=0
+telemetry=0
 workers=8
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -32,17 +38,25 @@ while [ $# -gt 0 ]; do
 	--scale) scale=1 ;;
 	--gate) gate=1 ;;
 	--optsim) optsim=1 ;;
+	--telemetry) telemetry=1 ;;
 	--workers)
 		shift
 		workers="$1"
 		;;
 	*)
-		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--workers N]" >&2
+		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--telemetry] [--workers N]" >&2
 		exit 2
 		;;
 	esac
 	shift
 done
+
+if [ "$telemetry" = 1 ]; then
+	if [ "$smoke" = 1 ]; then
+		exec go run ./cmd/parsimbench -telbench -smoke -workers "$workers"
+	fi
+	exec go run ./cmd/parsimbench -telbench -out BENCH_telemetry.json -workers "$workers"
+fi
 
 if [ "$optsim" = 1 ]; then
 	if [ "$smoke" = 1 ]; then

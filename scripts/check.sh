@@ -26,6 +26,18 @@ for procs in 1 2 8; do
 	GOMAXPROCS=$procs go test -race -count=1 -run 'CrossBackend' ./internal/apps/determinism/ ./internal/projections/
 done
 
+# Telemetry gate: LeanMD/PDES/Stencil2D digests must be byte-identical with
+# the telemetry probe attached vs detached on all three backends — the
+# observability layer is strictly side-band, enforced under the race
+# detector at both thread counts.
+for procs in 1 8; do
+	GOMAXPROCS=$procs go test -race -count=1 -run 'TelemetryNeutral' ./internal/telemetry/
+done
+
+# Telemetry overhead, for the PR record: attached vs detached wall time and
+# the same digest-identity claim from the bench side.
+scripts/bench.sh --telemetry --smoke
+
 scripts/bench.sh --smoke
 # Time Warp smoke: three-backend PHOLD at low lookahead; exits nonzero if
 # the backends' digests diverge.
