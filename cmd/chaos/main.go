@@ -12,10 +12,22 @@
 // of the injector itself is part of the contract (and is what makes a
 // failing campaign replayable).
 //
+// With -warns the plan also carries predicted failures (the fault-
+// prediction scenario: the controller evacuates the doomed PE before the
+// crash lands, absorbing it with zero rollback), and -R sets the
+// checkpoint replication degree — at R>=2 a crash may take a replica
+// holder down with it mid-recovery and the run must still converge.
+//
+// -ft runs the fault-tolerance benchmark instead: a replication-degree
+// sweep plus an evacuation-vs-rollback cost comparison per app, written
+// as BENCH_ft.json.
+//
 // Usage:
 //
 //	go run ./cmd/chaos -out BENCH_chaos.json          # all apps, 3 crashes
 //	go run ./cmd/chaos -app stencil -crashes 5
+//	go run ./cmd/chaos -app pdes -crashes 2 -warns 1 -R 2
+//	go run ./cmd/chaos -ft -out BENCH_ft.json
 package main
 
 import (
@@ -30,9 +42,17 @@ import (
 func main() {
 	app := flag.String("app", "all", "campaign app: leanmd, stencil, pdes, or all")
 	crashes := flag.Int("crashes", 3, "number of PE crashes to inject per run")
+	warns := flag.Int("warns", 0, "number of predicted failures (warn faults) to inject per run")
+	degree := flag.Int("R", 0, "checkpoint replication degree (0 = layer default of 1)")
+	ft := flag.Bool("ft", false, "run the fault-tolerance benchmark (replication sweep + evacuation vs rollback) instead of a single campaign")
 	seed := flag.Int64("seed", 42, "plan seed: same seed, same faults, same report")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
 	flag.Parse()
+
+	if *ft {
+		runFT(*seed, *out)
+		return
+	}
 
 	apps := chaos.Apps()
 	if *app != "all" {
@@ -41,7 +61,7 @@ func main() {
 	var report []*chaos.Bench
 	failed := false
 	for _, a := range apps {
-		b, err := chaos.RunCampaign(a, *crashes, *seed)
+		b, err := chaos.RunCampaignOpts(a, *crashes, *warns, *seed, *degree)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s campaign: %v\n", a, err)
 			os.Exit(1)
@@ -49,12 +69,12 @@ func main() {
 		report = append(report, b)
 		for _, r := range b.Results {
 			status := "ok"
-			if !r.ValuesMatch || !r.DigestMatch || r.Survived != *crashes {
+			if !r.ValuesMatch || !r.DigestMatch || r.Survived != *crashes+*warns {
 				status = "FAIL"
 				failed = true
 			}
-			fmt.Printf("%-8s %-10s survived %d/%d  values_match=%-5v digest_match=%-5v  det %.0fµs  rec %.0fµs  restore %.0fµs vs scratch %.0fµs  [%s]\n",
-				a, r.Backend, r.Survived, *crashes, r.ValuesMatch, r.DigestMatch,
+			fmt.Printf("%-8s %-10s survived %d/%d (absorbed %d)  values_match=%-5v digest_match=%-5v  det %.0fµs  rec %.0fµs  restore %.0fµs vs scratch %.0fµs  [%s]\n",
+				a, r.Backend, r.Survived, *crashes+*warns, r.Absorbed, r.ValuesMatch, r.DigestMatch,
 				r.MeanDetectionLatency*1e6, r.MeanRecoveryTime*1e6,
 				r.TotalRestartCost*1e6, r.RestartFromScratch*1e6, status)
 		}
@@ -76,6 +96,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runFT runs the replication sweep and writes/prints BENCH_ft.json.
+func runFT(seed int64, out string) {
+	rep, err := chaos.RunFTBench(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos -ft:", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, a := range rep.Apps {
+		for _, p := range a.Points {
+			status := "ok"
+			if !p.DigestsIdentical {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-8s R=%d  elapsed %.0fµs (clean %.0fµs, overhead %.1f%%)  det %.0fµs  rec %.0fµs  fallbacks %d  digests_identical=%-5v [%s]\n",
+				a.App, p.Replication, p.ChaosElapsed*1e6, a.CleanElapsed*1e6,
+				p.CheckpointOverhead*100, p.MeanDetectionLatency*1e6,
+				p.MeanRecoveryTime*1e6, p.Fallbacks, p.DigestsIdentical, status)
+		}
+		fmt.Printf("%-8s evacuation (R=%d): absorbed %d/%d predicted, evac cost %.0fµs vs rollback %.0fµs\n",
+			a.App, a.BaselineR, a.Absorbed, a.Warns, a.EvacCost*1e6, a.RollbackCost*1e6)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos -ft:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos -ft:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", out)
 	} else {
 		os.Stdout.Write(data)
 	}

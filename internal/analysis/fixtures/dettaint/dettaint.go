@@ -31,7 +31,7 @@ var bootClock = stdtime.Now() // want `time.Now`
 func use(fns ...any) {}
 
 func register() {
-	use(onTick, onMerge, onSpawn)
+	use(onTick, onMerge, onSpawn, onRecover)
 }
 
 // onTick's own body is source-free: the wall-clock read hides two calls
@@ -99,6 +99,52 @@ func onSpawn(obj any, ctx *charm.Ctx, msg any) {
 }
 
 func spin() {}
+
+// onRecover models a recovery-under-failure retry loop (the internal/chaos
+// controller: a nested failure detection restarts the restore against
+// surviving replicas, capped by a budget). The deterministic form counts
+// restarts against the fixed budget and paces attempts purely in virtual
+// time; the flagged forms pace them by host wall clock, which would make
+// the recovery schedule — and with it the rollback depth every surviving
+// PE observes — differ run to run.
+func onRecover(obj any, ctx *charm.Ctx, msg any) {
+	const budget = 4
+
+	// Deterministic retry: attempt counter against a fixed budget, virtual
+	// deadline computed from ctx.Now. No findings.
+	for attempt := 0; attempt < budget; attempt++ {
+		if restoreOnce(attempt) {
+			break
+		}
+		_ = ctx.Now()
+	}
+
+	// Wall-clock-paced retry: both the deadline read and the backoff sleep
+	// taint the loop.
+	deadline := stdtime.Now() // want `time.Now`
+	for attempt := 0; attempt < budget; attempt++ {
+		if restoreOnce(attempt) {
+			break
+		}
+		if stdtime.Since(deadline) > stdtime.Millisecond { // want `time.Since`
+			break
+		}
+		stdtime.Sleep(stdtime.Microsecond) // want `time.Sleep`
+	}
+
+	// Retrying against a randomly permuted replica order: the holder an
+	// attempt restores from must be the deterministic nearest-live choice,
+	// not a shuffle.
+	order := []int{0, 1, 2}
+	rand.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] }) // want `rand.Shuffle`
+	for _, h := range order {
+		if restoreOnce(h) {
+			break
+		}
+	}
+}
+
+func restoreOnce(attempt int) bool { return attempt > 1 }
 
 // seedOrder is reachable only from init: like a package-level var
 // initializer, an init body runs before any event and taints every run,

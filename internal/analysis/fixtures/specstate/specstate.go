@@ -29,7 +29,7 @@ func (c *cell) Pup(p *pup.Pup) {
 
 func use(fns ...any) {}
 
-func register() { use(onWrite, onHelper, onWaived, onCommit) }
+func register() { use(onWrite, onHelper, onWaived, onCommit, onEvacuate) }
 
 func onWrite(obj any, ctx *charm.Ctx, msg any) {
 	c := obj.(*cell)
@@ -76,4 +76,39 @@ func onCommit(obj any, ctx *charm.Ctx, msg any) {
 // orphanScribble is unreachable from any entry point: no finding.
 func orphanScribble(c *cell) {
 	c.hits = 7
+}
+
+// mover models a chare that reacts to a proactive evacuation (a PE whose
+// failure was predicted is drained at a quiescent cut). The temptation is
+// to stage departure bookkeeping in skip fields "because the element is
+// leaving anyway" — but on the optimistic backend the evacuation notice
+// itself can be speculative: a rollback re-runs the handler, and the
+// staged scratch must come back exactly, so it either goes through Pup or
+// stays local to the handler.
+type mover struct {
+	Packed  int64
+	deparr  []byte //pup:skip (evacuation pack scratch: NOT rollback-safe)
+	pending int    //pup:skip (un-acked departure count: NOT rollback-safe)
+}
+
+func (m *mover) Pup(p *pup.Pup) {
+	p.Int64(&m.Packed)
+}
+
+func onEvacuate(obj any, ctx *charm.Ctx, msg any) {
+	m := obj.(*mover)
+
+	// Staging the departure in skip fields phase-side: both flagged.
+	m.deparr = append(m.deparr, 1) // want `speculative-phase write to non-pup'd field deparr`
+	m.pending++                    // want `speculative-phase write to non-pup'd field pending`
+
+	// The safe forms: a handler-local buffer, and the Pup'd counter.
+	local := make([]byte, 0, 8)
+	local = append(local, 1)
+	_ = local
+	m.Packed++
+
+	// Clearing the scratch at commit needs no undo: only surviving
+	// speculations commit.
+	ctx.Defer(func() { m.deparr = nil; m.pending = 0 })
 }

@@ -20,10 +20,16 @@ type runResult struct {
 	rt      *charm.Runtime
 }
 
+// runOpts carries campaign-level knobs into each runner.
+type runOpts struct {
+	// replication is the checkpoint replication degree R (0: default 1).
+	replication int
+}
+
 // appSpec binds a campaign app name to its machine size and runner.
 type appSpec struct {
 	numPEs int
-	run    func(backend string, plan *Plan, seed int64) (*runResult, error)
+	run    func(backend string, plan *Plan, seed int64, ro runOpts) (*runResult, error)
 }
 
 // Apps lists the campaign's application names.
@@ -73,7 +79,7 @@ func finish(rt *charm.Runtime, ctrl *Controller, values []float64, elapsed float
 		elapsed: elapsed, ctrl: ctrl, rt: rt}, nil
 }
 
-func runLeanMD(backend string, plan *Plan, seed int64) (*runResult, error) {
+func runLeanMD(backend string, plan *Plan, seed int64, ro runOpts) (*runResult, error) {
 	rt := newRuntime(machine.Testbed(8), backend)
 	rt.SetBalancer(lb.Greedy{})
 	app, err := leanmd.New(rt, leanmd.Config{
@@ -91,6 +97,7 @@ func runLeanMD(backend string, plan *Plan, seed int64) (*runResult, error) {
 			CheckpointEveryRounds: 1,
 			HeartbeatPeriod:       campaignPeriod,
 			HeartbeatTimeout:      campaignTimeout,
+			Replication:           ro.replication,
 			OnCheckpoint:          func() { saved = app.Steps() },
 			OnRollback:            func() { app.TruncateResult(saved) },
 		})
@@ -107,7 +114,7 @@ func runLeanMD(backend string, plan *Plan, seed int64) (*runResult, error) {
 	return finish(rt, ctrl, values, elapsed, appErr)
 }
 
-func runStencil(backend string, plan *Plan, seed int64) (*runResult, error) {
+func runStencil(backend string, plan *Plan, seed int64, ro runOpts) (*runResult, error) {
 	rt := newRuntime(machine.Testbed(8), backend)
 	rt.SetBalancer(lb.Greedy{})
 	// Sized so the run spans ~22 ms of virtual time with a small grid
@@ -127,6 +134,7 @@ func runStencil(backend string, plan *Plan, seed int64) (*runResult, error) {
 			CheckpointEveryRounds: 1,
 			HeartbeatPeriod:       campaignPeriod,
 			HeartbeatTimeout:      campaignTimeout,
+			Replication:           ro.replication,
 			OnCheckpoint:          func() { saved = app.Iters() },
 			OnRollback:            func() { app.TruncateResult(saved) },
 		})
@@ -143,7 +151,7 @@ func runStencil(backend string, plan *Plan, seed int64) (*runResult, error) {
 	return finish(rt, ctrl, values, elapsed, appErr)
 }
 
-func runPDES(backend string, plan *Plan, seed int64) (*runResult, error) {
+func runPDES(backend string, plan *Plan, seed int64, ro runOpts) (*runResult, error) {
 	rt := newRuntime(machine.Stampede(32), backend)
 	// TRAM stays off under chaos: aggregation buffers are not rolled
 	// back; and windows (not LB rounds) are the checkpoint cuts.
@@ -167,6 +175,7 @@ func runPDES(backend string, plan *Plan, seed int64) (*runResult, error) {
 		ctrl, err = Enable(rt, *plan, Options{
 			HeartbeatPeriod:  campaignPeriod,
 			HeartbeatTimeout: campaignTimeout,
+			Replication:      ro.replication,
 			OnCheckpoint:     func() { saved = app.DriverState() },
 			OnRollback:       func() { app.RestoreDriverState(saved) },
 			Restart:          func() { app.AskMin() },
@@ -205,9 +214,14 @@ type BenchBackend struct {
 	// DigestMatch: full final state (every chare, PUP-serialized, with
 	// placement) is identical too.
 	DigestMatch bool `json:"digest_match"`
-	// Survived counts failures detected and recovered from.
+	// Survived counts failures healed: PEs restored by rollbacks plus
+	// predicted crashes absorbed by proactive evacuation.
 	Survived int            `json:"survived"`
 	Records  []RecoveryStat `json:"records"`
+	// Evacs records every resolved fault prediction; Absorbed counts the
+	// ones whose crash cost zero rollback.
+	Evacs    []EvacRecord `json:"evacs,omitempty"`
+	Absorbed int          `json:"absorbed,omitempty"`
 	// MeanDetectionLatency and MeanRecoveryTime summarize the records,
 	// virtual seconds.
 	MeanDetectionLatency float64 `json:"mean_detection_latency"`
@@ -221,12 +235,16 @@ type BenchBackend struct {
 
 // Bench is the BENCH_chaos.json payload for one application.
 type Bench struct {
-	App     string         `json:"app"`
-	Seed    int64          `json:"seed"`
-	Crashes int            `json:"crashes"`
-	Plan    Plan           `json:"plan"`
-	Probe   float64        `json:"probe_elapsed"` // failure-free duration used to place crashes
-	Results []BenchBackend `json:"results"`
+	App     string `json:"app"`
+	Seed    int64  `json:"seed"`
+	Crashes int    `json:"crashes"`
+	// Warns is the number of predicted failures injected; Replication the
+	// checkpoint replication degree R the campaign ran with.
+	Warns       int            `json:"warns,omitempty"`
+	Replication int            `json:"replication,omitempty"`
+	Plan        Plan           `json:"plan"`
+	Probe       float64        `json:"probe_elapsed"` // failure-free duration used to place crashes
+	Results     []BenchBackend `json:"results"`
 	// CrossBackendMatch: every backend's chaos run (sequential,
 	// conservative-parallel, optimistic) converged to the same final state
 	// digest — fault detection, checkpoint rollback, and Time Warp
@@ -250,25 +268,45 @@ func floatsEqual(a, b []float64) bool {
 // crash plan spread over its mid-run, and runs clean and chaos
 // executions on all three backends, asserting value and state identity.
 func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
+	return RunCampaignOpts(app, crashes, 0, seed, 0)
+}
+
+// RunCampaignOpts is RunCampaign with the full knob set: warns predicted
+// failures ride along with the crashes (delivered early enough that a
+// checkpoint cut falls inside the prediction window, so they are
+// absorbed by evacuation), and replication sets the checkpoint
+// replication degree R (0: the default, 1).
+func RunCampaignOpts(app string, crashes, warns int, seed int64, replication int) (*Bench, error) {
 	spec, err := specFor(app)
 	if err != nil {
 		return nil, err
 	}
-	probe, err := spec.run("sequential", nil, seed)
+	ro := runOpts{replication: replication}
+	probe, err := spec.run("sequential", nil, seed, ro)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %s probe run: %w", app, err)
 	}
 	plan := CrashPlan(seed, crashes, spec.numPEs, 0.45*probe.elapsed, 0.95*probe.elapsed)
-	b := &Bench{App: app, Seed: seed, Crashes: crashes, Plan: plan, Probe: probe.elapsed}
+	if warns > 0 {
+		// Predictions are delivered in the run's first third with a lead
+		// of a quarter of the run: at least one checkpoint cut falls in
+		// every prediction window, and the landing leaves cuts to heal
+		// placement before the finish line.
+		wp := WarnPlan(seed, warns, spec.numPEs,
+			0.10*probe.elapsed, 0.30*probe.elapsed, 0.25*probe.elapsed)
+		plan.Faults = append(plan.Faults, wp.Faults...)
+	}
+	b := &Bench{App: app, Seed: seed, Crashes: crashes, Warns: warns,
+		Replication: replication, Plan: plan, Probe: probe.elapsed}
 
 	for _, backend := range []string{"sequential", "parallel", "optimistic"} {
 		clean := probe
 		if backend != "sequential" {
-			if clean, err = spec.run(backend, nil, seed); err != nil {
+			if clean, err = spec.run(backend, nil, seed, ro); err != nil {
 				return nil, fmt.Errorf("chaos: %s clean %s run: %w", app, backend, err)
 			}
 		}
-		chaos, err := spec.run(backend, &plan, seed)
+		chaos, err := spec.run(backend, &plan, seed, ro)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: %s chaos %s run: %w", app, backend, err)
 		}
@@ -282,7 +320,13 @@ func RunCampaign(app string, crashes int, seed int64) (*Bench, error) {
 			DigestMatch:        clean.digest == chaos.digest,
 			Survived:           chaos.ctrl.Survived(),
 			Records:            chaos.ctrl.Records,
+			Evacs:              chaos.ctrl.Evacs,
 			RestartFromScratch: clean.elapsed,
+		}
+		for _, e := range chaos.ctrl.Evacs {
+			if e.Absorbed {
+				bb.Absorbed++
+			}
 		}
 		for _, r := range chaos.ctrl.Records {
 			bb.MeanDetectionLatency += r.DetectionLatency()

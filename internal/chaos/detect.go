@@ -27,7 +27,6 @@ type detector struct {
 	period  des.Time
 	timeout des.Time
 	alpha   des.Time
-	paused  bool
 	rounds  int
 }
 
@@ -58,24 +57,17 @@ func (d *detector) start() {
 	d.ctrl.rt.Engine().At(d.period, d.tick)
 }
 
-// resume re-arms the round chain after a recovery, one period past the
-// instant the application resumed.
-func (d *detector) resume(at des.Time) {
-	d.paused = false
-	d.ctrl.rt.Engine().At(at+d.period, d.tick)
-}
-
-// tick runs one heartbeat round and schedules the next. The round's ack
-// vector and epoch are captured per tick, so acks from a round that
-// straddles a rollback write into an abandoned slice and its deadline
-// no-ops on the epoch check.
+// tick runs one heartbeat round and schedules the next. The chain is
+// persistent: it keeps observing through recoveries, which is what lets
+// a crash landing mid-restore be detected and folded into the in-flight
+// recovery instead of going unnoticed until the application resumes.
+// The round's ack vector and epoch are captured per tick, so acks from a
+// round that straddles a rollback write into an abandoned slice and its
+// deadline no-ops on the epoch check.
 func (d *detector) tick() {
 	rt := d.ctrl.rt
 	if rt.Exited() || d.ctrl.err != nil {
 		return // chain ends; the engine may drain
-	}
-	if d.paused {
-		return // recovery in progress; resume() restarts the chain
 	}
 	d.rounds++
 	eng := rt.Engine()
@@ -102,7 +94,7 @@ func (d *detector) tick() {
 	}
 
 	d.globalAt(now+d.timeout, func() {
-		if d.paused || d.ctrl.err != nil || rt.Exited() || rt.Epoch() != epoch {
+		if d.ctrl.err != nil || rt.Exited() || rt.Epoch() != epoch {
 			return
 		}
 		for pe := 1; pe < n; pe++ {

@@ -49,9 +49,15 @@ func (inj *injector) arm() {
 				if inj.ctrl.err != nil || rt.Exited() || rt.PEDead(f.PE) {
 					return
 				}
-				inj.ctrl.crashAt[f.PE] = float64(rt.Now())
-				rt.CrashPE(f.PE)
+				inj.ctrl.noteCrash(f.PE)
 			})
+		case FaultWarn:
+			// A predicted failure: the prediction is delivered at At and
+			// the crash itself lands at Until. Between the two the
+			// controller evacuates the doomed PE at the next quiescent
+			// cut; the landing event decides absorb-vs-crash.
+			eng.At(des.Time(f.At), func() { inj.ctrl.warnDelivered(f) })
+			eng.At(des.Time(f.Until), func() { inj.ctrl.warnLands(f) })
 		case FaultStraggler:
 			eng.At(des.Time(f.At), func() {
 				if inj.ctrl.err != nil || rt.Exited() || rt.PEDead(f.PE) {

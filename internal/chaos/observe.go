@@ -17,8 +17,18 @@ type Observer interface {
 	// before the recovery rollback is scheduled.
 	FailureDetected(pe int, at des.Time)
 	// Recovered reports the recovery for PE pe finished at virtual time
-	// at (the replay kick instant).
+	// at (the replay kick instant). When a recovery healed several
+	// overlapping failures, pe is the first of the set.
 	Recovered(pe int, at des.Time)
+	// Evacuated reports that every chare was proactively migrated off PE
+	// pe at a quiescent cut, in response to a fault prediction.
+	Evacuated(pe int, at des.Time)
+	// Unrecoverable reports a terminal recovery failure (all replicas of
+	// some shard lost, no checkpoint taken yet, or the restore-restart
+	// budget exhausted) just before the engine stops. The telemetry
+	// layer dumps the flight recorder here — the last look at the
+	// decision history that led into the unsurvivable cascade.
+	Unrecoverable(at des.Time, err error)
 }
 
 // SetObserver installs (or, with nil, removes) the failure observer.

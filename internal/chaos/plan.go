@@ -35,6 +35,13 @@ const (
 	// FaultStraggler steals Factor of a PE's cycles inside the window
 	// (external interference, the cloud model).
 	FaultStraggler FaultKind = "straggler"
+	// FaultWarn is a predicted failure: a fault prediction (the paper's
+	// proactive fault-tolerance scenario — an ECC error burst, a fan
+	// alarm) is delivered at At and the PE actually dies at Until. If a
+	// quiescent cut falls in between, the controller evacuates every
+	// chare off the doomed PE and a standby absorbs the crash with zero
+	// rollback; otherwise the warn degrades to an ordinary crash.
+	FaultWarn FaultKind = "warn"
 )
 
 // Fault is one planned fault. Times are virtual seconds.
@@ -76,6 +83,17 @@ func (p Plan) Crashes() int {
 	return n
 }
 
+// Warns counts the plan's predicted-failure faults.
+func (p Plan) Warns() int {
+	n := 0
+	for _, f := range p.Faults {
+		if f.Kind == FaultWarn {
+			n++
+		}
+	}
+	return n
+}
+
 // Validate rejects plans the recovery protocol cannot honor.
 func (p Plan) Validate(numPEs int) error {
 	for i, f := range p.Faults {
@@ -94,6 +112,13 @@ func (p Plan) Validate(numPEs int) error {
 		case FaultDrop, FaultDelay:
 			if f.Until <= f.At {
 				return fmt.Errorf("chaos: fault %d: empty %s window", i, f.Kind)
+			}
+		case FaultWarn:
+			if f.PE <= 0 || f.PE >= numPEs {
+				return fmt.Errorf("chaos: fault %d: warn PE %d out of range [1,%d) (PE 0 hosts the failure detector)", i, f.PE, numPEs)
+			}
+			if f.Until <= f.At {
+				return fmt.Errorf("chaos: fault %d: warn must predict a future crash (until %v <= at %v)", i, f.Until, f.At)
 			}
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
@@ -120,6 +145,70 @@ func CrashPlan(seed int64, n, numPEs int, start, end float64) Plan {
 		at := start + span*(float64(i)+0.2+0.6*rng.Float64())
 		pe := 1 + rng.Intn(numPEs-1)
 		p.Faults = append(p.Faults, Fault{Kind: FaultCrash, At: at, PE: pe})
+	}
+	return p
+}
+
+// WarnPlan builds a seeded plan of n predicted failures: each prediction
+// is delivered at a jittered instant inside (start, end) and its crash
+// lands lead seconds later. Victims are drawn from PEs 1..numPEs-1, all
+// distinct while they last (two live predictions shrink the evacuation
+// target set, so piling them on one PE is a different experiment).
+func WarnPlan(seed int64, n, numPEs int, start, end, lead float64) Plan {
+	rng := rand.New(rand.NewSource(seed*31337 + 101))
+	p := Plan{Seed: seed}
+	if n <= 0 || numPEs < 3 {
+		return p
+	}
+	span := (end - start) / float64(n)
+	used := map[int]bool{}
+	for i := 0; i < n; i++ {
+		at := start + span*(float64(i)+0.2+0.6*rng.Float64())
+		pe := 1 + rng.Intn(numPEs-1)
+		for used[pe] && len(used) < numPEs-1 {
+			pe = 1 + pe%(numPEs-1)
+		}
+		used[pe] = true
+		p.Faults = append(p.Faults, Fault{Kind: FaultWarn, At: at, PE: pe, Until: at + lead})
+	}
+	return p
+}
+
+// FuzzPlan builds a seeded adversarial plan mixing plain crashes,
+// predicted failures (warns), and deliberately correlated crash pairs —
+// a PE and one of its ring successors (a likely replica holder) killed
+// back to back, the second timed to land inside the first's
+// detection-plus-restore window. Every draw comes from the seed, so a
+// plan is fully reproducible from (seed, numPEs, start, end) and a
+// failing seed can be replayed verbatim.
+func FuzzPlan(seed int64, numPEs int, start, end float64) Plan {
+	rng := rand.New(rand.NewSource(seed*104729 + 7))
+	p := Plan{Seed: seed}
+	if numPEs < 3 || end <= start {
+		return p
+	}
+	n := 1 + rng.Intn(3) // 1-3 fault groups
+	span := (end - start) / float64(n)
+	for i := 0; i < n; i++ {
+		base := start + span*(float64(i)+0.1+0.5*rng.Float64())
+		pe := 1 + rng.Intn(numPEs-1)
+		switch rng.Intn(3) {
+		case 0: // plain crash
+			p.Faults = append(p.Faults, Fault{Kind: FaultCrash, At: base, PE: pe})
+		case 1: // predicted failure; lead time may or may not span a cut
+			lead := span * (0.1 + 0.8*rng.Float64())
+			p.Faults = append(p.Faults,
+				Fault{Kind: FaultWarn, At: base, PE: pe, Until: base + lead})
+		case 2: // correlated pair: a PE and a ring successor, overlapping
+			succ := 1 + (pe+rng.Intn(2))%(numPEs-1) // stay off PE 0
+			if succ == pe {
+				succ = 1 + pe%(numPEs-1)
+			}
+			dt := 1e-4 + 2e-3*rng.Float64()
+			p.Faults = append(p.Faults,
+				Fault{Kind: FaultCrash, At: base, PE: pe},
+				Fault{Kind: FaultCrash, At: base + dt, PE: succ})
+		}
 	}
 	return p
 }

@@ -172,6 +172,21 @@ func (c *Ctx) chargeLoad(d des.Time) {
 	c.loadFS += int64(math.Round(float64(d) * sp * 1e15))
 }
 
+// chargeLoadWork accrues intrinsic work (seconds on a dedicated PE at
+// base frequency) directly into the load meter, bypassing the PE speed
+// model. Used for per-message overheads: the meter takes the uniform
+// node-local floor cost — the part every message pays regardless of
+// where the peer actually lives — so measured load is a pure function of
+// the element's own behavior (its compute and its message counts) and
+// never of its current placement.
+// Placement-dependent load would make every greedy decision a function
+// of the previous one, and placement could then never re-converge to the
+// failure-free mapping after a disturbance (evacuation, shrink/expand) —
+// which is what makes post-recovery digests byte-identical.
+func (c *Ctx) chargeLoadWork(work float64) {
+	c.loadFS += int64(math.Round(work * 1e15))
+}
+
 // SetPos records the element's spatial coordinates for geometric load
 // balancers (ORB).
 func (c *Ctx) SetPos(x, y, z float64) {
@@ -215,7 +230,11 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 		prio = opts.Prio
 	}
 	dst := c.rt.resolve(c.pe, elemKey{array: arr.id, idx: idx})
-	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, dst))
+	// The clock takes the locality-aware send cost (node-local delivery is
+	// cheaper), but the load meter takes the uniform node-local floor: see
+	// chargeLoadWork for why measured load must not depend on placement.
+	c.elapsed += c.rt.mach.SendOverheadTo(c.pe, dst)
+	c.chargeLoadWork(c.rt.mach.Config().SendOverheadLocal)
 	m := getMsg()
 	m.dest = elemKey{array: arr.id, idx: idx}
 	m.destPE = -1
@@ -253,7 +272,9 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 	if opts != nil {
 		prio = opts.Prio
 	}
-	c.ChargeSeconds(c.rt.mach.SendOverheadTo(c.pe, pe))
+	// Locality-aware clock, uniform meter: see SendOpt.
+	c.elapsed += c.rt.mach.SendOverheadTo(c.pe, pe)
+	c.chargeLoadWork(c.rt.mach.Config().SendOverheadLocal)
 	m := getMsg()
 	m.destPE = pe
 	m.ep = EP(h)

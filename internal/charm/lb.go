@@ -135,7 +135,7 @@ func (rt *Runtime) Rebalance() LBReport {
 	moved := 0
 	for _, mg := range migs {
 		el, ok := mg.Array.elems[mg.Idx]
-		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs {
+		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs || rt.pes[mg.ToPE].evac {
 			continue
 		}
 		size := pup.Size(el.obj) + 64
@@ -239,10 +239,17 @@ func (rt *Runtime) LBView() ([]LBObject, []LBPE) {
 			objs = append(objs, o)
 		}
 	}
-	pes := make([]LBPE, rt.activePEs)
+	// Evacuating PEs (predicted failures, internal/chaos) are excluded
+	// from the strategy's placement targets: objects still ON one are
+	// listed (so a stateless strategy re-places them), but nothing new
+	// lands there. Strategies already tolerate non-contiguous PE ids.
+	pes := make([]LBPE, 0, rt.activePEs)
 	base := rt.mach.Config().BaseFreqGHz
-	for p := range pes {
-		pes[p] = LBPE{ID: p, Speed: rt.mach.PE(p).Speed(base)}
+	for p := 0; p < rt.activePEs; p++ {
+		if rt.pes[p].evac {
+			continue
+		}
+		pes = append(pes, LBPE{ID: p, Speed: rt.mach.PE(p).Speed(base)})
 	}
 	return objs, pes
 }
@@ -277,7 +284,7 @@ func (rt *Runtime) runLB() {
 	moved := 0
 	for _, mg := range migs {
 		el, ok := mg.Array.elems[mg.Idx]
-		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs {
+		if !ok || mg.ToPE == el.pe || mg.ToPE >= rt.activePEs || rt.pes[mg.ToPE].evac {
 			continue
 		}
 		size := pup.Size(el.obj) + 64
@@ -347,26 +354,46 @@ func (rt *Runtime) runLB() {
 }
 
 func (rt *Runtime) summarize(objs []LBObject, pes []LBPE, start, dur des.Time, moved int) LBReport {
-	loadPer := make([]float64, len(pes))
+	// pes may be a strict subset of the active PEs (evacuating PEs are
+	// excluded as targets) while objs may still sit on an excluded PE, so
+	// the per-PE tables are sized by id, not by len(pes). An excluded
+	// PE's speed reads as its base 1.0 for the pre-balance stats.
+	maxID := rt.activePEs - 1
+	for _, p := range pes {
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	speed := make([]float64, maxID+1)
+	for i := range speed {
+		speed[i] = 1.0
+	}
+	for _, p := range pes {
+		speed[p.ID] = p.Speed
+	}
+	eff := func(pe int, l float64) float64 {
+		if pe <= maxID && speed[pe] > 0 {
+			return l / speed[pe]
+		}
+		return l
+	}
+	loadPer := make([]float64, maxID+1)
 	for _, o := range objs {
 		loadPer[o.PE] += o.Load
 	}
 	maxL, avg := 0.0, 0.0
 	for p, l := range loadPer {
-		eff := l
-		if pes[p].Speed > 0 {
-			eff = l / pes[p].Speed
+		e := eff(p, l)
+		if e > maxL {
+			maxL = e
 		}
-		if eff > maxL {
-			maxL = eff
-		}
-		avg += eff
+		avg += e
 	}
 	if len(pes) > 0 {
 		avg /= float64(len(pes))
 	}
 	// Post-balance prediction.
-	post := make([]float64, len(pes))
+	post := make([]float64, maxID+1)
 	for _, o := range objs {
 		pe := o.PE
 		if el, ok := o.Array.elems[o.Idx]; ok {
@@ -376,12 +403,8 @@ func (rt *Runtime) summarize(objs []LBObject, pes []LBPE, start, dur des.Time, m
 	}
 	maxPost := 0.0
 	for p, l := range post {
-		eff := l
-		if pes[p].Speed > 0 {
-			eff = l / pes[p].Speed
-		}
-		if eff > maxPost {
-			maxPost = eff
+		if e := eff(p, l); e > maxPost {
+			maxPost = e
 		}
 	}
 	return LBReport{

@@ -121,6 +121,10 @@ type peState struct {
 	// dead marks a crashed PE (internal/chaos): it executes nothing and
 	// every message addressed to it is discarded until RecoverReset.
 	dead bool
+	// evac marks a PE predicted to fail (internal/chaos warn faults):
+	// load balancing stops placing objects on it until the prediction
+	// resolves. Unlike dead, an evacuating PE keeps executing.
+	evac bool
 }
 
 // locEnt is one location-cache entry: the last known PE of an element and
@@ -767,8 +771,14 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		ctx.fx = &fxList{}
 	}
 	ctx.cause = m.traceID
+	// The clock takes the locality-aware receive cost (a node-local sender
+	// skips the network stack), but the load meter takes the uniform
+	// node-local floor: measured load must be a pure function of the
+	// element's own behavior, never of where its peers currently live, or
+	// greedy placement cannot re-converge to the failure-free mapping after
+	// a disturbance (see Ctx.chargeLoadWork).
 	ctx.elapsed = rt.mach.RecvOverheadFrom(p.id, m.srcPE)
-	ctx.chargeLoad(ctx.elapsed) // receive overhead counts toward measured load
+	ctx.chargeLoadWork(rt.mach.Config().RecvOverheadLocal)
 	arr := rt.arrays[m.dest.array]
 	handler := arr.handlers[m.ep]
 	func() {

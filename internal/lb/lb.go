@@ -64,8 +64,27 @@ func assignGreedy(objs []charm.LBObject, pes []charm.LBPE, base []float64) []int
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return objs[order[a]].Load > objs[order[b]].Load
+	// Ties break on object identity, not enumeration order, so the
+	// resulting placement is a pure function of the (load, identity) set:
+	// two runs whose objects arrive in different per-PE orders — e.g. a
+	// run perturbed by a proactive evacuation — still converge to the
+	// same mapping at the next greedy round.
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := objs[order[a]], objs[order[b]]
+		if oa.Load != ob.Load {
+			return oa.Load > ob.Load
+		}
+		var na, nb string
+		if oa.Array != nil {
+			na = oa.Array.Name()
+		}
+		if ob.Array != nil {
+			nb = ob.Array.Name()
+		}
+		if na != nb {
+			return na < nb
+		}
+		return oa.Idx.Less(ob.Idx)
 	})
 	h := &peHeap{load: make([]float64, 0), speed: make([]float64, 0)}
 	maxID := 0
@@ -181,12 +200,7 @@ func refine(objs []charm.LBObject, pes []charm.LBPE, tol float64) []int {
 		}
 		return load[pe] / s
 	}
-	// Donors: PEs above tol*target; receivers kept in a heap by eff load.
-	h := &peHeap{load: load, speed: speed}
-	for _, p := range pes {
-		h.ids = append(h.ids, p.ID)
-	}
-	heap.Init(h)
+	// Donors: PEs above tol*target.
 	donors := make([]int, 0)
 	for _, p := range pes {
 		if eff(p.ID) > tol*target {
@@ -207,26 +221,27 @@ func refine(objs []charm.LBObject, pes []charm.LBPE, tol float64) []int {
 			if eff(d) <= tol*target {
 				break
 			}
-			// Cheapest receiver.
-			rcv := h.ids[0]
-			if rcv == d {
-				if h.Len() < 2 {
-					break
+			// Best receiver for THIS object: the PE whose effective load
+			// after adding it is lowest. On heterogeneous-speed machines
+			// that is not the PE with the lowest current effective load —
+			// a slowed PE can read as underloaded yet be the worst place
+			// to add work — so rank by post-add load, not current load.
+			rcv, best := -1, 0.0
+			for _, p := range pes {
+				if p.ID == d {
+					continue
 				}
-				// Peek second-best.
-				second := 1
-				if h.Len() > 2 && h.Less(2, 1) {
-					second = 2
+				after := eff(p.ID) + objs[oi].Load/maxf(speed[p.ID], 1e-9)
+				if rcv < 0 || after < best || (after == best && p.ID < rcv) {
+					rcv, best = p.ID, after
 				}
-				rcv = h.ids[second]
 			}
-			if eff(rcv)+objs[oi].Load/maxf(speed[rcv], 1e-9) >= eff(d) {
+			if rcv < 0 || best >= eff(d) {
 				break // no improvement possible
 			}
 			load[d] -= objs[oi].Load
 			load[rcv] += objs[oi].Load
 			dest[oi] = rcv
-			heap.Init(h) // loads changed under the heap
 		}
 	}
 	return dest

@@ -43,6 +43,27 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// EvacuationCost models the protocol cost of proactively moving bytes of
+// chare state off a doomed PE: the same per-byte evacuation term the
+// shrink path charges, without the process-restart term (the PE set does
+// not change — a standby process will take the doomed PE's slot).
+func (cm CostModel) EvacuationCost(bytes int64) des.Time {
+	return des.Time(cm.EvacPerByte * float64(bytes))
+}
+
+// EvacuatePE is the fault-prediction entry point shared with the chaos
+// layer: at a quiescent cut, migrate every chare off pe (round-robin over
+// dests, the same PUP path a shrink uses) and apply the modeled
+// evacuation cost as a global stall. It returns the applied moves, the
+// evacuated payload bytes, and the stall duration.
+func EvacuatePE(rt *charm.Runtime, pe int, dests []int, cm CostModel) ([]charm.Migration, int64, des.Time) {
+	start := rt.MaxBusy()
+	moves, bytes := rt.EvacuatePE(pe, dests)
+	dur := cm.EvacuationCost(bytes)
+	rt.StallActivePEs(start + dur)
+	return moves, bytes, dur
+}
+
 // Event records one completed reconfiguration.
 type Event struct {
 	At       des.Time

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"charmgo/internal/charm"
+	"charmgo/internal/des"
 	"charmgo/internal/lb"
 	"charmgo/internal/machine"
 	"charmgo/internal/pup"
@@ -116,5 +117,57 @@ func TestRequestAtFiresOnSchedule(t *testing.T) {
 	}
 	if m.Events[0].At < 2.0 {
 		t.Fatalf("event at %v, want >= 2.0", m.Events[0].At)
+	}
+}
+
+func TestEvacuatePEDrainsDoomedPE(t *testing.T) {
+	rt, arr, _ := build(8, 32)
+	cm := DefaultCostModel()
+	before := rt.MaxBusy()
+
+	moves, bytes, dur := EvacuatePE(rt, 3, []int{0, 1, 2, 4, 5, 6, 7}, cm)
+	if bytes <= 0 {
+		t.Fatalf("evacuated %d bytes", bytes)
+	}
+	if dur != cm.EvacuationCost(bytes) {
+		t.Fatalf("stall %v, want modeled cost %v", dur, cm.EvacuationCost(bytes))
+	}
+	// The PE count is unchanged — evacuation is not a shrink — but no
+	// element may remain on the doomed PE, and every move departs from it.
+	if rt.NumPEs() != 8 {
+		t.Fatalf("NumPEs=%d after evacuation", rt.NumPEs())
+	}
+	for i := 0; i < 32; i++ {
+		if pe := arr.PEOf(charm.Idx1(i)); pe == 3 {
+			t.Fatalf("element %d still on doomed PE 3", i)
+		}
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves recorded")
+	}
+	for _, mg := range moves {
+		if mg.ToPE == 3 {
+			t.Fatalf("move of %v lands back on the doomed PE", mg.Idx)
+		}
+	}
+	if rt.MaxBusy() < before+dur {
+		t.Fatalf("evacuation stall not applied: busy %v -> %v (dur %v)", before, rt.MaxBusy(), dur)
+	}
+}
+
+func TestEvacuationCostIsPerByteOnly(t *testing.T) {
+	// Evacuation keeps the process set alive (a standby takes the slot),
+	// so unlike a shrink it must not charge the restart term.
+	cm := DefaultCostModel()
+	if got, want := cm.EvacuationCost(1.2e9), des.Time(1.0); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("EvacuationCost(1.2e9) = %v, want ~%v", got, want)
+	}
+	if cm.EvacuationCost(0) != 0 {
+		t.Fatalf("zero bytes must cost zero, got %v", cm.EvacuationCost(0))
+	}
+	shrinkFloor := des.Time(cm.RestartBase)
+	if cm.EvacuationCost(1<<20) >= shrinkFloor {
+		t.Fatalf("1MiB evacuation (%v) should be far below the shrink restart floor (%v)",
+			cm.EvacuationCost(1<<20), shrinkFloor)
 	}
 }

@@ -38,7 +38,11 @@
 //
 //	FailureDetected stamps detection, dumps the flight recorder
 //	Recovered       observes detection→recovery wall time
-//	                (wall.chaos_recovery_ns)
+//	                (wall.chaos_recovery_ns); covers restarted restores
+//	                too (the stamp is the first detection of the set)
+//	Evacuated       notes the proactive evacuation in the flight recorder
+//	Unrecoverable   terminal recovery failure: dumps the flight recorder
+//	                one last time before the engine stops
 //
 // charm message pool: rts.msg_pool_gets / rts.msg_pool_outstanding gauge
 // funcs over charm.PoolStats (event-pool occupancy).
@@ -293,6 +297,21 @@ func (t *Telemetry) FailureDetected(pe int, at des.Time) {
 func (t *Telemetry) Recovered(pe int, at des.Time) {
 	t.recoveryNs.ObserveNs(t.WallNow() - t.detectNs)
 	t.flight.Note(-1, "recovered", at, "pe="+strconv.Itoa(pe))
+}
+
+// Evacuated implements chaos.Observer: a fault prediction emptied a PE at
+// a quiescent cut.
+func (t *Telemetry) Evacuated(pe int, at des.Time) {
+	t.flight.Note(-1, "evacuated", at, "pe="+strconv.Itoa(pe))
+}
+
+// Unrecoverable implements chaos.Observer: recovery gave up (all replicas
+// of some shard lost, or the restore-restart budget exhausted). Dump the
+// flight recorder — the decision history leading into the unsurvivable
+// cascade is the postmortem.
+func (t *Telemetry) Unrecoverable(at des.Time, err error) {
+	t.flight.Note(-1, "unrecoverable", at, err.Error())
+	t.flight.Dump("chaos-unrecoverable")
 }
 
 // Final publishes a last observation marked not-running. Call after Run

@@ -22,6 +22,10 @@
 #                                      # rewrites BENCH_telemetry.json; exits
 #                                      # nonzero if telemetry perturbs a digest
 #   scripts/bench.sh --telemetry --smoke  # small config, no file written
+#   scripts/bench.sh --ft       # fault-tolerance bench: replication-degree
+#                               # sweep (R=1..3) plus evacuation-vs-rollback
+#                               # cost per app, rewrites BENCH_ft.json; exits
+#                               # nonzero if any cell's digests diverge
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +35,7 @@ scale=0
 gate=0
 optsim=0
 telemetry=0
+ft=0
 workers=8
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -39,17 +44,22 @@ while [ $# -gt 0 ]; do
 	--gate) gate=1 ;;
 	--optsim) optsim=1 ;;
 	--telemetry) telemetry=1 ;;
+	--ft) ft=1 ;;
 	--workers)
 		shift
 		workers="$1"
 		;;
 	*)
-		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--telemetry] [--workers N]" >&2
+		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--telemetry] [--ft] [--workers N]" >&2
 		exit 2
 		;;
 	esac
 	shift
 done
+
+if [ "$ft" = 1 ]; then
+	exec go run ./cmd/chaos -ft -out BENCH_ft.json
+fi
 
 if [ "$telemetry" = 1 ]; then
 	if [ "$smoke" = 1 ]; then

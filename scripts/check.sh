@@ -66,3 +66,15 @@ go run ./cmd/projections -selfbench -smoke -out BENCH_projections.json
 # three backends. The driver exits nonzero on any mismatch, unsurvived
 # crash, or cross-backend divergence; the report is byte-deterministic.
 go run ./cmd/chaos -out BENCH_chaos.json
+
+# Multi-failure soak: seeded fuzz plans (correlated crash pairs, predicted
+# failures, crashes landing mid-recovery) at replication degree R=2 — every
+# plan must either converge byte-identically or fail with a typed
+# unrecoverable error. 60 seeds here; the -fuzz harness in
+# internal/chaos/ft_multi_test.go explores unseeded.
+CHARMGO_CHAOS_SOAK=60 go test -count=1 -run TestFuzzCampaignSoak ./internal/chaos/
+
+# Fault-tolerance bench: the replication-degree sweep and the
+# evacuation-vs-rollback comparison; exits nonzero if any sweep cell's
+# digests diverge from the failure-free run on any backend.
+scripts/bench.sh --ft
