@@ -27,6 +27,9 @@
 //	go run ./cmd/parsimbench -micro                   # calendar vs heap engines
 //	go run ./cmd/parsimbench -scale -out BENCH_scale.json
 //	go run ./cmd/parsimbench -gate BENCH_scale.json   # fail on >20% regression
+//	go run ./cmd/parsimbench -backend optimistic -snap-interval K  # state-saving interval
+//	go run ./cmd/parsimbench -backend optimistic -snap-sweep       # K=1/4/16 vs adaptive
+//	go run ./cmd/parsimbench -gate-optsim BENCH_optsim.json  # fail on snapshot-churn regression
 package main
 
 import (
@@ -80,6 +83,9 @@ func main() {
 	backend := flag.String("backend", "", "benchmark the named backend ('optimistic') against sequential and conservative-parallel on a low-lookahead PDES run")
 	scale := flag.Bool("scale", false, "run the 1k/8k/64k virtual-PE scale benchmark")
 	gate := flag.String("gate", "", "re-run the scale benchmark and fail on >20% regression against this budget file")
+	snapInterval := flag.Int("snap-interval", 0, "optimistic backend state-saving interval: image a chare every K-th speculated execution and replay between (0 = adaptive, 1 = eager per-execution snapshots)")
+	snapSweep := flag.Bool("snap-sweep", false, "sweep the optimistic backend over fixed snap intervals and the adaptive policy (requires -backend optimistic)")
+	gateOptsim := flag.String("gate-optsim", "", "re-run the optimistic PHOLD benchmark and fail on snapshot-churn regression against this budget file (BENCH_optsim.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	telemetryAddr := flag.String("telemetry", "", "serve live introspection (/status, /metrics, /events, pprof) on this address during benchmark runs")
@@ -114,14 +120,18 @@ func main() {
 	switch {
 	case *gate != "":
 		runGate(*gate)
+	case *gateOptsim != "":
+		runOptsimGate(*gateOptsim, *workers)
 	case *telbench:
 		emit(runTelbench(*smoke, *workers), *out)
 	case *micro:
 		emit(runMicro(*smoke), *out)
 	case *scale:
 		emit(runScale(*smoke), *out)
+	case *backend == "optimistic" && *snapSweep:
+		emit(runSnapSweep(*smoke, *workers), *out)
 	case *backend == "optimistic":
-		emit(runOptsim(*smoke, *workers), *out)
+		emit(runOptsim(*smoke, *workers, *snapInterval), *out)
 	case *backend != "":
 		fatal(fmt.Errorf("unknown -backend %q (want optimistic)", *backend))
 	default:
@@ -290,13 +300,26 @@ type optsimResult struct {
 	MaxGVTLagSec       float64 `json:"max_gvt_lag_sec"`
 	RollbackRatio      float64 `json:"rollback_ratio"`
 	WastedWorkFraction float64 `json:"wasted_work_fraction"`
-	SnapshotCount      uint64  `json:"snapshots"`
-	SnapshotBytes      uint64  `json:"snapshot_bytes"`
+
+	// State-saving accounting (see charm.SpecSaveStats). SnapInterval is
+	// the configured interval (0 = adaptive); FinalSnapInterval and
+	// FinalWindowSec are the adaptive policy's last values. All counters
+	// are deterministic: re-running the benchmark reproduces them exactly.
+	SnapshotCount     uint64  `json:"snapshots"`
+	SnapshotBytes     uint64  `json:"snapshot_bytes"`
+	SnapshotsAvoided  uint64  `json:"snapshots_avoided"`
+	Restores          uint64  `json:"snapshot_restores"`
+	Replays           uint64  `json:"replays"`
+	LoggedDeliveries  uint64  `json:"logged_deliveries"`
+	Invalidations     uint64  `json:"save_invalidations"`
+	SnapInterval      int     `json:"snap_interval"`
+	FinalSnapInterval int     `json:"final_snap_interval"`
+	FinalWindowSec    float64 `json:"final_window_sec"`
 
 	DigestsIdentical bool `json:"digests_identical"`
 }
 
-func runOptsim(smoke bool, workers int) optsimResult {
+func runOptsim(smoke bool, workers, snapInterval int) optsimResult {
 	pes, lps, target := 16, 256, 200000
 	if smoke {
 		pes, lps, target = 8, 64, 8000
@@ -311,11 +334,11 @@ func runOptsim(smoke bool, workers int) optsimResult {
 
 	runtime.GOMAXPROCS(workers)
 
-	seqNs, seqSummary, _ := runPDESBench(pes, "sequential", 0, cfg)
-	parNs, parSummary, _ := runPDESBench(pes, "parallel", workers, cfg)
-	optNs, optSummary, optRT := runPDESBench(pes, "optimistic", workers, cfg)
+	seqNs, seqSummary, _ := runPDESBench(pes, "sequential", 0, 0, cfg)
+	parNs, parSummary, _ := runPDESBench(pes, "parallel", workers, 0, cfg)
+	optNs, optSummary, optRT := runPDESBench(pes, "optimistic", workers, snapInterval, cfg)
 	st := optRT.Engine().(*optsim.Engine).EngineStats()
-	snaps, snapBytes := optRT.SpecSnapshotStats()
+	saves := optRT.SpecSaveStats()
 
 	r := optsimResult{
 		Benchmark:    "PDES/phold-low-alpha",
@@ -346,8 +369,17 @@ func runOptsim(smoke bool, workers int) optsimResult {
 		MaxGVTLagSec:       float64(st.MaxGVTLag),
 		RollbackRatio:      st.RollbackRatio(),
 		WastedWorkFraction: st.WastedFraction(),
-		SnapshotCount:      snaps,
-		SnapshotBytes:      snapBytes,
+
+		SnapshotCount:     saves.Snapshots,
+		SnapshotBytes:     saves.SnapshotBytes,
+		SnapshotsAvoided:  saves.SnapshotsAvoided,
+		Restores:          saves.Restores,
+		Replays:           saves.Replays,
+		LoggedDeliveries:  saves.LoggedDeliveries,
+		Invalidations:     saves.Invalidations,
+		SnapInterval:      snapInterval,
+		FinalSnapInterval: saves.SnapInterval,
+		FinalWindowSec:    saves.Window,
 
 		DigestsIdentical: seqSummary == parSummary && seqSummary == optSummary,
 	}
@@ -359,12 +391,91 @@ func runOptsim(smoke bool, workers int) optsimResult {
 	return r
 }
 
+// ---- -snap-sweep mode: adaptive vs fixed state-saving intervals ----
+
+// snapSweepPoint is one interval's cell in the adaptive-vs-fixed sweep.
+type snapSweepPoint struct {
+	// SnapInterval is the configured interval; 0 is the adaptive policy.
+	SnapInterval     int     `json:"snap_interval"`
+	OptimisticNsOp   int64   `json:"optimistic_ns_per_op"`
+	Snapshots        uint64  `json:"snapshots"`
+	SnapshotBytes    uint64  `json:"snapshot_bytes"`
+	SnapshotsAvoided uint64  `json:"snapshots_avoided"`
+	Replays          uint64  `json:"replays"`
+	RolledBack       uint64  `json:"spec_rolled_back"`
+	FinalInterval    int     `json:"final_snap_interval"`
+	BytesVsEagerX    float64 `json:"bytes_reduction_vs_eager"`
+	DigestsIdentical bool    `json:"digests_identical"`
+}
+
+// snapSweepResult is the BENCH payload of the adaptive-vs-fixed sweep: the
+// same low-α PHOLD run at eager (K=1), fixed K, and the adaptive policy,
+// digest-checked against sequential at every point.
+type snapSweepResult struct {
+	Benchmark  string           `json:"benchmark"`
+	Machine    string           `json:"machine"`
+	LPs        int              `json:"lps"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Points     []snapSweepPoint `json:"points"`
+}
+
+func runSnapSweep(smoke bool, workers int) snapSweepResult {
+	pes, lps, target := 16, 256, 200000
+	if smoke {
+		pes, lps, target = 8, 64, 8000
+	}
+	cfg := pdes.Config{
+		LPs: lps, EventsPerLP: 8, TargetEvents: target, Seed: 42,
+		Lookahead: 0.05, MeanDelay: 4.0,
+	}
+	runtime.GOMAXPROCS(workers)
+	_, seqSummary, _ := runPDESBench(pes, "sequential", 0, 0, cfg)
+
+	r := snapSweepResult{
+		Benchmark:  "PDES/phold-low-alpha snap-interval sweep",
+		Machine:    fmt.Sprintf("Testbed(%d)", pes),
+		LPs:        lps,
+		GOMAXPROCS: workers,
+	}
+	var eagerBytes uint64
+	for _, k := range []int{1, 4, 16, 0} {
+		ns, summary, rt := runPDESBench(pes, "optimistic", workers, k, cfg)
+		st := rt.Engine().(*optsim.Engine).EngineStats()
+		saves := rt.SpecSaveStats()
+		p := snapSweepPoint{
+			SnapInterval:     k,
+			OptimisticNsOp:   ns,
+			Snapshots:        saves.Snapshots,
+			SnapshotBytes:    saves.SnapshotBytes,
+			SnapshotsAvoided: saves.SnapshotsAvoided,
+			Replays:          saves.Replays,
+			RolledBack:       st.RolledBack,
+			FinalInterval:    saves.SnapInterval,
+			DigestsIdentical: summary == seqSummary,
+		}
+		if k == 1 {
+			eagerBytes = saves.SnapshotBytes
+		}
+		if eagerBytes > 0 && saves.SnapshotBytes > 0 {
+			p.BytesVsEagerX = float64(eagerBytes) / float64(saves.SnapshotBytes)
+		}
+		if !p.DigestsIdentical {
+			fmt.Fprintf(os.Stderr, "parsimbench: snap-interval %d diverged from sequential!\n  sequential: %s\n  optimistic: %s\n",
+				k, seqSummary, summary)
+			os.Exit(1)
+		}
+		r.Points = append(r.Points, p)
+	}
+	return r
+}
+
 // runPDESBench executes one PDES run and returns wall-clock ns, a result
 // summary for the cross-backend identity check, and the runtime.
-func runPDESBench(pes int, backend string, workers int, cfg pdes.Config) (int64, string, *charm.Runtime) {
+func runPDESBench(pes int, backend string, workers, snapInterval int, cfg pdes.Config) (int64, string, *charm.Runtime) {
 	mc := machine.Testbed(pes)
 	mc.Backend = backend
 	mc.ParallelWorkers = workers
+	mc.SnapInterval = snapInterval
 	rt := charm.New(machine.New(mc))
 	defer serveTelemetry(rt).finish()
 	start := time.Now()
@@ -718,6 +829,45 @@ func runGate(path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("parsimbench: scale metrics within 20%% of %s budgets (%d points)\n", path, len(cur.Points))
+}
+
+// runOptsimGate re-runs the optimistic PHOLD benchmark and gates the
+// snapshot churn against the committed BENCH_optsim.json. Snapshot counts
+// and bytes are deterministic (driver-ordered state saving on a fixed
+// seed), so any growth is a code change, not noise; they gate hard at
+// +20%. Wall-clock speeds are host-dependent and never gate.
+func runOptsimGate(path string, workers int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var budget optsimResult
+	if err := json.Unmarshal(data, &budget); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	cur := runOptsim(false, workers, budget.SnapInterval)
+	if cur.LPs != budget.LPs || cur.TargetEvents != budget.TargetEvents ||
+		cur.Lookahead != budget.Lookahead || cur.MeanDelay != budget.MeanDelay {
+		fatal(fmt.Errorf("budget config in %s is stale (LPs/events/lookahead changed); regenerate with scripts/bench.sh --optsim", path))
+	}
+
+	const tol = 1.2
+	failed := false
+	check := func(label string, got, want uint64) {
+		if float64(got) > float64(want)*tol+0.05 {
+			fmt.Fprintf(os.Stderr, "parsimbench: REGRESSION %s: %d exceeds budget %d by >20%%\n", label, got, want)
+			failed = true
+		}
+	}
+	check("snapshots", cur.SnapshotCount, budget.SnapshotCount)
+	check("snapshot bytes", cur.SnapshotBytes, budget.SnapshotBytes)
+	// The divergence check already ran inside runOptsim (it exits nonzero
+	// on any backend mismatch), so reaching here means digests held.
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("parsimbench: optsim snapshot churn within 20%% of %s budgets (%d snapshots, %d bytes)\n",
+		path, cur.SnapshotCount, cur.SnapshotBytes)
 }
 
 func runScale(smoke bool) scaleReport {

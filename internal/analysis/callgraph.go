@@ -23,7 +23,9 @@ import (
 //     type implements the interface.
 //   - indirect: a call through a function value resolves to every
 //     address-taken module function (and every function literal) with an
-//     identical signature.
+//     identical signature — unless the value is a local variable bound
+//     exactly once to a known function, in which case the site resolves to
+//     that one callee (def-use pruning, below).
 //   - closure: creating a function literal edges the enclosing function to
 //     it. Creation is not invocation, but the conservative edge keeps a
 //     source hidden inside a stored-then-invoked closure reachable.
@@ -32,6 +34,25 @@ import (
 // indirect resolution is signature-keyed, so distinct callbacks that share a
 // signature alias each other; closure edges over-approximate literals that
 // are created but never called.
+//
+// Def-use pruning. Signature-keyed resolution is brutal on the common
+// cmd/ driver idiom
+//
+//	run := func() { ... }
+//	...
+//	run()
+//
+// where every same-signature closure in the module becomes a callee and
+// chains alias across drivers. When the called expression is a simple
+// local identifier whose variable has exactly one function-valued binding
+// in the whole module — a function literal or a direct reference to a
+// declared function — and is never address-taken, the call can only reach
+// that binding, so the site gets that single edge instead of the fan-out.
+// Any second assignment, a binding the graph cannot name (a call result, a
+// conversion, a range element, a mismatched multi-assign), or an &v
+// anywhere (including inside nested literals — bindings are collected
+// module-wide, so a closure reassigning a captured variable disqualifies
+// it) falls back to the signature fan-out.
 
 // RootKind classifies why a node is an analysis entry point.
 type RootKind string
@@ -92,9 +113,9 @@ type Graph struct {
 	// Named types of the module, for interface dispatch.
 	namedTypes []*types.Named
 
-	reach      map[*Node]reachEdge  // lazy: full reachability from all roots
-	phaseReach map[*Node]reachEdge  // lazy: phase-context reachability
-	skipFields map[*types.Var]bool  // lazy: //pup:skip fields (specstate)
+	reach      map[*Node]reachEdge // lazy: full reachability from all roots
+	phaseReach map[*Node]reachEdge // lazy: phase-context reachability
+	skipFields map[*types.Var]bool // lazy: //pup:skip fields (specstate)
 }
 
 type staticSite struct {
@@ -107,6 +128,7 @@ type indirectSite struct {
 	caller *Node
 	site   token.Pos
 	sig    *types.Signature
+	local  *types.Var // set when the call is through a simple local identifier
 }
 
 type ifaceSite struct {
@@ -334,6 +356,17 @@ func (g *Graph) resolveCall(n *Node, call *ast.CallExpr) {
 			return
 		case *types.TypeName, *types.Builtin, nil:
 			return // conversion or builtin
+		case *types.Var:
+			// A call through a bare variable: record the variable so
+			// pass 2 can try def-use pruning. Package-level variables
+			// are excluded — any package may reassign them — as are
+			// struct fields (those arrive as selectors anyway).
+			if sig, ok := obj.Type().Underlying().(*types.Signature); ok &&
+				!obj.IsField() && obj.Parent() != n.Pkg.Types.Scope() {
+				g.indirectSites = append(g.indirectSites,
+					indirectSite{caller: n, site: call.Pos(), sig: sig, local: obj})
+				return
+			}
 		}
 	case *ast.SelectorExpr:
 		if sel := info.Selections[fun]; sel != nil {
@@ -387,9 +420,134 @@ func (g *Graph) resolveStatic() {
 	}
 }
 
+// funcBinding summarizes every assignment to one function-typed variable
+// across the whole module.
+type funcBinding struct {
+	count  int   // assignments seen (declarations with values included)
+	target *Node // callee of the sole binding, when resolvable
+	bad    bool  // address-taken, unresolvable RHS, or unpairable assign
+}
+
+// scanFuncBindings walks every node body once and records, for each
+// function-typed variable, how many times it is assigned and what the
+// assignment binds it to. The map is module-wide: a variable captured and
+// reassigned inside a nested literal is charged its second binding even
+// though the literal is a different graph node.
+func (g *Graph) scanFuncBindings() map[*types.Var]*funcBinding {
+	bindings := map[*types.Var]*funcBinding{}
+	get := func(v *types.Var) *funcBinding {
+		b := bindings[v]
+		if b == nil {
+			b = &funcBinding{}
+			bindings[v] = b
+		}
+		return b
+	}
+	// lhsVar returns the function-typed variable an assignment target
+	// names, or nil for blank, non-ident, or non-function targets.
+	lhsVar := func(info *types.Info, e ast.Expr) *types.Var {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		var v *types.Var
+		if d, ok := info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil {
+			return nil
+		}
+		if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+			return nil
+		}
+		return v
+	}
+	for _, n := range g.Nodes {
+		info := n.Pkg.Info
+		// bindTarget resolves an assignment RHS to the single node it can
+		// invoke as, or nil when the value's origin is not a direct
+		// function reference (call results, conversions, other variables).
+		bindTarget := func(rhs ast.Expr) *Node {
+			switch rhs := unparen(rhs).(type) {
+			case *ast.FuncLit:
+				return g.byLit[rhs]
+			case *ast.Ident:
+				if fn, ok := info.Uses[rhs].(*types.Func); ok {
+					return g.byFn[fn]
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[rhs.Sel].(*types.Func); ok {
+					return g.byFn[fn] // pkg.Func or a bound method value
+				}
+			}
+			return nil
+		}
+		record := func(lhs ast.Expr, rhs ast.Expr) {
+			v := lhsVar(info, lhs)
+			if v == nil {
+				return
+			}
+			b := get(v)
+			b.count++
+			if rhs == nil {
+				b.bad = true
+				return
+			}
+			if t := bindTarget(rhs); t != nil {
+				b.target = t
+			} else {
+				b.bad = true
+			}
+		}
+		inspectShallow(n.body(), func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						record(x.Lhs[i], x.Rhs[i])
+					}
+				} else { // f, err := mk(): origin is a call, not a reference
+					for _, l := range x.Lhs {
+						record(l, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						record(x.Names[i], x.Values[i])
+					}
+				} else if len(x.Values) > 0 {
+					for _, nm := range x.Names {
+						record(nm, nil)
+					}
+				} // var f func() with no value binds nothing yet
+			case *ast.RangeStmt:
+				if x.Key != nil {
+					record(x.Key, nil)
+				}
+				if x.Value != nil {
+					record(x.Value, nil)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if v := lhsVar(info, x.X); v != nil {
+						get(v).bad = true // writable through the pointer
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bindings
+}
+
 // resolveIndirect links every indirect call site to the address-taken
-// functions and all literals whose signature matches.
+// functions and all literals whose signature matches, except sites pruned
+// to a single callee by def-use analysis of their local variable.
 func (g *Graph) resolveIndirect() {
+	bindings := g.scanFuncBindings()
 	// Index candidates by a canonical signature string; confirm with
 	// types.Identical before linking.
 	type cand struct {
@@ -413,6 +571,13 @@ func (g *Graph) resolveIndirect() {
 		}
 	}
 	for _, site := range g.indirectSites {
+		if site.local != nil {
+			if b := bindings[site.local]; b != nil && b.count == 1 && !b.bad && b.target != nil {
+				site.caller.Edges = append(site.caller.Edges,
+					Edge{Callee: b.target, Site: site.site, Kind: "indirect"})
+				continue
+			}
+		}
 		for _, c := range bySig[sigKey(site.sig)] {
 			if identicalSig(site.sig, c.sig) {
 				site.caller.Edges = append(site.caller.Edges,
@@ -447,11 +612,23 @@ func (g *Graph) resolveIface() {
 	}
 }
 
-// sigKey is a cheap canonical hash of a signature ignoring the receiver;
-// collisions are resolved by identicalSig.
+// sigKey is a cheap canonical hash of a signature ignoring the receiver
+// and all parameter/result names (types.TypeString prints names, and
+// types.Identical ignores them — an indirect call through a bare
+// `func(int) int` variable must land in the same bucket as a callee
+// declared `func(x int) int`); collisions are resolved by identicalSig.
 func sigKey(sig *types.Signature) string {
-	clean := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	clean := types.NewSignatureType(nil, nil, nil,
+		unnamedTuple(sig.Params()), unnamedTuple(sig.Results()), sig.Variadic())
 	return types.TypeString(clean, func(p *types.Package) string { return p.Path() })
+}
+
+func unnamedTuple(t *types.Tuple) *types.Tuple {
+	vars := make([]*types.Var, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+	}
+	return types.NewTuple(vars...)
 }
 
 func identicalSig(a, b *types.Signature) bool {

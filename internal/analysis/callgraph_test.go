@@ -122,6 +122,92 @@ func TestCallGraphReachability(t *testing.T) {
 	}
 }
 
+// indirectEdges returns n's non-closure indirect edges.
+func indirectEdges(n *analysis.Node) []analysis.Edge {
+	var out []analysis.Edge
+	for _, e := range n.Edges {
+		if e.Kind == "indirect" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestIndirectPruning pins def-use pruning of signature-indirect edges:
+// the cmd/ driver idiom `run := func(){...}; run()` must produce a single
+// edge to that literal instead of aliasing every same-signature function
+// in the module, while every disqualifier — reassignment (including from
+// inside a nested literal), address-taking, parameters, call results —
+// keeps the conservative fan-out.
+func TestIndirectPruning(t *testing.T) {
+	w, err := loadFixtures()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	g := w.graph
+
+	targetA := nodeByKeySuffix(t, g, "indirect.targetA")
+	targetB := nodeByKeySuffix(t, g, "indirect.targetB")
+
+	// Pruned: local bound once to a literal — one edge, to that literal.
+	lit := nodeByKeySuffix(t, g, "indirect.prunedLocalLit")
+	ind := indirectEdges(lit)
+	if len(ind) != 1 {
+		t.Fatalf("prunedLocalLit: %d indirect edges, want 1 (pruning off?)", len(ind))
+	}
+	var litChild *analysis.Node
+	for _, e := range lit.Edges {
+		if e.Kind == "closure" {
+			litChild = e.Callee
+		}
+	}
+	if litChild == nil || ind[0].Callee != litChild {
+		t.Errorf("prunedLocalLit: indirect edge goes to %v, want its own literal %v", ind[0].Callee, litChild)
+	}
+
+	// Pruned: local bound once to a declared function.
+	ref := nodeByKeySuffix(t, g, "indirect.prunedLocalRef")
+	if ind := indirectEdges(ref); len(ind) != 1 || ind[0].Callee != targetA {
+		t.Errorf("prunedLocalRef: indirect edges %v, want exactly [targetA]", ind)
+	}
+	if _, ok := edgeTo(ref, targetB); ok {
+		t.Errorf("prunedLocalRef: spurious edge to targetB survived pruning")
+	}
+
+	// Pruned through capture: binding in the outer function, call in the
+	// returned literal.
+	capOuter := nodeByKeySuffix(t, g, "indirect.prunedCaptured")
+	var capLit *analysis.Node
+	for _, e := range capOuter.Edges {
+		if e.Kind == "closure" {
+			capLit = e.Callee
+		}
+	}
+	if capLit == nil {
+		t.Fatalf("prunedCaptured has no closure child")
+	}
+	if ind := indirectEdges(capLit); len(ind) != 1 || ind[0].Callee != targetA {
+		t.Errorf("prunedCaptured literal: indirect edges %v, want exactly [targetA]", ind)
+	}
+
+	// Every disqualifier keeps the fan-out to both targets.
+	for _, name := range []string{
+		"indirect.reassigned",
+		"indirect.nestedReassign",
+		"indirect.addressTaken",
+		"indirect.viaParam",
+		"indirect.fromCall",
+	} {
+		n := nodeByKeySuffix(t, g, name)
+		if _, ok := edgeTo(n, targetA); !ok {
+			t.Errorf("%s: missing fan-out edge to targetA", name)
+		}
+		if _, ok := edgeTo(n, targetB); !ok {
+			t.Errorf("%s: missing fan-out edge to targetB", name)
+		}
+	}
+}
+
 // TestCallGraphDeterminism rebuilds the graph and checks node order and
 // edge counts are identical: analyzers iterate Nodes directly, so any map
 // nondeterminism here would shuffle finding order run to run.

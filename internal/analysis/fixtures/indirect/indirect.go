@@ -1,0 +1,76 @@
+// Package indirect pins the call graph's def-use pruning of
+// signature-indirect edges: a call through a local variable bound exactly
+// once to a known function resolves to that one callee, while any
+// reassignment, address-taking, parameter passing, or nested-literal
+// rebinding falls back to the signature fan-out. The fixture has no want
+// marks — callgraph_test.go asserts directly on the edges.
+package indirect
+
+func targetA(x int) int { return x + 1 }
+func targetB(x int) int { return x * 2 }
+
+// table makes both targets address-taken, so they are candidates for
+// every indirect site with their signature.
+var table = []func(int) int{targetA, targetB}
+
+// Use reports the table so the fixture has no unused declarations.
+func Use() int { return table[0](0) + table[1](0) }
+
+// prunedLocalLit: one binding, a literal — the call must resolve to that
+// literal alone, not to targetA/targetB or any other func(int) int.
+func prunedLocalLit() int {
+	run := func(x int) int { return x + 3 }
+	return run(1)
+}
+
+// prunedLocalRef: one binding, a declared function — single edge to
+// targetA, none to targetB.
+func prunedLocalRef() int {
+	f := targetA
+	return f(1)
+}
+
+// prunedCaptured: the sole binding is in the enclosing function and the
+// call is inside a nested literal; capture without rebinding still prunes.
+func prunedCaptured() func() int {
+	f := targetA
+	return func() int { return f(4) }
+}
+
+// reassigned: two bindings — signature fan-out to both targets.
+func reassigned(cond bool) int {
+	f := targetA
+	if cond {
+		f = targetB
+	}
+	return f(1)
+}
+
+// nestedReassign: the second binding hides inside a nested literal; the
+// module-wide binding scan must still see it and keep the fan-out.
+func nestedReassign() int {
+	f := targetA
+	swap := func() { f = targetB }
+	swap()
+	return f(5)
+}
+
+// addressTaken: &f makes the variable writable through a pointer, so the
+// single visible binding proves nothing.
+func addressTaken() int {
+	f := targetA
+	p := &f
+	_ = p
+	return f(1)
+}
+
+// viaParam: parameters have no visible binding at all — fan-out.
+func viaParam(f func(int) int) int { return f(2) }
+
+// fromCall: bound once, but from a call result the graph cannot name.
+func fromCall() int {
+	f := pick()
+	return f(3)
+}
+
+func pick() func(int) int { return targetB }

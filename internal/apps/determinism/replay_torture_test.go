@@ -1,0 +1,155 @@
+package determinism
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"charmgo/internal/apps/leanmd"
+	"charmgo/internal/apps/pdes"
+	"charmgo/internal/apps/stencil"
+	"charmgo/internal/charm"
+	"charmgo/internal/lb"
+	"charmgo/internal/machine"
+	"charmgo/internal/optsim"
+	"charmgo/internal/trace"
+)
+
+// Replay torture suite: the optimistic backend with infrequent state saving
+// must reproduce the sequential digest bit for bit at every snapshot
+// interval — eager (K=1), sparse fixed (K=4, K=16), and the adaptive
+// Rönngren–Ayani policy (K=0) — while rollbacks force the restore +
+// coast-forward path. A digest mismatch here means a replayed handler
+// diverged from its original execution: a stale retained image, an
+// unrecorded location resolution, a leaked side effect, or a payload
+// mutated after send.
+
+// snapIntervals covers the eager baseline, two sparse fixed intervals, and
+// the adaptive policy.
+var snapIntervals = []int{1, 4, 16, 0}
+
+// torturedRun is digestedRun with the runtime handed back so callers can
+// inspect speculation and state-saving counters after the run.
+func torturedRun(t *testing.T, mk func() machine.Config, run func(rt *charm.Runtime) string) (string, *charm.Runtime) {
+	t.Helper()
+	rt := charm.New(machine.New(mk()))
+	tr := trace.New(rt, 0.05)
+	tr.Start()
+	summary := run(rt)
+
+	h := sha256.New()
+	fmt.Fprintf(h, "summary %s\n", summary)
+	fmt.Fprintf(h, "events %d\n", rt.Engine().Executed())
+	fmt.Fprintf(h, "stats %+v\n", rt.Stats)
+	if err := tr.WriteJSON(h); err != nil {
+		t.Fatalf("writing trace: %v", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), rt
+}
+
+// assertReplayTorture runs the app once sequentially, then on the
+// optimistic backend at each snapshot interval, requiring identical
+// digests. When wantRollbacks is set the config is expected to provoke
+// stragglers, and the test additionally asserts that the rollback and (for
+// K != 1) coast-forward machinery actually fired — a torture test that
+// never rolls back proves nothing.
+func assertReplayTorture(t *testing.T, name string, mk func() machine.Config, run func(rt *charm.Runtime) string, wantRollbacks bool) {
+	t.Helper()
+	seq := digestedRun(t, withBackend(mk, "sequential"), run)
+	for _, k := range snapIntervals {
+		k := k
+		t.Run(fmt.Sprintf("snap_interval=%d", k), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(8)
+			defer runtime.GOMAXPROCS(prev)
+			opt, rt := torturedRun(t, func() machine.Config {
+				c := mk()
+				c.Backend = "optimistic"
+				c.SnapInterval = k
+				return c
+			}, run)
+			if opt != seq {
+				t.Errorf("%s: optimistic backend diverged from sequential at SnapInterval=%d:\n  sequential: %s\n  optimistic: %s",
+					name, k, seq, opt)
+			}
+			st := rt.Engine().(*optsim.Engine).EngineStats()
+			saves := rt.SpecSaveStats()
+			t.Logf("%s K=%d: rolledback=%d snapshots=%d avoided=%d restores=%d replays=%d finalK=%d",
+				name, k, st.RolledBack, saves.Snapshots, saves.SnapshotsAvoided, saves.Restores, saves.Replays, saves.SnapInterval)
+			if wantRollbacks {
+				if st.RolledBack == 0 {
+					t.Errorf("%s: SnapInterval=%d run provoked no rollbacks; the torture config has gone stale", name, k)
+				}
+				if k != 1 && saves.Replays == 0 {
+					t.Errorf("%s: SnapInterval=%d rolled back %d speculations but coast-forwarded zero deliveries",
+						name, k, st.RolledBack)
+				}
+			}
+			if k != 1 && saves.SnapshotsAvoided == 0 && saves.Snapshots > 0 {
+				t.Errorf("%s: SnapInterval=%d avoided no snapshots — infrequent saving is not engaging", name, k)
+			}
+		})
+	}
+}
+
+// TestPDESReplayTorture is the rollback-cascade workhorse: PHOLD at low
+// lookahead without TRAM (so LPs declare PureHandlers and keep sparse
+// images) speculates far past the conservative frontier and takes real
+// straggler rollbacks, each of which restores a retained image and
+// coast-forwards the committed deliveries logged since.
+func TestPDESReplayTorture(t *testing.T) {
+	cfg := pdes.Config{
+		LPs: 64, EventsPerLP: 8, TargetEvents: 8000, Seed: 42,
+		Lookahead: 0.05, MeanDelay: 4.0,
+	}
+	assertReplayTorture(t, "pdes",
+		func() machine.Config { return machine.Testbed(8) },
+		func(rt *charm.Runtime) string {
+			res, err := pdes.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("committed=%d windows=%d maxvt=%v", res.Committed, res.Windows, res.MaxVT)
+		}, true)
+}
+
+// TestLeanMDReplayTorture exercises sparse imaging under migration: LB
+// moves cells mid-run, which must invalidate retained images (a replay
+// from a pre-migration image would resurrect stale meters and positions).
+func TestLeanMDReplayTorture(t *testing.T) {
+	cfg := leanmd.Config{
+		CellsX: 3, CellsY: 3, CellsZ: 3,
+		AtomsPerCell: 20, Steps: 6, Seed: 42,
+		LBPeriod: 3, Gaussian: 0.35,
+	}
+	assertReplayTorture(t, "leanmd",
+		func() machine.Config { return machine.Testbed(8) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Greedy{})
+			res, err := leanmd.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("atoms=%d energy=%v stepdone=%v", res.Atoms, res.Energy, res.StepDone)
+		}, true)
+}
+
+// TestStencilReplayTorture covers the reduction-heavy bulk-synchronous
+// shape: blocks carry large float grids, so a single stale image or
+// mis-replayed halo exchange shifts every residual after it.
+func TestStencilReplayTorture(t *testing.T) {
+	cfg := stencil.Config{
+		GridN: 96, Chares: 12, Iters: 10, LBPeriod: 4,
+	}
+	assertReplayTorture(t, "stencil",
+		func() machine.Config { return machine.Testbed(16) },
+		func(rt *charm.Runtime) string {
+			rt.SetBalancer(lb.Greedy{})
+			res, err := stencil.Run(rt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("iters=%d residuals=%v done=%v", len(res.Residuals), res.Residuals, res.IterDone)
+		}, true)
+}

@@ -286,9 +286,12 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 		cellHandlers, charm.ArrayOpts{
 			UsesAtSync: cfg.LBPeriod > 0,
 			Migratable: true,
-			ResumeEP:   epCellResume,
-			HomeMap:    cellMap,
-			Bounds:     []int{cfg.CellsX, cfg.CellsY, cfg.CellsZ}, // dense 3-D grid
+			// Cell handlers read only (cell state, payload, immutable cfg);
+			// the error latch publishes through Defer.
+			PureHandlers: true,
+			ResumeEP:     epCellResume,
+			HomeMap:      cellMap,
+			Bounds:       []int{cfg.CellsX, cfg.CellsY, cfg.CellsZ}, // dense 3-D grid
 			EntryNames: []string{
 				epCellStart:  "start",
 				epCellForces: "forces",
@@ -304,8 +307,10 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 		computeHandlers, charm.ArrayOpts{
 			UsesAtSync: cfg.LBPeriod > 0,
 			Migratable: true,
-			ResumeEP:   epComputeResume,
-			HomeMap:    computeMap,
+			// See the cells array: same purity discipline.
+			PureHandlers: true,
+			ResumeEP:     epComputeResume,
+			HomeMap:      computeMap,
 			EntryNames: []string{
 				epComputePos:    "positions",
 				epComputeResume: "resume",
@@ -497,7 +502,10 @@ func (a *App) onCellStart(obj charm.Chare, ctx *charm.Ctx, msg any) {
 func (a *App) sendPositions(c *cell, ctx *charm.Ctx) {
 	me := [3]int{c.I, c.J, c.K}
 	bytes := len(c.Xs)*8 + 48
-	msg := posMsg{Step: c.Step, Cell: me, Xs: c.Xs}
+	// Snapshot the positions: the cell integrates Xs in place next step,
+	// and an in-flight (or replay-logged, see charm.ArrayOpts.PureHandlers)
+	// message must keep the values it was sent with.
+	msg := posMsg{Step: c.Step, Cell: me, Xs: append([]float64(nil), c.Xs...)}
 	if a.cfg.UseMulticast {
 		section := make([]charm.Index, 0, 15)
 		section = append(section, a.computeIdx(me, me))

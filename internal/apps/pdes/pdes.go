@@ -219,6 +219,10 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 		handlers, charm.ArrayOpts{
 			Migratable: true,
 			Bounds:     []int{cfg.LPs}, // dense 1-D index space: flat location tables
+			// LP handlers touch only (LP state, payload); app-global writes
+			// go through Defer. TRAM's phase-side aggregation buffers are
+			// app-global, so aggregated runs stay on eager state saving.
+			PureHandlers: !cfg.UseTram,
 			HomeMap: func(idx charm.Index, numPEs int) int {
 				return idx.I() * numPEs / cfg.LPs // block map: LPs/PE contiguity
 			},
@@ -411,15 +415,17 @@ func (a *App) onEvent(obj charm.Chare, ctx *charm.Ctx, msg any) {
 	l := obj.(*lp)
 	l.app = a
 	ts := msg.(float64)
+	ctx.Charge(2e-7)
+	l.Q.push(ts)
 	if ts < a.window {
 		// Conservative protocol violated — fail loudly. The error latch is
-		// app-global, so it is published at commit time.
+		// app-global, so it is published at commit time. The push above
+		// runs unconditionally so LP state never depends on a.window, a
+		// mutable app-global the PureHandlers replay contract excludes
+		// (the run aborts either way).
 		ctx.Defer(func() {
 			a.err = fmt.Errorf("pdes: event at %v arrived inside open window %v", ts, a.window)
 		})
 		ctx.Exit()
-		return
 	}
-	ctx.Charge(2e-7)
-	l.Q.push(ts)
 }

@@ -170,7 +170,10 @@ func New(rt *charm.Runtime, cfg Config) (*App, error) {
 	app.arr = rt.DeclareArray("stencil_blocks", app.factory, handlers, charm.ArrayOpts{
 		UsesAtSync: cfg.LBPeriod > 0,
 		Migratable: true,
-		ResumeEP:   epResume,
+		// Block handlers read only (block state, payload, immutable cfg);
+		// the error latch publishes through Defer.
+		PureHandlers: true,
+		ResumeEP:     epResume,
 		// 2-D block mapping: contiguous tiles of chares share a PE so
 		// most ghost exchanges stay node-local (the standard stencil
 		// mapping; the RTS is free to migrate away from it later).

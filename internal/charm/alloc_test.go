@@ -87,6 +87,36 @@ func TestResolveAllocFree(t *testing.T) {
 	}
 }
 
+// TestSnapshotSkipFastPathAllocs pins the infrequent-state-saving fast
+// path at zero allocations: when a speculated execution touches an element
+// that still holds a retained image, touchElem must only bump the
+// avoided counter and record the element in the shard's touched set —
+// no packing, no image buffer, no metadata copies. This is the path taken
+// K-1 times out of every K speculated executions, so a single allocation
+// here would erase most of what sparse imaging saves.
+func TestSnapshotSkipFastPathAllocs(t *testing.T) {
+	sc := &specController{}
+	sp := &shardSpec{}
+	els := []*element{
+		{save: &elemSave{}},
+		{save: &elemSave{}},
+		{save: &elemSave{}},
+	}
+	// Warm once so sp.touched reaches its working capacity.
+	for _, el := range els {
+		sp.touchElem(sc, el)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp.touched = sp.touched[:0]
+		for _, el := range els {
+			sp.touchElem(sc, el)
+			sp.touchElem(sc, el) // dedup re-touch, the commonest case of all
+		}
+	}); n > 0 {
+		t.Fatalf("snapshot-skipped touch allocates %.2f per phase, want 0", n)
+	}
+}
+
 // TestMsgQueueAllocSteadyState pins the PE scheduler queue: once the heap
 // slice has grown to its working size, push/pop cycles must not allocate
 // (messages themselves come from the pool).

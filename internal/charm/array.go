@@ -38,6 +38,18 @@ type ArrayOpts struct {
 	// paths. Indices outside the bounds (or arrays without Bounds, like
 	// AMR's bitvector octree) keep using the map path.
 	Bounds []int
+	// PureHandlers declares that every entry method of this array is a
+	// pure function of (chare state, message payload): it reads no mutable
+	// app-global state and performs app-global writes only through
+	// commit-deferred effects (ctx.Defer and friends). The optimistic
+	// backend then amortizes state saving over PureHandlers elements —
+	// PUP-imaging each only every K-th speculated execution and replaying
+	// the committed deliveries in between on rollback (coast-forward; see
+	// internal/charm/speculation.go). Arrays without the declaration keep
+	// eager per-execution imaging, which is always safe. Declaring it on
+	// an array whose handlers do consult mutable globals is detected at
+	// the first divergent replay and panics.
+	PureHandlers bool
 }
 
 // Array is a chare array: an indexed collection of migratable objects.
@@ -235,6 +247,8 @@ func (a *Array) Replace(idx Index, obj Chare, pe int) {
 		panic("charm: Replace of missing element " + idx.String())
 	}
 	el.obj = obj
+	// The retained speculation image (if any) describes the replaced state.
+	a.rt.dropSave(el)
 	if el.pe != pe {
 		a.rt.moveElement(el, pe, false)
 	}
@@ -288,6 +302,7 @@ func (rt *Runtime) insertElement(a *Array, idx Index, obj Chare, pe int, dynamic
 func (rt *Runtime) removeElement(el *element) {
 	a := rt.arrays[el.key.array]
 	a.populationChanging()
+	rt.dropSave(el)
 	delete(a.elems, el.key.idx)
 	rt.elemTab[el.eid] = nil
 	rt.owner[el.eid] = -1
@@ -349,6 +364,9 @@ func (rt *Runtime) moveElement(el *element, toPE int, charge bool) {
 		}
 		rt.mach.PE(from).BusyTime += pupCost
 	}
+	// A migration repacks the object into a fresh instance; the retained
+	// speculation image (and its replay log) no longer matches it.
+	rt.dropSave(el)
 	// Re-home the state. In a real machine the object is packed and
 	// unpacked; we exercise the same PUP path to keep Pup methods honest.
 	// The pack buffer is pooled: at 256k-element rebalances the per-move

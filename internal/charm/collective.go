@@ -123,6 +123,12 @@ func (rt *Runtime) bcastFanout(ctx *Ctx, bm bcastMsg) {
 			ctx.SendPE(child, rt.bcastPEH, bm, &SendOpts{Bytes: bm.size, Prio: prioControl})
 		}
 	}
+	if ctx.replay {
+		// The fan-out's deliveries committed long ago; re-allocating them
+		// into a discarded effect list would leak pooled messages, and the
+		// current element population may differ from the original run's.
+		return
+	}
 	// Local deliveries: one scheduler message per element, pooled and
 	// pre-stamped with the destination (the element cannot move between
 	// this enqueue and its execution on the same PE's queue).

@@ -1,6 +1,7 @@
 package charm
 
 import (
+	"fmt"
 	"math"
 
 	"charmgo/internal/des"
@@ -30,6 +31,20 @@ type Ctx struct {
 	fx      *fxList // nil: immediate mode; non-nil: buffered (parallel phase)
 	phase   bool    // true while an element handler runs (vs commit context)
 	cause   uint64  // trace ID of the send that triggered this execution
+
+	// Coast-forward replay mode (optimistic backend, speculation.go): the
+	// handler re-executes a committed delivery purely to reconstruct chare
+	// state. Every global effect buffers into fx and is discarded, sends
+	// build no messages, and location resolution replays the recorded
+	// answers in res[resIdx:] instead of reading the live caches.
+	replay bool
+	res    []int32
+	resIdx int
+
+	// extraEls lists elements beyond elem this execution mutated through
+	// LocalInvoke (optimistic backend only): their retained images cannot
+	// replay a multi-element delivery, so the commit invalidates them.
+	extraEls []*element
 }
 
 func (rt *Runtime) newCtx(pe int, el *element) *Ctx {
@@ -222,6 +237,29 @@ func (c *Ctx) Send(arr *Array, idx Index, ep EP, payload any) {
 	c.SendOpt(arr, idx, ep, payload, nil)
 }
 
+// resolveFor prices a send's destination: the live location caches
+// normally, the recorded answer during coast-forward replay — the caches
+// may have learned newer hints since the delivery originally committed,
+// and Now() must re-read identically. On the optimistic backend every
+// phase-time answer is recorded (shard-locally, into the PE's reused
+// buffer) so the delivery's commit can log it for future replay.
+func (c *Ctx) resolveFor(dest elemKey) int {
+	if c.replay {
+		if c.resIdx >= len(c.res) {
+			panic(fmt.Sprintf("charm: coast-forward replay of %v diverged: more sends than the committed execution recorded", c.elem.key))
+		}
+		dst := int(c.res[c.resIdx])
+		c.resIdx++
+		return dst
+	}
+	dst := c.rt.resolve(c.pe, dest)
+	if c.phase && c.rt.spec != nil {
+		p := c.rt.pes[c.pe]
+		p.resLog = append(p.resLog, int32(dst))
+	}
+	return dst
+}
+
 // SendOpt is Send with explicit size/priority options.
 func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts) {
 	size := c.msgSize(payload, opts)
@@ -229,21 +267,13 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 	if opts != nil {
 		prio = opts.Prio
 	}
-	dst := c.rt.resolve(c.pe, elemKey{array: arr.id, idx: idx})
+	dest := elemKey{array: arr.id, idx: idx}
+	dst := c.resolveFor(dest)
 	// The clock takes the locality-aware send cost (node-local delivery is
 	// cheaper), but the load meter takes the uniform node-local floor: see
 	// chargeLoadWork for why measured load must not depend on placement.
 	c.elapsed += c.rt.mach.SendOverheadTo(c.pe, dst)
 	c.chargeLoadWork(c.rt.mach.Config().SendOverheadLocal)
-	m := getMsg()
-	m.dest = elemKey{array: arr.id, idx: idx}
-	m.destPE = -1
-	m.ep = ep
-	m.payload = payload
-	m.prio = prio
-	m.size = size
-	m.srcPE = c.pe
-	m.cause = c.cause
 	if c.elem != nil {
 		c.elem.msgsSent++
 		c.elem.bytesSent += uint64(size)
@@ -251,9 +281,23 @@ func (c *Ctx) SendOpt(arr *Array, idx Index, ep EP, payload any, opts *SendOpts)
 			if c.elem.comm == nil {
 				c.elem.comm = map[elemKey]uint64{}
 			}
-			c.elem.comm[m.dest] += uint64(size)
+			c.elem.comm[dest] += uint64(size)
 		}
 	}
+	if c.replay {
+		// Effect-suppressed: the send went out when the delivery originally
+		// committed. The clock and meter charges above reconstruct Now().
+		return
+	}
+	m := getMsg()
+	m.dest = dest
+	m.destPE = -1
+	m.ep = ep
+	m.payload = payload
+	m.prio = prio
+	m.size = size
+	m.srcPE = c.pe
+	m.cause = c.cause
 	at := c.Now()
 	if c.fx == nil {
 		// Immediate mode: the steady-state send path runs allocation-free
@@ -275,6 +319,9 @@ func (c *Ctx) SendPE(pe int, h PEH, payload any, opts *SendOpts) {
 	// Locality-aware clock, uniform meter: see SendOpt.
 	c.elapsed += c.rt.mach.SendOverheadTo(c.pe, pe)
 	c.chargeLoadWork(c.rt.mach.Config().SendOverheadLocal)
+	if c.replay {
+		return // see SendOpt: charge the clock, suppress the effect
+	}
 	m := getMsg()
 	m.destPE = pe
 	m.ep = EP(h)
@@ -302,22 +349,58 @@ func (c *Ctx) LocalInvoke(arr *Array, idx Index, ep EP, payload any) {
 	if !ok {
 		panic("charm: LocalInvoke on non-local element " + key.String())
 	}
-	if sp := c.rt.specFor(c.pe); sp != nil {
-		// Speculative execution is about to mutate a second chare; image
-		// it too so a rollback restores the whole execution.
-		sp.snapshotElem(c.rt.spec, el)
+	if c.rt.spec != nil && el != c.elem {
+		if c.replay {
+			// Logged deliveries are single-element by construction (a
+			// multi-element commit invalidates every touched image instead
+			// of logging) — reaching another chare here is divergence.
+			panic("charm: coast-forward replay diverged: LocalInvoke of " + key.String() + " during a logged single-element delivery")
+		}
+		if c.phase {
+			if sp := c.rt.specFor(c.pe); sp != nil {
+				// Speculative execution is about to mutate a second chare;
+				// make it restorable too so a rollback undoes the whole
+				// execution.
+				sp.touchElem(c.rt.spec, el)
+			}
+			c.noteExtra(el)
+		} else {
+			// Commit-context mutation (PE handlers, collective fan-out,
+			// boot): not part of any logged phase, so the element's
+			// retained image can no longer coast-forward past it.
+			c.rt.spec.dropSave(el)
+		}
 	}
 	sub := c.rt.newCtxAt(c.pe, el, c.start)
 	sub.fx = c.fx // share the caller's effect buffer (and its mode)
 	sub.phase = c.phase
 	sub.cause = c.cause
+	sub.replay = c.replay
+	sub.res, sub.resIdx = c.res, c.resIdx
 	arr.handlers[ep](el.obj, sub, payload)
 	c.fx = sub.fx // pick up a deferStruct upgrade so the caller buffers too
 	c.elapsed += sub.elapsed
 	c.loadFS += sub.loadFS
+	c.resIdx = sub.resIdx
+	if len(sub.extraEls) > 0 {
+		// Nested LocalInvoke: the touched set must surface to the delivery
+		// context the commit hook inspects.
+		c.extraEls = append(c.extraEls, sub.extraEls...)
+	}
 	if sub.exitReq {
 		c.exitReq = true
 	}
+}
+
+// noteExtra records an element this execution mutated beyond its own,
+// deduplicated (repeat LocalInvokes of one chare are common).
+func (c *Ctx) noteExtra(el *element) {
+	for _, e := range c.extraEls {
+		if e == el {
+			return
+		}
+	}
+	c.extraEls = append(c.extraEls, el)
 }
 
 // Exit requests job termination (CkExit): the engine stops after this
@@ -387,6 +470,12 @@ func (c *Ctx) Insert(arr *Array, idx Index, obj Chare) {
 // AMR when coarsening). Destroying the executing element is allowed; the
 // current method finishes normally.
 func (c *Ctx) Destroy(arr *Array, idx Index) {
+	if c.replay {
+		// The destruction already committed (and dropped the target's
+		// image); the element may no longer exist, and the deferStruct
+		// would be discarded anyway.
+		return
+	}
 	key := elemKey{array: arr.id, idx: idx}
 	el, ok := c.rt.pes[c.pe].elems[key]
 	if !ok {

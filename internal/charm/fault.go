@@ -214,6 +214,8 @@ func (rt *Runtime) RecoverReset() {
 			el.msgsSent = 0
 			el.bytesSent = 0
 			el.comm = nil
+			// Retained speculation images predate the checkpoint restore.
+			rt.dropSave(el)
 		}
 	}
 	if rt.hooks != nil {

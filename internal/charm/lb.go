@@ -161,6 +161,9 @@ func (rt *Runtime) Rebalance() LBReport {
 		for _, el := range rt.pes[p].sorted {
 			el.load = 0
 			el.comm = nil
+			// Commit-context meter reset: a retained speculation image holds
+			// the pre-reset meters, which replay cannot reconstruct.
+			rt.dropSave(el)
 		}
 	}
 	if rt.lbListener != nil {
@@ -177,6 +180,7 @@ func (rt *Runtime) ResetLoadStats() {
 			el.msgsSent = 0
 			el.bytesSent = 0
 			el.comm = nil
+			rt.dropSave(el) // see the post-LB reset loop
 		}
 	}
 }
@@ -338,6 +342,7 @@ func (rt *Runtime) runLB() {
 				el.msgsSent = 0
 				el.bytesSent = 0
 				el.comm = nil
+				rt.dropSave(el) // see the post-LB reset loop
 				rt.inflight++
 				m := getMsg()
 				m.dest = el.key

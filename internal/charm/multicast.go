@@ -30,7 +30,10 @@ func (c *Ctx) Multicast(arr *Array, idxs []Index, ep EP, payload any, opts *Send
 	// Group targets by the sender's best knowledge of their location.
 	byPE := map[int][]Index{}
 	for _, idx := range idxs {
-		pe := c.rt.resolve(c.pe, elemKey{array: arr.id, idx: idx})
+		// Through resolveFor, not resolve: coast-forward replay must regroup
+		// the section exactly as the original execution did even after the
+		// location caches learned newer hints (see speculation.go).
+		pe := c.resolveFor(elemKey{array: arr.id, idx: idx})
 		byPE[pe] = append(byPE[pe], idx)
 	}
 	pes := make([]int, 0, len(byPE))

@@ -71,6 +71,13 @@ type element struct {
 
 	atSync bool   // element has called AtSync and awaits ResumeFromSync
 	redGen uint64 // reduction generation counter
+
+	// save is the element's retained PUP image plus the replay log of
+	// committed deliveries since it was packed (infrequent state saving,
+	// see speculation.go). Owned by the element's own shard: only the
+	// shard's phases (touchElem) and commits (onCommitted, RollbackSpec,
+	// dropSave) ever touch it, and the engine orders those.
+	save *elemSave
 }
 
 type peState struct {
@@ -117,6 +124,13 @@ type peState struct {
 	// with pe < 0 are empty). Allocated lazily per (PE, array) on the
 	// first hint; shard-local exactly like locCache.
 	locDense [][]locEnt
+
+	// resLog collects the location-resolution answer of every array send
+	// made by the in-flight phase (see Ctx.resolveFor). A logged delivery
+	// copies it into the element's save so coast-forward replay re-routes
+	// each send exactly as the original did, even after the live location
+	// caches have drifted. Reused between deliveries; shard-local.
+	resLog []int32
 
 	// dead marks a crashed PE (internal/chaos): it executes nothing and
 	// every message addressed to it is discarded until RecoverReset.
@@ -311,7 +325,8 @@ func New(m *machine.Machine) *Runtime {
 		// Time Warp needs an undo controller: the engine rolls back a
 		// shard by asking it to restore the phase's shard-local mutations
 		// (the withheld commit closure already holds every global effect).
-		rt.spec = newSpecController(rt, m.NumNodes())
+		rt.spec = newSpecController(rt, m.NumNodes(), cfg.SnapInterval, des.Time(cfg.OptimisticWindow))
+		rt.spec.eng = oe
 		oe.SetController(rt.spec)
 		oe.RegisterMetrics(rt.metrics)
 		rt.spec.registerMetrics(rt.metrics)
@@ -763,7 +778,10 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 		}
 	}
 	if sp != nil {
-		sp.snapshotElem(rt.spec, el)
+		sp.touchElem(rt.spec, el)
+	}
+	if rt.spec != nil {
+		p.resLog = p.resLog[:0]
 	}
 	ctx := p.takeCtx(rt, el, at)
 	ctx.phase = true
@@ -812,7 +830,9 @@ func (rt *Runtime) runOne(p *peState, at des.Time) func() {
 				rt.hooks.EntryEnd(at+ctx.elapsed, p.id, arr.name, name, m.dest.idx, m.traceID)
 			}
 			rt.finishExec(ctx, el)
-			putMsg(m)
+			if rt.spec == nil || !rt.spec.onCommitted(el, ctx, m, at) {
+				putMsg(m)
+			}
 			rt.checkQD()
 			rt.pump(p)
 			p.releaseCtx(ctx)

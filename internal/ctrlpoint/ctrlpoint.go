@@ -61,6 +61,21 @@ type Report struct {
 // NewSystem returns an empty control system.
 func NewSystem() *System { return &System{} }
 
+// Clone deep-copies the system's full tuning state — points, observation
+// history, and probe position. Fault-tolerance drivers snapshot the tuner
+// at checkpoint cuts with it and restore by assignment on rollback, so the
+// hill climber replays the identical trajectory after a recovery instead
+// of double-counting the replayed rounds' observations.
+func (s *System) Clone() *System {
+	c := &System{active: s.active, sinceLock: s.sinceLock}
+	c.history = append([]Report(nil), s.history...)
+	for _, p := range s.points {
+		q := *p
+		c.points = append(c.points, &q)
+	}
+	return c
+}
+
 // Register adds a control point and returns it.
 func (s *System) Register(name string, min, max, initial int, effect Effect) *Point {
 	if min > max || initial < min || initial > max {

@@ -1,4 +1,4 @@
-package ctrlpoint
+package ctrlpoint_test
 
 import (
 	"testing"
@@ -6,23 +6,10 @@ import (
 	"charmgo/internal/apps/leanmd"
 	"charmgo/internal/chaos"
 	"charmgo/internal/charm"
+	"charmgo/internal/ctrlpoint"
 	"charmgo/internal/lb"
 	"charmgo/internal/machine"
 )
-
-// cloneSystem snapshots a control system's full tuning state: the rollback
-// protocol must restore the tuner together with the chares, or replayed LB
-// rounds would feed the hill climber duplicate observations and steer it
-// off the failure-free trajectory.
-func cloneSystem(s *System) *System {
-	c := &System{active: s.active, sinceLock: s.sinceLock}
-	c.history = append([]Report(nil), s.history...)
-	for _, p := range s.points {
-		q := *p
-		c.points = append(c.points, &q)
-	}
-	return c
-}
 
 // TestSinglePEFailureKeepsTuningTrajectory runs a LeanMD job whose control
 // system observes every LB round's pre-balance max load, injects one hard
@@ -33,7 +20,7 @@ func cloneSystem(s *System) *System {
 // cuts as the chares (OnCheckpoint/OnRollback), which is what makes its
 // recovery exact rather than merely plausible.
 func TestSinglePEFailureKeepsTuningTrajectory(t *testing.T) {
-	run := func(plan *chaos.Plan) ([]float64, *System, *chaos.Controller, float64) {
+	run := func(plan *chaos.Plan) ([]float64, *ctrlpoint.System, *chaos.Controller, float64) {
 		rt := charm.New(machine.New(machine.Testbed(8)))
 		rt.SetBalancer(lb.Greedy{})
 		app, err := leanmd.New(rt, leanmd.Config{
@@ -44,23 +31,23 @@ func TestSinglePEFailureKeepsTuningTrajectory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sys := NewSystem()
-		sys.Register("grain", 1, 8, 4, EffectLargerGrain)
+		sys := ctrlpoint.NewSystem()
+		sys.Register("grain", 1, 8, 4, ctrlpoint.EffectLargerGrain)
 		rt.OnLB(func(rep charm.LBReport) { sys.Observe(rep.MaxLoad) })
 		var ctrl *chaos.Controller
 		if plan != nil {
-			var savedSys *System
+			var savedSys *ctrlpoint.System
 			savedSteps := 0
 			ctrl, err = chaos.Enable(rt, *plan, chaos.Options{
 				CheckpointEveryRounds: 1,
 				HeartbeatPeriod:       2e-4,
 				HeartbeatTimeout:      1.5e-4,
 				OnCheckpoint: func() {
-					savedSys = cloneSystem(sys)
+					savedSys = sys.Clone()
 					savedSteps = app.Steps()
 				},
 				OnRollback: func() {
-					*sys = *cloneSystem(savedSys)
+					*sys = *savedSys.Clone()
 					app.TruncateResult(savedSteps)
 				},
 			})

@@ -109,6 +109,15 @@ type Config struct {
 	// for rollback risk on workloads whose cross-shard messages land close
 	// to the frontier.
 	OptimisticWindow float64
+	// SnapInterval controls the optimistic backend's infrequent state
+	// saving: an element is PUP-imaged only every SnapInterval-th
+	// speculated execution, and a rollback coast-forwards from the last
+	// image by replaying the committed deliveries in between. 0 (the
+	// default) picks the interval adaptively from a snapshot-cost /
+	// replay-cost model driven by the observed rollback rate, and also
+	// lets the control-point system steer OptimisticWindow; 1 restores
+	// eager per-execution snapshots; K>=2 fixes the interval at K.
+	SnapInterval int
 
 	Thermal ThermalParams
 }

@@ -303,6 +303,17 @@ func (e *Engine) EngineStats() Stats { return e.stats }
 // engine never launches phases early.
 func (e *Engine) SetController(c Controller) { e.ctrl = c }
 
+// SetWindow replaces the optimism window (0 = unbounded). Driver-context
+// only: launch eligibility reads the window fresh on every pop, so the
+// change takes effect deterministically at the next launch decision —
+// callers adjusting it from commit closures or Controller callbacks (which
+// run on the driving goroutine) keep runs bit-identical across worker
+// counts.
+func (e *Engine) SetWindow(w des.Time) { e.window = w }
+
+// Window reports the current optimism window (0 = unbounded).
+func (e *Engine) Window() des.Time { return e.window }
+
 // SetTraceSink installs (or, with nil, removes) the engine's phase-event
 // sink. PhaseStart/PhaseDone are called only from the driving goroutine at
 // the pop of each sharded event — the same positions, in the same total

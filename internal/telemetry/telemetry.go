@@ -57,8 +57,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"charmgo/internal/charm"
 	"charmgo/internal/chaos"
+	"charmgo/internal/charm"
 	"charmgo/internal/des"
 	"charmgo/internal/projections/metrics"
 )
@@ -143,6 +143,16 @@ type Status struct {
 	Running    bool    `json:"running"`
 	FlightSeq  uint64  `json:"flight_seq"`
 	FlightDump uint32  `json:"flight_dumps"`
+
+	// Optimistic-backend state saving (zero on other backends): snapshots
+	// actually packed vs skipped by infrequent saving, coast-forward
+	// replay executions, and the live adaptive settings.
+	Snapshots        uint64  `json:"snapshots,omitempty"`
+	SnapshotsAvoided uint64  `json:"snapshots_avoided,omitempty"`
+	Replays          uint64  `json:"replays,omitempty"`
+	SnapInterval     int     `json:"snap_interval,omitempty"`
+	SnapAdaptive     bool    `json:"snap_adaptive,omitempty"`
+	WindowSec        float64 `json:"optimism_window_sec,omitempty"`
 }
 
 // Publication is one published observation: the typed metric export, the
@@ -359,6 +369,14 @@ func (t *Telemetry) publish(at des.Time, running bool, wallNs int64) {
 	}
 	if st.Backend == "" {
 		st.Backend = "sequential"
+	}
+	if saves := t.rt.SpecSaveStats(); saves.Snapshots > 0 || saves.SnapshotsAvoided > 0 {
+		st.Snapshots = saves.Snapshots
+		st.SnapshotsAvoided = saves.SnapshotsAvoided
+		st.Replays = saves.Replays
+		st.SnapInterval = saves.SnapInterval
+		st.SnapAdaptive = saves.Adaptive
+		st.WindowSec = saves.Window
 	}
 	pub := &Publication{
 		Seq:     t.publishes.Value(),

@@ -12,11 +12,20 @@
 #   scripts/bench.sh --scale    # 1k/8k/64k virtual PEs, rewrites BENCH_scale.json
 #   scripts/bench.sh --gate     # re-run scale configs, fail on >20% regression
 #                               # against the committed BENCH_scale.json budgets
-#                               # (memory metrics gate hard; events/sec warns)
+#                               # (memory metrics gate hard; events/sec warns),
+#                               # then re-run the optimistic PHOLD benchmark and
+#                               # fail on snapshot-churn regression against the
+#                               # committed BENCH_optsim.json (snapshots taken
+#                               # and snapshot bytes gate hard — both are
+#                               # deterministic counters, not wall-clock)
 #   scripts/bench.sh --optsim   # three-backend PHOLD at low lookahead,
 #                               # rewrites BENCH_optsim.json (speculation
-#                               # stats, rollback ratio, wasted work)
+#                               # stats, rollback ratio, wasted work, and
+#                               # state-saving counters: snapshot_bytes,
+#                               # snapshots_avoided, replays, adaptive K)
 #   scripts/bench.sh --optsim --smoke  # small config, no file written
+#   scripts/bench.sh --optsim --sweep  # fixed K=1/4/16 vs adaptive sweep,
+#                                      # no file written (EXPERIMENTS.md table)
 #   scripts/bench.sh --telemetry       # telemetry-layer overhead (attached vs
 #                                      # detached on all three backends),
 #                                      # rewrites BENCH_telemetry.json; exits
@@ -34,6 +43,7 @@ smoke=0
 scale=0
 gate=0
 optsim=0
+sweep=0
 telemetry=0
 ft=0
 workers=8
@@ -43,6 +53,7 @@ while [ $# -gt 0 ]; do
 	--scale) scale=1 ;;
 	--gate) gate=1 ;;
 	--optsim) optsim=1 ;;
+	--sweep) sweep=1 ;;
 	--telemetry) telemetry=1 ;;
 	--ft) ft=1 ;;
 	--workers)
@@ -50,7 +61,7 @@ while [ $# -gt 0 ]; do
 		workers="$1"
 		;;
 	*)
-		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim] [--telemetry] [--ft] [--workers N]" >&2
+		echo "usage: scripts/bench.sh [--smoke] [--scale] [--gate] [--optsim [--sweep]] [--telemetry] [--ft] [--workers N]" >&2
 		exit 2
 		;;
 	esac
@@ -69,13 +80,20 @@ if [ "$telemetry" = 1 ]; then
 fi
 
 if [ "$optsim" = 1 ]; then
+	if [ "$sweep" = 1 ]; then
+		if [ "$smoke" = 1 ]; then
+			exec go run ./cmd/parsimbench -backend optimistic -snap-sweep -smoke -workers "$workers"
+		fi
+		exec go run ./cmd/parsimbench -backend optimistic -snap-sweep -workers "$workers"
+	fi
 	if [ "$smoke" = 1 ]; then
 		exec go run ./cmd/parsimbench -backend optimistic -smoke -workers "$workers"
 	fi
 	exec go run ./cmd/parsimbench -backend optimistic -out BENCH_optsim.json -workers "$workers"
 fi
 if [ "$gate" = 1 ]; then
-	exec go run ./cmd/parsimbench -gate BENCH_scale.json
+	go run ./cmd/parsimbench -gate BENCH_scale.json
+	exec go run ./cmd/parsimbench -gate-optsim BENCH_optsim.json -workers "$workers"
 fi
 if [ "$scale" = 1 ]; then
 	exec go run ./cmd/parsimbench -scale -out BENCH_scale.json

@@ -42,6 +42,12 @@ scripts/bench.sh --smoke
 # Time Warp smoke: three-backend PHOLD at low lookahead; exits nonzero if
 # the backends' digests diverge.
 scripts/bench.sh --optsim --smoke
+# Replay smoke: the same run with sparse state saving (image every 4th
+# speculated execution), so rollbacks take the restore + coast-forward
+# path; exits nonzero on digest divergence. The deeper torture matrix
+# (K=1/4/16/adaptive on three apps, forced cascades) runs under -race in
+# the test suite above (internal/apps/determinism ReplayTorture).
+go run ./cmd/parsimbench -backend optimistic -smoke -snap-interval 4
 
 # Full-registry cross-backend identity: every figure's table byte-identical
 # on the sequential and parallel engines (SeqOnly figures 7/14 and the
